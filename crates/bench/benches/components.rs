@@ -1,0 +1,171 @@
+//! Microbenchmarks of the system's building blocks: translation
+//! structures, cache models, runtime primitives, and core-model replay
+//! throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use poat_core::polb::{ParallelPolb, PipelinedPolb, TranslationBuffer};
+use poat_core::{ObjectId, PoolId, Pot, VirtAddr};
+use poat_pmem::{Runtime, RuntimeConfig, TranslationMode};
+use poat_sim::{simulate_inorder, simulate_ooo, SimConfig};
+use poat_workloads::{ExpConfig, Micro, Pattern};
+
+fn pool(n: u32) -> PoolId {
+    PoolId::new(n).unwrap()
+}
+
+fn bench_translation_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translation");
+
+    // POLB hit-path look-up, both designs, 32 entries (paper default).
+    let mut pipe = PipelinedPolb::new(32);
+    let mut par = ParallelPolb::new(32);
+    for i in 1..=32u32 {
+        let oid = ObjectId::new(pool(i), 0);
+        pipe.fill(oid, (i as u64) << 32);
+        par.fill(oid, (i as u64) << 12);
+    }
+    let oids: Vec<ObjectId> = (1..=32u32).map(|i| ObjectId::new(pool(i), 64)).collect();
+    g.throughput(Throughput::Elements(oids.len() as u64));
+    g.bench_function("polb_pipelined_hit", |b| {
+        b.iter(|| {
+            for &oid in &oids {
+                black_box(pipe.translate(oid));
+            }
+        });
+    });
+    g.bench_function("polb_parallel_hit", |b| {
+        b.iter(|| {
+            for &oid in &oids {
+                black_box(par.translate(oid));
+            }
+        });
+    });
+
+    // POT hardware walk at paper size (16384 entries, 1000 pools mapped).
+    let mut pot = Pot::new(16384);
+    for i in 1..=1000u32 {
+        pot.insert(pool(i), VirtAddr::new((i as u64) << 32)).unwrap();
+    }
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("pot_walk", |b| {
+        b.iter(|| {
+            for i in 1..=1000u32 {
+                black_box(pot.walk(pool(i)));
+            }
+        });
+    });
+
+    // Software oid_direct (predictor hit and miss paths).
+    let mut rt = Runtime::new(RuntimeConfig::base());
+    let pools: Vec<_> = (0..32)
+        .map(|i| rt.pool_create(&format!("p{i}"), 1 << 16).unwrap())
+        .collect();
+    let oid_hits = ObjectId::new(pools[0], 64);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("oid_direct_predictor_hit", |b| {
+        b.iter(|| {
+            let r = black_box(rt.deref(oid_hits, None).unwrap());
+            rt.take_trace();
+            r
+        });
+    });
+    let alternating: Vec<ObjectId> = (0..64).map(|i| ObjectId::new(pools[i % 32], 64)).collect();
+    g.throughput(Throughput::Elements(alternating.len() as u64));
+    g.bench_function("oid_direct_predictor_miss", |b| {
+        b.iter(|| {
+            for &oid in &alternating {
+                black_box(rt.deref(oid, None).unwrap());
+            }
+            rt.take_trace();
+        });
+    });
+    g.finish();
+}
+
+fn bench_runtime_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    let mut rt = Runtime::new(RuntimeConfig {
+        mode: TranslationMode::Hardware,
+        ..RuntimeConfig::default()
+    });
+    let p = rt.pool_create("bench", 32 << 20).unwrap();
+
+    g.bench_function("pmalloc_pfree", |b| {
+        b.iter(|| {
+            let oid = rt.pmalloc(p, 64).unwrap();
+            rt.pfree(black_box(oid)).unwrap();
+            rt.take_trace(); // keep the recorded trace from accumulating
+        });
+    });
+
+    let oid = rt.pmalloc(p, 64).unwrap();
+    g.bench_function("write_persist_8B", |b| {
+        b.iter(|| {
+            rt.write_u64(oid, 42).unwrap();
+            rt.persist(oid, 8).unwrap();
+            rt.take_trace();
+        });
+    });
+
+    g.bench_function("transaction_roundtrip", |b| {
+        b.iter(|| {
+            rt.tx_begin(p).unwrap();
+            rt.tx_add_range(oid, 64).unwrap();
+            rt.write_u64(oid, 7).unwrap();
+            rt.tx_end().unwrap();
+            rt.take_trace();
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+
+    // A representative OPT trace (BST, RANDOM pattern).
+    let seed = 42;
+    let mut rt = Runtime::new(ExpConfig::Opt.runtime_config(seed));
+    Micro::Bst.run_ops(&mut rt, Pattern::Random, seed, 500).unwrap();
+    let trace = rt.take_trace();
+    let state = rt.machine_state();
+    let cfg = SimConfig::default();
+    let ops = trace.len() as u64;
+
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("inorder_replay", |b| {
+        b.iter(|| black_box(simulate_inorder(&trace, &state, &cfg).unwrap()));
+    });
+    g.bench_function("ooo_replay", |b| {
+        b.iter(|| black_box(simulate_ooo(&trace, &state, &cfg).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for bench in [Micro::Ll, Micro::Bst, Micro::Bpt] {
+        g.bench_function(format!("{bench}_random_100ops"), |b| {
+            b.iter(|| {
+                let seed = rng.gen();
+                let mut rt = Runtime::new(ExpConfig::Opt.runtime_config(seed));
+                black_box(bench.run_ops(&mut rt, Pattern::Random, seed, 100).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_translation_structures,
+    bench_runtime_primitives,
+    bench_simulators,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! One Criterion target per paper artifact, at smoke scale.
+//!
+//! `cargo bench -p poat-bench --bench experiments` regenerates every
+//! table/figure pipeline end-to-end (workload execution + trace + timing
+//! simulation); the `repro` binary prints the paper-scale numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use poat_harness::experiments;
+use poat_harness::Scale;
+
+fn bench_artifacts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifacts");
+    g.sample_size(10);
+
+    g.bench_function("table2", |b| {
+        b.iter(|| experiments::table2(Scale::Quick));
+    });
+    g.bench_function("fig9_table8_instrs", |b| {
+        b.iter(|| experiments::main_matrix(Scale::Quick));
+    });
+    g.bench_function("fig10", |b| {
+        b.iter(|| experiments::fig10(Scale::Quick));
+    });
+    g.bench_function("fig11_table9", |b| {
+        b.iter(|| experiments::fig11(Scale::Quick));
+    });
+    g.bench_function("fig12", |b| {
+        b.iter(|| experiments::fig12(Scale::Quick));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # poat-bench — Criterion benchmarks
+//!
+//! Two benchmark suites:
+//!
+//! * `benches/experiments.rs` — one Criterion target per paper artifact
+//!   (Table 2, Figure 9a/9b + Table 8, Figure 10, Figure 11 + Table 9,
+//!   Figure 12), each regenerating the artifact at smoke scale. Run the
+//!   `repro` binary for paper-scale numbers; these targets track the
+//!   wall-clock cost of the reproduction pipeline itself.
+//! * `benches/components.rs` — microbenchmarks of the building blocks:
+//!   POLB look-ups, POT walks, software `oid_direct`, cache accesses,
+//!   runtime allocation/transaction primitives, and core-model replay
+//!   throughput.

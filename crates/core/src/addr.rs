@@ -1,0 +1,163 @@
+//! Virtual and physical address newtypes shared across the workspace.
+//!
+//! The simulated machine uses 4 KB pages and 64-byte cache blocks, matching
+//! the architecture configuration of the paper (Table 4).
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per page (4 KB, Table 4).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Bytes per cache block (64 B, Table 4).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+macro_rules! addr_type {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit address.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw 64-bit address.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The page number (address divided by the 4 KB page size).
+            pub const fn page_number(self) -> u64 {
+                self.0 / PAGE_BYTES
+            }
+
+            /// The byte offset within the page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 % PAGE_BYTES
+            }
+
+            /// The cache-line number (address divided by the 64 B line size).
+            pub const fn line_number(self) -> u64 {
+                self.0 / CACHE_LINE_BYTES
+            }
+
+            /// The address rounded down to its page base.
+            pub const fn page_base(self) -> Self {
+                $name(self.0 & !(PAGE_BYTES - 1))
+            }
+
+            /// The address rounded down to its cache-line base.
+            pub const fn line_base(self) -> Self {
+                $name(self.0 & !(CACHE_LINE_BYTES - 1))
+            }
+
+            /// Returns the address advanced by `bytes`.
+            pub const fn offset(self, bytes: u64) -> Self {
+                $name(self.0 + bytes)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+addr_type! {
+    /// An address in a process' virtual address space.
+    ///
+    /// ```
+    /// use poat_core::VirtAddr;
+    /// let va = VirtAddr::new(0x7f00_1234);
+    /// assert_eq!(va.page_offset(), 0x234);
+    /// assert_eq!(va.page_base().raw(), 0x7f00_1000);
+    /// ```
+    VirtAddr
+}
+
+addr_type! {
+    /// A physical (machine) address in simulated NVM or DRAM.
+    ///
+    /// ```
+    /// use poat_core::PhysAddr;
+    /// let pa = PhysAddr::new(0x4000).offset(64);
+    /// assert_eq!(pa.line_number(), 0x4040 / 64);
+    /// ```
+    PhysAddr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        let va = VirtAddr::new(3 * PAGE_BYTES + 17);
+        assert_eq!(va.page_number(), 3);
+        assert_eq!(va.page_offset(), 17);
+        assert_eq!(va.page_base(), VirtAddr::new(3 * PAGE_BYTES));
+    }
+
+    #[test]
+    fn line_arithmetic() {
+        let pa = PhysAddr::new(130);
+        assert_eq!(pa.line_number(), 2);
+        assert_eq!(pa.line_base(), PhysAddr::new(128));
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = VirtAddr::new(100);
+        let b = a + 28;
+        assert_eq!(b.raw(), 128);
+        assert_eq!(b - a, 28);
+    }
+
+    #[test]
+    fn constants_match_table4() {
+        assert_eq!(PAGE_BYTES, 4096);
+        assert_eq!(CACHE_LINE_BYTES, 64);
+    }
+}

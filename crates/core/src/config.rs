@@ -1,0 +1,166 @@
+//! Translation-hardware configuration knobs (paper §5.1, Table 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Which POLB microarchitecture is simulated (paper §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolbDesign {
+    /// POLB translates pool id → virtual base address in the AGEN stage,
+    /// then the TLB and L1D are accessed as usual. Adds the POLB access
+    /// latency in front of every `nvld`/`nvst`, but one POLB entry covers a
+    /// whole pool.
+    Pipelined,
+    /// POLB translates (pool id, page-in-pool) → physical frame in parallel
+    /// with the L1D tag access. No added hit latency, but one entry per
+    /// *page* and a longer miss penalty (POT walk + page-table walk).
+    Parallel,
+}
+
+impl PolbDesign {
+    /// All designs, in the order the paper's figures present them.
+    pub const ALL: [PolbDesign; 2] = [PolbDesign::Pipelined, PolbDesign::Parallel];
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolbDesign::Pipelined => "Pipelined",
+            PolbDesign::Parallel => "Parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for PolbDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Latency and sizing parameters for the translation hardware.
+///
+/// Defaults reproduce Table 4 of the paper: a 32-entry POLB with a 3-cycle
+/// (1 ns at 2.66 GHz) access, a 30-cycle POT walk for *Pipelined* and a
+/// 60-cycle combined POT + page-table walk for *Parallel*, and a
+/// 16384-entry POT.
+///
+/// ```
+/// use poat_core::TranslationConfig;
+/// let cfg = TranslationConfig::default();
+/// assert_eq!(cfg.polb_entries, 32);
+/// assert_eq!(cfg.polb_access_cycles, 3);
+/// assert_eq!(cfg.pot_walk_cycles, 30);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslationConfig {
+    /// Which POLB design to simulate.
+    pub design: PolbDesign,
+    /// Number of POLB entries (0 = no POLB: every translation walks the POT).
+    pub polb_entries: usize,
+    /// Cycles to search the POLB CAM and compute the address (Pipelined
+    /// charges this before the TLB/cache access; Parallel hides it).
+    pub polb_access_cycles: u64,
+    /// Fixed POT-walk penalty on a POLB miss (Pipelined).
+    pub pot_walk_cycles: u64,
+    /// Fixed combined POT + page-table walk penalty on a POLB miss
+    /// (Parallel).
+    pub pot_page_walk_cycles: u64,
+    /// Number of POT entries per process.
+    pub pot_entries: usize,
+    /// Ideal mode: translation is free (no POLB latency, no miss penalty).
+    /// Used for the red-dot upper bounds in Figure 9 and the "ideal" bar of
+    /// Figure 12.
+    pub ideal: bool,
+}
+
+impl TranslationConfig {
+    /// The paper's default configuration for a given design.
+    pub fn for_design(design: PolbDesign) -> Self {
+        TranslationConfig {
+            design,
+            ..Self::default()
+        }
+    }
+
+    /// An ideal (zero-overhead) variant of this configuration.
+    pub fn idealized(mut self) -> Self {
+        self.ideal = true;
+        self
+    }
+
+    /// The POLB miss penalty for this configuration's design.
+    pub fn miss_penalty_cycles(&self) -> u64 {
+        if self.ideal {
+            return 0;
+        }
+        match self.design {
+            PolbDesign::Pipelined => self.pot_walk_cycles,
+            PolbDesign::Parallel => self.pot_page_walk_cycles,
+        }
+    }
+
+    /// The added latency a POLB *hit* contributes to a memory access.
+    ///
+    /// Pipelined serializes the POLB in front of the TLB + cache; Parallel
+    /// overlaps it with the L1D access and contributes nothing on a hit.
+    pub fn hit_latency_cycles(&self) -> u64 {
+        if self.ideal {
+            return 0;
+        }
+        match self.design {
+            PolbDesign::Pipelined => self.polb_access_cycles,
+            PolbDesign::Parallel => 0,
+        }
+    }
+}
+
+impl Default for TranslationConfig {
+    fn default() -> Self {
+        TranslationConfig {
+            design: PolbDesign::Pipelined,
+            polb_entries: 32,
+            polb_access_cycles: 3,
+            pot_walk_cycles: 30,
+            pot_page_walk_cycles: 60,
+            pot_entries: 16384,
+            ideal: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table4() {
+        let cfg = TranslationConfig::default();
+        assert_eq!(cfg.polb_entries, 32);
+        assert_eq!(cfg.polb_access_cycles, 3);
+        assert_eq!(cfg.pot_walk_cycles, 30);
+        assert_eq!(cfg.pot_page_walk_cycles, 60);
+        assert_eq!(cfg.pot_entries, 16384);
+        assert!(!cfg.ideal);
+    }
+
+    #[test]
+    fn miss_penalty_depends_on_design() {
+        let p = TranslationConfig::for_design(PolbDesign::Pipelined);
+        let q = TranslationConfig::for_design(PolbDesign::Parallel);
+        assert_eq!(p.miss_penalty_cycles(), 30);
+        assert_eq!(q.miss_penalty_cycles(), 60);
+        assert_eq!(p.hit_latency_cycles(), 3);
+        assert_eq!(q.hit_latency_cycles(), 0);
+    }
+
+    #[test]
+    fn ideal_zeroes_all_penalties() {
+        let cfg = TranslationConfig::default().idealized();
+        assert_eq!(cfg.miss_penalty_cycles(), 0);
+        assert_eq!(cfg.hit_latency_cycles(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PolbDesign::Pipelined.to_string(), "Pipelined");
+        assert_eq!(PolbDesign::Parallel.label(), "Parallel");
+    }
+}

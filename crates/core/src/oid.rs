@@ -1,0 +1,234 @@
+//! ObjectIDs and pool identifiers (paper §2.1.2, Figure 1).
+//!
+//! An [`ObjectId`] is the concatenation of a system-wide unique 32-bit pool
+//! identifier (upper bits) and a 32-bit byte offset within the pool (lower
+//! bits), so that it fits in one 64-bit register. Pool id 0 is reserved for
+//! the NULL pool (paper §4.2), which makes the all-zero ObjectId the natural
+//! NULL reference for building linked structures.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A system-wide unique identifier assigned to a pool when it is created.
+///
+/// Pool id 0 is reserved to denote the NULL pool and cannot be constructed;
+/// this allows hardware structures (POT, POLB) to treat an all-zero entry as
+/// invalid (paper §4.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PoolId(u32);
+
+impl PoolId {
+    /// Creates a pool id, returning `None` for the reserved value 0.
+    ///
+    /// ```
+    /// use poat_core::PoolId;
+    /// assert!(PoolId::new(1).is_some());
+    /// assert!(PoolId::new(0).is_none());
+    /// ```
+    pub fn new(raw: u32) -> Option<Self> {
+        (raw != 0).then_some(PoolId(raw))
+    }
+
+    /// The raw 32-bit identifier.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PoolId({})", self.0)
+    }
+}
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A reference to a byte of persistent data: `pool_id << 32 | offset`.
+///
+/// ObjectIDs are what persistent data structures store in their link fields
+/// instead of raw pointers, making every object relocatable: the same
+/// ObjectId remains valid regardless of where the pool is mapped in a
+/// process' virtual address space.
+///
+/// ```
+/// use poat_core::{ObjectId, PoolId};
+///
+/// let pool = PoolId::new(3).unwrap();
+/// let oid = ObjectId::new(pool, 0x40);
+/// assert_eq!(oid.pool(), Some(pool));
+/// assert_eq!(oid.offset(), 0x40);
+/// assert_eq!(oid.raw(), (3 << 32) | 0x40);
+/// assert!(!oid.is_null());
+/// assert!(ObjectId::NULL.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ObjectId(u64);
+
+impl ObjectId {
+    /// The NULL reference: pool 0, offset 0.
+    pub const NULL: ObjectId = ObjectId(0);
+
+    /// Builds an ObjectId from a pool id and a byte offset within the pool.
+    pub fn new(pool: PoolId, offset: u32) -> Self {
+        ObjectId(((pool.raw() as u64) << 32) | offset as u64)
+    }
+
+    /// Reconstructs an ObjectId from its raw 64-bit representation.
+    pub fn from_raw(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+
+    /// The raw 64-bit representation (as held in a register).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The pool identifier, or `None` for a NULL-pool reference.
+    pub fn pool(self) -> Option<PoolId> {
+        PoolId::new((self.0 >> 32) as u32)
+    }
+
+    /// The raw pool-id bits (upper 32), including the reserved 0.
+    pub fn pool_raw(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The byte offset within the pool (lower 32 bits).
+    pub fn offset(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Whether this is the NULL reference (pool id 0).
+    ///
+    /// Note that *any* ObjectId whose pool bits are 0 is NULL, regardless of
+    /// offset, because pool 0 cannot exist.
+    pub fn is_null(self) -> bool {
+        self.pool_raw() == 0
+    }
+
+    /// Returns an ObjectId `bytes` further into the same pool.
+    ///
+    /// This mirrors pointer arithmetic on the offset field and is what the
+    /// `nvld rd, rs1, imm` immediate computes in the AGEN stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting offset overflows the 32-bit offset field
+    /// (which would silently change the pool id on real hardware).
+    // Deliberately named like pointer arithmetic; ObjectId is an address.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u32) -> Self {
+        let off = self
+            .offset()
+            .checked_add(bytes)
+            .expect("ObjectId offset overflow");
+        ObjectId((self.0 & 0xFFFF_FFFF_0000_0000) | off as u64)
+    }
+
+    /// The upper 52 bits of the ObjectId: pool id plus page-within-pool.
+    ///
+    /// This is the tag the *Parallel* POLB design matches on (paper §4.1.2),
+    /// assuming 4 KB pages: the low 12 bits index within the page and go
+    /// straight to the virtually-indexed L1D.
+    pub fn page_tag(self) -> u64 {
+        self.0 >> 12
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "ObjectId(NULL)")
+        } else {
+            write!(f, "ObjectId({}:{:#x})", self.pool_raw(), self.offset())
+        }
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "NULL")
+        } else {
+            write!(f, "{}:{:#x}", self.pool_raw(), self.offset())
+        }
+    }
+}
+
+impl From<ObjectId> for u64 {
+    fn from(oid: ObjectId) -> u64 {
+        oid.raw()
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(raw: u64) -> ObjectId {
+        ObjectId::from_raw(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_id_zero_is_reserved() {
+        assert!(PoolId::new(0).is_none());
+        assert_eq!(PoolId::new(5).unwrap().raw(), 5);
+    }
+
+    #[test]
+    fn oid_round_trips_fields() {
+        let pool = PoolId::new(0xDEAD).unwrap();
+        let oid = ObjectId::new(pool, 0xBEEF);
+        assert_eq!(oid.pool(), Some(pool));
+        assert_eq!(oid.offset(), 0xBEEF);
+        assert_eq!(ObjectId::from_raw(oid.raw()), oid);
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(ObjectId::NULL.is_null());
+        assert!(ObjectId::from_raw(0x42).is_null(), "pool bits 0 is NULL");
+        let oid = ObjectId::new(PoolId::new(1).unwrap(), 0);
+        assert!(!oid.is_null());
+    }
+
+    #[test]
+    fn add_stays_in_pool() {
+        let pool = PoolId::new(9).unwrap();
+        let oid = ObjectId::new(pool, 100).add(28);
+        assert_eq!(oid.pool(), Some(pool));
+        assert_eq!(oid.offset(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset overflow")]
+    fn add_overflow_panics() {
+        let oid = ObjectId::new(PoolId::new(1).unwrap(), u32::MAX);
+        let _ = oid.add(1);
+    }
+
+    #[test]
+    fn page_tag_strips_page_offset() {
+        let pool = PoolId::new(2).unwrap();
+        let a = ObjectId::new(pool, 0x1000);
+        let b = ObjectId::new(pool, 0x1FFF);
+        let c = ObjectId::new(pool, 0x2000);
+        assert_eq!(a.page_tag(), b.page_tag());
+        assert_ne!(a.page_tag(), c.page_tag());
+    }
+
+    #[test]
+    fn display_formats() {
+        let oid = ObjectId::new(PoolId::new(3).unwrap(), 0x40);
+        assert_eq!(oid.to_string(), "3:0x40");
+        assert_eq!(ObjectId::NULL.to_string(), "NULL");
+        assert!(!format!("{oid:?}").is_empty());
+    }
+}

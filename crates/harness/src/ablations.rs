@@ -1,0 +1,327 @@
+//! Ablation experiments beyond the paper's figures — the design-choice
+//! studies DESIGN.md calls out, plus the POT-coverage question the paper's
+//! future-work section (§8) raises.
+//!
+//! * [`predictor`] — NVML's last-value predictor on/off in the BASE
+//!   library: quantifies how much of BASE's competitiveness under ALL
+//!   comes from that one software optimization.
+//! * [`polb_latency`] — Pipelined-POLB access latency swept 1–5 cycles:
+//!   how much headroom the AGEN-stage placement has before the Pipelined
+//!   design loses its advantage.
+//! * [`prefetch`] — next-line L1D prefetch on/off for both BASE and OPT:
+//!   checks that the paper's conclusion does not hinge on the simulated
+//!   machine lacking a prefetcher.
+//! * [`pot_occupancy`] — mean hardware-walk probes as the POT fills
+//!   (paper §8: "the size of the POT and its required coverage ... will
+//!   need to be analyzed").
+
+use serde::Serialize;
+
+use poat_core::{PoolId, Pot, TranslationConfig, VirtAddr};
+use poat_sim::SimConfig;
+use poat_workloads::{ExpConfig, Micro, Pattern};
+
+use crate::report::{fx, pct, TextTable};
+use crate::runner::{
+    default_workers, parallel_map, pipelined, run_micro, run_micro_custom, simulate,
+    simulate_with, Core, Scale,
+};
+
+/// Predictor ablation: BASE with and without the last-value predictor.
+#[derive(Clone, Debug, Serialize)]
+pub struct PredictorRow {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// Pattern label.
+    pub pattern: String,
+    /// In-order cycles, BASE as shipped (predictor on).
+    pub base_cycles: u64,
+    /// In-order cycles, BASE with the predictor disabled.
+    pub no_predictor_cycles: u64,
+    /// Slowdown from losing the predictor.
+    pub slowdown: f64,
+    /// OPT/BASE speedup against the predictor-less baseline.
+    pub opt_speedup_vs_nopred: f64,
+}
+
+/// Runs the predictor ablation on ALL and RANDOM.
+pub fn predictor(scale: Scale) -> Vec<PredictorRow> {
+    let mut work = Vec::new();
+    for bench in Micro::ALL {
+        for pattern in [Pattern::All, Pattern::Random] {
+            work.push((bench, pattern));
+        }
+    }
+    parallel_map(work, default_workers(), |(bench, pattern)| {
+        let base = run_micro(bench, pattern, ExpConfig::Base, scale);
+        let nopred = run_micro_custom(bench, pattern, ExpConfig::Base, scale, |c| {
+            c.last_value_predictor = false;
+        });
+        let opt = run_micro(bench, pattern, ExpConfig::Opt, scale);
+        let b = simulate(&base, Core::InOrder, pipelined()).cycles;
+        let n = simulate(&nopred, Core::InOrder, pipelined()).cycles;
+        let o = simulate(&opt, Core::InOrder, pipelined()).cycles;
+        PredictorRow {
+            bench: bench.abbrev().to_owned(),
+            pattern: pattern.label().to_owned(),
+            base_cycles: b,
+            no_predictor_cycles: n,
+            slowdown: n as f64 / b.max(1) as f64,
+            opt_speedup_vs_nopred: n as f64 / o.max(1) as f64,
+        }
+    })
+}
+
+/// Renders the predictor ablation.
+pub fn predictor_text(rows: &[PredictorRow]) -> String {
+    let mut t = TextTable::new(
+        "Ablation A1 — last-value predictor (BASE, in-order)",
+        &["Bench", "Pattern", "no-pred slowdown", "OPT vs no-pred"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            r.pattern.clone(),
+            fx(r.slowdown),
+            fx(r.opt_speedup_vs_nopred),
+        ]);
+    }
+    t.render()
+}
+
+/// POLB access-latency sweep for the Pipelined design.
+#[derive(Clone, Debug, Serialize)]
+pub struct PolbLatencyRow {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// OPT/BASE speedup at POLB access latency 1..=5 cycles.
+    pub speedups: Vec<f64>,
+}
+
+/// Latencies swept by [`polb_latency`].
+pub const POLB_LATENCIES: [u64; 5] = [1, 2, 3, 4, 5];
+
+/// Runs the POLB access-latency sweep (RANDOM pattern, in-order).
+pub fn polb_latency(scale: Scale) -> Vec<PolbLatencyRow> {
+    parallel_map(Micro::ALL.to_vec(), default_workers(), |bench| {
+        let base = run_micro(bench, Pattern::Random, ExpConfig::Base, scale);
+        let opt = run_micro(bench, Pattern::Random, ExpConfig::Opt, scale);
+        let b = simulate(&base, Core::InOrder, pipelined()).cycles;
+        let speedups = POLB_LATENCIES
+            .iter()
+            .map(|&lat| {
+                let cfg = TranslationConfig {
+                    polb_access_cycles: lat,
+                    ..pipelined()
+                };
+                b as f64 / simulate(&opt, Core::InOrder, cfg).cycles.max(1) as f64
+            })
+            .collect();
+        PolbLatencyRow {
+            bench: bench.abbrev().to_owned(),
+            speedups,
+        }
+    })
+}
+
+/// Renders the POLB-latency sweep.
+pub fn polb_latency_text(rows: &[PolbLatencyRow]) -> String {
+    let mut t = TextTable::new(
+        "Ablation A2 — POLB access latency (Pipelined, RANDOM, in-order)",
+        &["Bench", "1cy", "2cy", "3cy", "4cy", "5cy"],
+    );
+    for r in rows {
+        let mut cells = vec![r.bench.clone()];
+        cells.extend(r.speedups.iter().map(|&x| fx(x)));
+        t.row(cells);
+    }
+    t.render()
+}
+
+/// Prefetcher ablation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct PrefetchRow {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// OPT/BASE speedup without a prefetcher (the paper's machine).
+    pub speedup_no_prefetch: f64,
+    /// OPT/BASE speedup with a next-line L1D prefetcher in both runs.
+    pub speedup_with_prefetch: f64,
+}
+
+/// Runs the prefetcher ablation (RANDOM pattern, in-order).
+pub fn prefetch(scale: Scale) -> Vec<PrefetchRow> {
+    parallel_map(Micro::ALL.to_vec(), default_workers(), |bench| {
+        let base = run_micro(bench, Pattern::Random, ExpConfig::Base, scale);
+        let opt = run_micro(bench, Pattern::Random, ExpConfig::Opt, scale);
+        let plain = SimConfig::with_translation(pipelined());
+        let mut pf = plain;
+        pf.mem.next_line_prefetch = true;
+        let speedup = |cfg: SimConfig| {
+            simulate_with(&base, Core::InOrder, cfg).cycles as f64
+                / simulate_with(&opt, Core::InOrder, cfg).cycles.max(1) as f64
+        };
+        PrefetchRow {
+            bench: bench.abbrev().to_owned(),
+            speedup_no_prefetch: speedup(plain),
+            speedup_with_prefetch: speedup(pf),
+        }
+    })
+}
+
+/// Renders the prefetcher ablation.
+pub fn prefetch_text(rows: &[PrefetchRow]) -> String {
+    let mut t = TextTable::new(
+        "Ablation A3 — next-line L1D prefetcher (RANDOM, in-order)",
+        &["Bench", "no prefetch", "with prefetch"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            fx(r.speedup_no_prefetch),
+            fx(r.speedup_with_prefetch),
+        ]);
+    }
+    t.render()
+}
+
+/// POT-occupancy study: mean hardware-walk probes as the table fills.
+#[derive(Clone, Debug, Serialize)]
+pub struct PotOccupancyRow {
+    /// Fraction of the 16384-entry POT occupied.
+    pub occupancy: f64,
+    /// Mean linear probes per walk at that occupancy.
+    pub mean_probes: f64,
+    /// Worst-case probes observed.
+    pub max_probes: u32,
+}
+
+/// Occupancies swept by [`pot_occupancy`].
+pub const POT_OCCUPANCIES: [f64; 6] = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95];
+
+/// Measures POT walk cost vs occupancy (paper §8 future work). Pure
+/// hardware-structure study: pools are inserted to the target occupancy
+/// and every pool is then walked once.
+pub fn pot_occupancy() -> Vec<PotOccupancyRow> {
+    let entries = 16384usize;
+    POT_OCCUPANCIES
+        .iter()
+        .map(|&occ| {
+            let mut pot = Pot::new(entries);
+            let n = (entries as f64 * occ) as u32;
+            for i in 1..=n {
+                pot.insert(PoolId::new(i).expect("non-zero"), VirtAddr::new((i as u64) << 24))
+                    .expect("under capacity");
+            }
+            let mut max_probes = 0;
+            for i in 1..=n {
+                let r = pot.walk(PoolId::new(i).expect("non-zero"));
+                assert!(r.base.is_some());
+                max_probes = max_probes.max(r.probes);
+            }
+            PotOccupancyRow {
+                occupancy: occ,
+                mean_probes: pot.mean_probes(),
+                max_probes,
+            }
+        })
+        .collect()
+}
+
+/// Renders the POT-occupancy study.
+pub fn pot_occupancy_text(rows: &[PotOccupancyRow]) -> String {
+    let mut t = TextTable::new(
+        "Ablation A4 — POT walk cost vs occupancy (16384 entries, §8)",
+        &["Occupancy", "Mean probes", "Max probes"],
+    );
+    for r in rows {
+        t.row(vec![
+            pct(r.occupancy),
+            format!("{:.2}", r.mean_probes),
+            r.max_probes.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Everything the ablation suite produces.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationResults {
+    /// A1: last-value predictor on/off.
+    pub predictor: Vec<PredictorRow>,
+    /// A2: POLB access-latency sweep.
+    pub polb_latency: Vec<PolbLatencyRow>,
+    /// A3: next-line prefetcher on/off.
+    pub prefetch: Vec<PrefetchRow>,
+    /// A4: POT occupancy.
+    pub pot_occupancy: Vec<PotOccupancyRow>,
+}
+
+/// Runs all four ablations.
+pub fn all(scale: Scale) -> AblationResults {
+    AblationResults {
+        predictor: predictor(scale),
+        polb_latency: polb_latency(scale),
+        prefetch: prefetch(scale),
+        pot_occupancy: pot_occupancy(),
+    }
+}
+
+/// Renders the whole suite.
+pub fn all_text(r: &AblationResults) -> String {
+    format!(
+        "{}\n{}\n{}\n{}",
+        predictor_text(&r.predictor),
+        polb_latency_text(&r.polb_latency),
+        prefetch_text(&r.prefetch),
+        pot_occupancy_text(&r.pot_occupancy)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_matters_most_under_all() {
+        let rows = predictor(Scale::Quick);
+        let slow = |b: &str, p: &str| {
+            rows.iter()
+                .find(|r| r.bench == b && r.pattern == p)
+                .unwrap()
+                .slowdown
+        };
+        for b in ["LL", "BST", "RBT"] {
+            assert!(
+                slow(b, "ALL") > slow(b, "RANDOM") - 0.05,
+                "{b}: predictor saves ALL more than RANDOM"
+            );
+            assert!(slow(b, "ALL") > 1.05, "{b}: losing the predictor hurts ALL");
+        }
+    }
+
+    #[test]
+    fn polb_latency_monotonically_erodes_speedup() {
+        for r in polb_latency(Scale::Quick) {
+            for w in r.speedups.windows(2) {
+                assert!(w[1] <= w[0] + 0.01, "{}: {:?}", r.bench, r.speedups);
+            }
+        }
+    }
+
+    #[test]
+    fn pot_occupancy_probe_cost_grows() {
+        let rows = pot_occupancy();
+        assert!(rows[0].mean_probes >= 1.0);
+        assert!(rows.last().unwrap().mean_probes > rows[0].mean_probes);
+        assert!(rows.last().unwrap().max_probes >= rows[0].max_probes);
+    }
+
+    #[test]
+    fn prefetch_rows_have_positive_speedups() {
+        for r in prefetch(Scale::Quick) {
+            assert!(r.speedup_no_prefetch > 1.0, "{}", r.bench);
+            assert!(r.speedup_with_prefetch > 1.0, "{}", r.bench);
+        }
+    }
+}

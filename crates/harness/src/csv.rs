@@ -1,0 +1,213 @@
+//! CSV emission for every artifact, so the figures can be plotted with
+//! any external tool (`repro <artifact> --csv DIR`).
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::ablations::AblationResults;
+use crate::experiments::{
+    Fig10Row, Fig11Row, Fig12Row, MainResults, SpeedupRow, Table2Row, POLB_SIZES, POT_LATENCIES,
+};
+
+fn write(dir: &Path, name: &str, header: &str, rows: Vec<String>) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(dir.join(name))?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+/// Writes `table2.csv`.
+pub fn table2(dir: &Path, rows: &[Table2Row]) -> std::io::Result<()> {
+    write(
+        dir,
+        "table2.csv",
+        "bench,insns_all,insns_each,predictor_miss_each",
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{},{:.2},{:.2},{:.4}",
+                    r.bench, r.insns_all, r.insns_each, r.miss_each
+                )
+            })
+            .collect(),
+    )
+}
+
+fn speedups(dir: &Path, name: &str, rows: &[SpeedupRow]) -> std::io::Result<()> {
+    write(
+        dir,
+        name,
+        "bench,pattern,pipelined,parallel,ideal",
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{},{},{:.4},{},{:.4}",
+                    r.bench,
+                    r.pattern,
+                    r.pipelined,
+                    r.parallel.map(|p| format!("{p:.4}")).unwrap_or_default(),
+                    r.ideal
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Writes `fig9a.csv`, `fig9b.csv`, `table8.csv`, and `instrs.csv`.
+pub fn main_results(dir: &Path, m: &MainResults) -> std::io::Result<()> {
+    speedups(dir, "fig9a.csv", &m.fig9a)?;
+    speedups(dir, "fig9b.csv", &m.fig9b)?;
+    write(
+        dir,
+        "table8.csv",
+        "bench,par_all,par_random,par_each,pipe_each",
+        m.table8
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{:.4},{},{:.4},{:.4}",
+                    r.bench,
+                    r.par_all,
+                    r.par_random.map(|p| format!("{p:.4}")).unwrap_or_default(),
+                    r.par_each,
+                    r.pipe_each
+                )
+            })
+            .collect(),
+    )?;
+    write(
+        dir,
+        "instrs.csv",
+        "bench,pattern,base_instructions,opt_instructions,reduction",
+        m.instrs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{:.4}",
+                    r.bench, r.pattern, r.base_instructions, r.opt_instructions, r.reduction
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Writes `fig10.csv`.
+pub fn fig10(dir: &Path, rows: &[Fig10Row]) -> std::io::Result<()> {
+    write(
+        dir,
+        "fig10.csv",
+        "bench,pattern,pipelined,parallel",
+        rows.iter()
+            .map(|r| format!("{},{},{:.4},{:.4}", r.bench, r.pattern, r.pipelined, r.parallel))
+            .collect(),
+    )
+}
+
+/// Writes `fig11.csv` and `table9.csv` (long format: one row per point).
+pub fn fig11(dir: &Path, rows: &[Fig11Row]) -> std::io::Result<()> {
+    let mut speed = Vec::new();
+    let mut miss = Vec::new();
+    for r in rows {
+        for (i, &size) in POLB_SIZES.iter().enumerate() {
+            speed.push(format!(
+                "{},Pipelined,{size},{:.4}",
+                r.bench, r.pipelined[i]
+            ));
+            speed.push(format!("{},Parallel,{size},{:.4}", r.bench, r.parallel[i]));
+            miss.push(format!(
+                "{},Pipelined,{size},{:.4}",
+                r.bench, r.pipe_miss[i]
+            ));
+            miss.push(format!("{},Parallel,{size},{:.4}", r.bench, r.par_miss[i]));
+        }
+    }
+    write(dir, "fig11.csv", "bench,design,polb_entries,speedup", speed)?;
+    write(dir, "table9.csv", "bench,design,polb_entries,miss_rate", miss)
+}
+
+/// Writes `fig12.csv` (long format).
+pub fn fig12(dir: &Path, rows: &[Fig12Row]) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    for r in rows {
+        for (i, lat) in POT_LATENCIES.iter().enumerate() {
+            let lat = lat.map(|l| l.to_string()).unwrap_or_else(|| "ideal".into());
+            out.push(format!("{},{lat},{:.4}", r.bench, r.speedups[i]));
+        }
+    }
+    write(dir, "fig12.csv", "bench,pot_walk_cycles,speedup", out)
+}
+
+/// Writes the four ablation CSVs.
+pub fn ablations(dir: &Path, a: &AblationResults) -> std::io::Result<()> {
+    write(
+        dir,
+        "ablation_predictor.csv",
+        "bench,pattern,base_cycles,no_predictor_cycles,slowdown,opt_speedup_vs_nopred",
+        a.predictor
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{:.4},{:.4}",
+                    r.bench,
+                    r.pattern,
+                    r.base_cycles,
+                    r.no_predictor_cycles,
+                    r.slowdown,
+                    r.opt_speedup_vs_nopred
+                )
+            })
+            .collect(),
+    )?;
+    let mut lat = Vec::new();
+    for r in &a.polb_latency {
+        for (i, &cy) in crate::ablations::POLB_LATENCIES.iter().enumerate() {
+            lat.push(format!("{},{cy},{:.4}", r.bench, r.speedups[i]));
+        }
+    }
+    write(dir, "ablation_polb_latency.csv", "bench,polb_cycles,speedup", lat)?;
+    write(
+        dir,
+        "ablation_prefetch.csv",
+        "bench,speedup_no_prefetch,speedup_with_prefetch",
+        a.prefetch
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{:.4},{:.4}",
+                    r.bench, r.speedup_no_prefetch, r.speedup_with_prefetch
+                )
+            })
+            .collect(),
+    )?;
+    write(
+        dir,
+        "ablation_pot_occupancy.csv",
+        "occupancy,mean_probes,max_probes",
+        a.pot_occupancy
+            .iter()
+            .map(|r| format!("{:.2},{:.4},{}", r.occupancy, r.mean_probes, r.max_probes))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Scale;
+
+    #[test]
+    fn csvs_are_written_and_well_formed() {
+        let dir = std::env::temp_dir().join(format!("poat-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let t2 = crate::experiments::table2(Scale::Quick);
+        table2(&dir, &t2).unwrap();
+        let content = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), t2.len() + 1);
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,752 @@
+//! The experiment runners — one per table/figure of the paper's
+//! evaluation (§6). Each returns typed, serializable results and can
+//! render itself as a paper-style text table.
+
+use serde::Serialize;
+
+use poat_core::{PolbDesign, TranslationConfig};
+use poat_workloads::{ExpConfig, Micro, Pattern, TpccPattern};
+
+use crate::report::{fx, geomean, pct, TextTable};
+use crate::runner::{
+    default_workers, ideal, parallel, parallel_map, pipelined, run_micro, run_micro_seeded,
+    run_tpcc, simulate, Core, Scale, WorkloadRun,
+};
+
+// ---------------------------------------------------------------------
+// Table 2 — software translation cost
+// ---------------------------------------------------------------------
+
+/// One Table 2 row: mean `oid_direct` instructions under ALL and EACH,
+/// and the last-value-predictor miss rate under EACH.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// Mean instructions per `oid_direct` call, ALL pattern.
+    pub insns_all: f64,
+    /// Mean instructions per `oid_direct` call, EACH pattern.
+    pub insns_each: f64,
+    /// Predictor miss rate under EACH.
+    pub miss_each: f64,
+}
+
+/// Runs Table 2: BASE configuration, ALL and EACH patterns.
+pub fn table2(scale: Scale) -> Vec<Table2Row> {
+    let work: Vec<Micro> = Micro::ALL.to_vec();
+    let mut rows = parallel_map(work, default_workers(), |bench| {
+        let all = run_micro(bench, Pattern::All, ExpConfig::Base, scale);
+        let each = run_micro(bench, Pattern::Each, ExpConfig::Base, scale);
+        Table2Row {
+            bench: bench.abbrev().to_owned(),
+            insns_all: all.xlat.mean_instructions(),
+            insns_each: each.xlat.mean_instructions(),
+            miss_each: each.xlat.predictor_miss_rate(),
+        }
+    });
+    rows.push(Table2Row {
+        bench: "GeoMean".to_owned(),
+        insns_all: geomean(&rows.iter().map(|r| r.insns_all).collect::<Vec<_>>()),
+        insns_each: geomean(&rows.iter().map(|r| r.insns_each).collect::<Vec<_>>()),
+        miss_each: geomean(&rows.iter().map(|r| r.miss_each).collect::<Vec<_>>()),
+    });
+    rows
+}
+
+/// Renders Table 2.
+pub fn table2_text(rows: &[Table2Row]) -> String {
+    let mut t = TextTable::new(
+        "Table 2 — oid_direct dynamic instructions (BASE)",
+        &["Bench", "Insns on ALL", "Insns on EACH", "Miss on recent"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            format!("{:.1}", r.insns_all),
+            format!("{:.1}", r.insns_each),
+            pct(r.miss_each),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 (a, b), Table 8 and the instruction-reduction headline —
+// computed together from one pass over the (workload, pattern) matrix.
+// ---------------------------------------------------------------------
+
+/// Speedup of OPT over BASE for one workload/pattern (one Figure 9 bar
+/// group).
+#[derive(Clone, Debug, Serialize)]
+pub struct SpeedupRow {
+    /// Workload abbreviation ("LL" … "TPCC").
+    pub bench: String,
+    /// Pattern label ("ALL"/"EACH"/"RANDOM"/"TPCC_ALL"/"TPCC_EACH").
+    pub pattern: String,
+    /// Pipelined-design speedup.
+    pub pipelined: f64,
+    /// Parallel-design speedup (absent on the out-of-order core).
+    pub parallel: Option<f64>,
+    /// Ideal (zero-overhead translation) speedup — the red dot.
+    pub ideal: f64,
+}
+
+/// One Table 8 row: POLB miss rates of the OPT runs. As in the paper,
+/// the ALL/RANDOM/EACH columns are the *Parallel* design (Pipelined only
+/// shows EACH: its ALL and RANDOM runs miss only during warm-up).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table8Row {
+    /// Workload abbreviation.
+    pub bench: String,
+    /// Parallel, ALL pattern.
+    pub par_all: f64,
+    /// Parallel, RANDOM pattern (absent for TPCC).
+    pub par_random: Option<f64>,
+    /// Parallel, EACH pattern.
+    pub par_each: f64,
+    /// Pipelined, EACH pattern.
+    pub pipe_each: f64,
+}
+
+/// Dynamic-instruction reduction of OPT vs BASE (§1: 43.9% on average).
+#[derive(Clone, Debug, Serialize)]
+pub struct InstrRow {
+    /// Workload abbreviation.
+    pub bench: String,
+    /// Pattern label.
+    pub pattern: String,
+    /// BASE dynamic instructions.
+    pub base_instructions: u64,
+    /// OPT dynamic instructions.
+    pub opt_instructions: u64,
+    /// Fractional reduction (0.439 = 43.9%).
+    pub reduction: f64,
+}
+
+/// Everything the main matrix pass produces.
+#[derive(Clone, Debug, Serialize)]
+pub struct MainResults {
+    /// Figure 9(a): in-order speedups.
+    pub fig9a: Vec<SpeedupRow>,
+    /// Figure 9(b): out-of-order speedups (Pipelined only).
+    pub fig9b: Vec<SpeedupRow>,
+    /// Table 8: POLB miss rates.
+    pub table8: Vec<Table8Row>,
+    /// Instruction-count reduction per workload/pattern.
+    pub instrs: Vec<InstrRow>,
+}
+
+#[derive(Debug)]
+struct Cell {
+    bench: String,
+    pattern: String,
+    is_tpcc: bool,
+    base_instr: u64,
+    opt_instr: u64,
+    ino_base: u64,
+    ino_pipe: u64,
+    ino_par: u64,
+    ino_ideal: u64,
+    ooo_base: u64,
+    ooo_pipe: u64,
+    ooo_ideal: u64,
+    pipe_missrate: f64,
+    par_missrate: f64,
+}
+
+fn eval_cell(base: &WorkloadRun, opt: &WorkloadRun) -> (u64, u64, u64, u64, u64, u64, u64, f64, f64)
+{
+    let ino_base = simulate(base, Core::InOrder, pipelined()).cycles;
+    let ooo_base = simulate(base, Core::OutOfOrder, pipelined()).cycles;
+    let r_pipe = simulate(opt, Core::InOrder, pipelined());
+    let r_par = simulate(opt, Core::InOrder, parallel());
+    let ino_ideal = simulate(opt, Core::InOrder, ideal()).cycles;
+    let ooo_pipe = simulate(opt, Core::OutOfOrder, pipelined()).cycles;
+    let ooo_ideal = simulate(opt, Core::OutOfOrder, ideal()).cycles;
+    (
+        ino_base,
+        r_pipe.cycles,
+        r_par.cycles,
+        ino_ideal,
+        ooo_base,
+        ooo_pipe,
+        ooo_ideal,
+        r_pipe.translation.polb.miss_rate(),
+        r_par.translation.polb.miss_rate(),
+    )
+}
+
+/// Runs the Figure 9 / Table 8 / instruction-reduction matrix: all six
+/// microbenchmarks × {ALL, EACH, RANDOM} plus TPCC × {ALL, EACH}, each
+/// under BASE and OPT.
+pub fn main_matrix(scale: Scale) -> MainResults {
+    #[derive(Clone, Copy)]
+    enum Work {
+        M(Micro, Pattern),
+        T(TpccPattern),
+    }
+    let mut work: Vec<Work> = Vec::new();
+    for bench in Micro::ALL {
+        for pattern in Pattern::ALL {
+            work.push(Work::M(bench, pattern));
+        }
+    }
+    work.push(Work::T(TpccPattern::All));
+    work.push(Work::T(TpccPattern::Each));
+
+    let cells: Vec<Cell> = parallel_map(work, default_workers(), |w| {
+        let (bench, pattern, is_tpcc, base, opt) = match w {
+            Work::M(b, p) => (
+                b.abbrev().to_owned(),
+                p.label().to_owned(),
+                false,
+                run_micro(b, p, ExpConfig::Base, scale),
+                run_micro(b, p, ExpConfig::Opt, scale),
+            ),
+            Work::T(p) => (
+                "TPCC".to_owned(),
+                p.label().to_owned(),
+                true,
+                run_tpcc(p, ExpConfig::Base, scale),
+                run_tpcc(p, ExpConfig::Opt, scale),
+            ),
+        };
+        let (ino_base, ino_pipe, ino_par, ino_ideal, ooo_base, ooo_pipe, ooo_ideal, pmr, qmr) =
+            eval_cell(&base, &opt);
+        Cell {
+            bench,
+            pattern,
+            is_tpcc,
+            base_instr: base.summary.instructions,
+            opt_instr: opt.summary.instructions,
+            ino_base,
+            ino_pipe,
+            ino_par,
+            ino_ideal,
+            ooo_base,
+            ooo_pipe,
+            ooo_ideal,
+            pipe_missrate: pmr,
+            par_missrate: qmr,
+        }
+    });
+
+    let ratio = |num: u64, den: u64| num as f64 / den.max(1) as f64;
+    let mut fig9a = Vec::new();
+    let mut fig9b = Vec::new();
+    let mut instrs = Vec::new();
+    for c in &cells {
+        fig9a.push(SpeedupRow {
+            bench: c.bench.clone(),
+            pattern: c.pattern.clone(),
+            pipelined: ratio(c.ino_base, c.ino_pipe),
+            parallel: Some(ratio(c.ino_base, c.ino_par)),
+            ideal: ratio(c.ino_base, c.ino_ideal),
+        });
+        fig9b.push(SpeedupRow {
+            bench: c.bench.clone(),
+            pattern: c.pattern.clone(),
+            pipelined: ratio(c.ooo_base, c.ooo_pipe),
+            parallel: None,
+            ideal: ratio(c.ooo_base, c.ooo_ideal),
+        });
+        instrs.push(InstrRow {
+            bench: c.bench.clone(),
+            pattern: c.pattern.clone(),
+            base_instructions: c.base_instr,
+            opt_instructions: c.opt_instr,
+            reduction: 1.0 - ratio(c.opt_instr, c.base_instr),
+        });
+    }
+
+    // Table 8: fold each bench's patterns into one row.
+    let mut table8 = Vec::new();
+    let benches: Vec<String> = {
+        let mut seen = Vec::new();
+        for c in &cells {
+            if !seen.contains(&c.bench) {
+                seen.push(c.bench.clone());
+            }
+        }
+        seen
+    };
+    for b in benches {
+        let find = |p: &str| cells.iter().find(|c| c.bench == b && c.pattern.ends_with(p));
+        let is_tpcc = cells.iter().any(|c| c.bench == b && c.is_tpcc);
+        let (all_l, each_l, rand_l) = if is_tpcc {
+            ("TPCC_ALL", "TPCC_EACH", "")
+        } else {
+            ("ALL", "EACH", "RANDOM")
+        };
+        let all = find(all_l).expect("ALL cell exists");
+        let each = find(each_l).expect("EACH cell exists");
+        table8.push(Table8Row {
+            bench: b.clone(),
+            par_all: all.par_missrate,
+            par_random: if is_tpcc {
+                None
+            } else {
+                Some(find(rand_l).expect("RANDOM cell exists").par_missrate)
+            },
+            par_each: each.par_missrate,
+            pipe_each: each.pipe_missrate,
+        });
+    }
+
+    MainResults {
+        fig9a,
+        fig9b,
+        table8,
+        instrs,
+    }
+}
+
+fn speedup_table(title: &str, rows: &[SpeedupRow], with_parallel: bool) -> String {
+    let mut header = vec!["Bench", "Pattern", "Pipelined"];
+    if with_parallel {
+        header.push("Parallel");
+    }
+    header.push("Ideal");
+    let mut t = TextTable::new(title, &header);
+    for r in rows {
+        let mut cells = vec![r.bench.clone(), r.pattern.clone(), fx(r.pipelined)];
+        if with_parallel {
+            cells.push(r.parallel.map(fx).unwrap_or_else(|| "-".into()));
+        }
+        cells.push(fx(r.ideal));
+        t.row(cells);
+    }
+    // Per-pattern geomeans over the microbenchmarks.
+    for pattern in ["ALL", "EACH", "RANDOM"] {
+        let sel: Vec<&SpeedupRow> = rows
+            .iter()
+            .filter(|r| r.pattern == pattern && r.bench != "TPCC")
+            .collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let gp = geomean(&sel.iter().map(|r| r.pipelined).collect::<Vec<_>>());
+        let gq = geomean(&sel.iter().filter_map(|r| r.parallel).collect::<Vec<_>>());
+        let gi = geomean(&sel.iter().map(|r| r.ideal).collect::<Vec<_>>());
+        let mut cells = vec!["GeoMean".into(), pattern.into(), fx(gp)];
+        if with_parallel {
+            cells.push(fx(gq));
+        }
+        cells.push(fx(gi));
+        t.row(cells);
+    }
+    t.render()
+}
+
+/// Renders Figure 9(a) as a table of bar heights.
+pub fn fig9a_text(rows: &[SpeedupRow]) -> String {
+    speedup_table(
+        "Figure 9(a) — OPT/BASE speedup, in-order core",
+        rows,
+        true,
+    )
+}
+
+/// Renders Figure 9(b).
+pub fn fig9b_text(rows: &[SpeedupRow]) -> String {
+    speedup_table(
+        "Figure 9(b) — OPT/BASE speedup, out-of-order core (Pipelined)",
+        rows,
+        false,
+    )
+}
+
+/// Renders Table 8.
+pub fn table8_text(rows: &[Table8Row]) -> String {
+    let mut t = TextTable::new(
+        "Table 8 — POLB miss rates (OPT; ALL/RANDOM/EACH = Parallel)",
+        &["Bench", "Par ALL", "Par RANDOM", "Par EACH", "Pipe EACH"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            pct(r.par_all),
+            r.par_random.map(pct).unwrap_or_else(|| "-".into()),
+            pct(r.par_each),
+            pct(r.pipe_each),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the instruction-reduction headline (§1: 43.9% on average).
+pub fn instrs_text(rows: &[InstrRow]) -> String {
+    let mut t = TextTable::new(
+        "Dynamic-instruction reduction, OPT vs BASE",
+        &["Bench", "Pattern", "BASE insns", "OPT insns", "Reduction"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            r.pattern.clone(),
+            r.base_instructions.to_string(),
+            r.opt_instructions.to_string(),
+            pct(r.reduction),
+        ]);
+    }
+    let micro: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.bench != "TPCC")
+        .map(|r| r.reduction)
+        .collect();
+    let mean = micro.iter().sum::<f64>() / micro.len().max(1) as f64;
+    t.row(vec![
+        "Mean".into(),
+        "micro".into(),
+        "-".into(),
+        "-".into(),
+        pct(mean),
+    ]);
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 — overhead of durability/atomicity (the _NTX configurations)
+// ---------------------------------------------------------------------
+
+/// One Figure 10 bar group: OPT_NTX/BASE_NTX speedups, in-order.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Row {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// Pattern label.
+    pub pattern: String,
+    /// Pipelined speedup.
+    pub pipelined: f64,
+    /// Parallel speedup.
+    pub parallel: f64,
+}
+
+/// Runs Figure 10.
+pub fn fig10(scale: Scale) -> Vec<Fig10Row> {
+    let mut work = Vec::new();
+    for bench in Micro::ALL {
+        for pattern in Pattern::ALL {
+            work.push((bench, pattern));
+        }
+    }
+    parallel_map(work, default_workers(), |(bench, pattern)| {
+        let base = run_micro(bench, pattern, ExpConfig::BaseNtx, scale);
+        let opt = run_micro(bench, pattern, ExpConfig::OptNtx, scale);
+        let base_cycles = simulate(&base, Core::InOrder, pipelined()).cycles;
+        let pipe = simulate(&opt, Core::InOrder, pipelined()).cycles;
+        let par = simulate(&opt, Core::InOrder, parallel()).cycles;
+        Fig10Row {
+            bench: bench.abbrev().to_owned(),
+            pattern: pattern.label().to_owned(),
+            pipelined: base_cycles as f64 / pipe.max(1) as f64,
+            parallel: base_cycles as f64 / par.max(1) as f64,
+        }
+    })
+}
+
+/// Renders Figure 10.
+pub fn fig10_text(rows: &[Fig10Row]) -> String {
+    let mut t = TextTable::new(
+        "Figure 10 — OPT_NTX/BASE_NTX speedup, in-order core",
+        &["Bench", "Pattern", "Pipelined", "Parallel"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            r.pattern.clone(),
+            fx(r.pipelined),
+            fx(r.parallel),
+        ]);
+    }
+    for pattern in ["ALL", "EACH", "RANDOM"] {
+        let sel: Vec<&Fig10Row> = rows.iter().filter(|r| r.pattern == pattern).collect();
+        t.row(vec![
+            "GeoMean".into(),
+            pattern.into(),
+            fx(geomean(&sel.iter().map(|r| r.pipelined).collect::<Vec<_>>())),
+            fx(geomean(&sel.iter().map(|r| r.parallel).collect::<Vec<_>>())),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 11 + Table 9 — sensitivity to POLB size (RANDOM pattern, _NTX)
+// ---------------------------------------------------------------------
+
+/// POLB sizes swept by Figure 11 (`0` = no POLB: every translation walks
+/// the POT).
+pub const POLB_SIZES: [usize; 5] = [0, 1, 4, 32, 128];
+
+/// One benchmark's POLB-size sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig11Row {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// OPT_NTX/BASE_NTX speedup per size, Pipelined.
+    pub pipelined: Vec<f64>,
+    /// Speedup per size, Parallel.
+    pub parallel: Vec<f64>,
+    /// POLB miss rate per size, Pipelined (Table 9, left half).
+    pub pipe_miss: Vec<f64>,
+    /// POLB miss rate per size, Parallel (Table 9, right half).
+    pub par_miss: Vec<f64>,
+}
+
+/// Runs Figure 11 and Table 9 in one sweep.
+pub fn fig11(scale: Scale) -> Vec<Fig11Row> {
+    parallel_map(Micro::ALL.to_vec(), default_workers(), |bench| {
+        let base = run_micro(bench, Pattern::Random, ExpConfig::BaseNtx, scale);
+        let opt = run_micro(bench, Pattern::Random, ExpConfig::OptNtx, scale);
+        let base_cycles = simulate(&base, Core::InOrder, pipelined()).cycles;
+        let mut row = Fig11Row {
+            bench: bench.abbrev().to_owned(),
+            pipelined: Vec::new(),
+            parallel: Vec::new(),
+            pipe_miss: Vec::new(),
+            par_miss: Vec::new(),
+        };
+        for size in POLB_SIZES {
+            for design in [PolbDesign::Pipelined, PolbDesign::Parallel] {
+                let cfg = TranslationConfig {
+                    polb_entries: size,
+                    ..TranslationConfig::for_design(design)
+                };
+                let r = simulate(&opt, Core::InOrder, cfg);
+                let speedup = base_cycles as f64 / r.cycles.max(1) as f64;
+                let miss = r.translation.polb.miss_rate();
+                match design {
+                    PolbDesign::Pipelined => {
+                        row.pipelined.push(speedup);
+                        row.pipe_miss.push(miss);
+                    }
+                    PolbDesign::Parallel => {
+                        row.parallel.push(speedup);
+                        row.par_miss.push(miss);
+                    }
+                }
+            }
+        }
+        row
+    })
+}
+
+/// Renders Figure 11 (speedups).
+pub fn fig11_text(rows: &[Fig11Row]) -> String {
+    let mut header: Vec<String> = vec!["Bench".into(), "Design".into()];
+    for s in POLB_SIZES {
+        header.push(if s == 0 { "none".into() } else { s.to_string() });
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(
+        "Figure 11 — speedup vs POLB size (RANDOM, NTX, in-order)",
+        &hdr,
+    );
+    for r in rows {
+        let mut cells = vec![r.bench.clone(), "Pipelined".into()];
+        cells.extend(r.pipelined.iter().map(|&x| fx(x)));
+        t.row(cells);
+        let mut cells = vec![r.bench.clone(), "Parallel".into()];
+        cells.extend(r.parallel.iter().map(|&x| fx(x)));
+        t.row(cells);
+    }
+    t.render()
+}
+
+/// Renders Table 9 (miss rates). Size 0 ("no POLB") misses by definition
+/// and is omitted, as in the paper.
+pub fn table9_text(rows: &[Fig11Row]) -> String {
+    let sizes = &POLB_SIZES[1..];
+    let mut header: Vec<String> = vec!["Bench".into()];
+    for s in sizes {
+        header.push(format!("Pipe {s}"));
+    }
+    for s in sizes {
+        header.push(format!("Par {s}"));
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new("Table 9 — POLB miss rates vs size (OPT_NTX, RANDOM)", &hdr);
+    for r in rows {
+        let mut cells = vec![r.bench.clone()];
+        cells.extend(r.pipe_miss[1..].iter().map(|&x| pct(x)));
+        cells.extend(r.par_miss[1..].iter().map(|&x| pct(x)));
+        t.row(cells);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Figure 12 — sensitivity to the POT-walk penalty (EACH pattern)
+// ---------------------------------------------------------------------
+
+/// POT-walk latencies swept by Figure 12 (`None` = ideal, no penalty).
+pub const POT_LATENCIES: [Option<u64>; 6] =
+    [None, Some(10), Some(30), Some(100), Some(300), Some(500)];
+
+/// One benchmark's POT-walk sweep (in-order, Pipelined, EACH pattern).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig12Row {
+    /// Benchmark abbreviation.
+    pub bench: String,
+    /// OPT/BASE speedup per latency point (ideal, 10, 30, 100, 300, 500).
+    pub speedups: Vec<f64>,
+}
+
+/// Runs Figure 12.
+pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
+    parallel_map(Micro::ALL.to_vec(), default_workers(), |bench| {
+        let base = run_micro(bench, Pattern::Each, ExpConfig::Base, scale);
+        let opt = run_micro(bench, Pattern::Each, ExpConfig::Opt, scale);
+        let base_cycles = simulate(&base, Core::InOrder, pipelined()).cycles;
+        let speedups = POT_LATENCIES
+            .iter()
+            .map(|&lat| {
+                let cfg = match lat {
+                    None => ideal(),
+                    Some(l) => TranslationConfig {
+                        pot_walk_cycles: l,
+                        ..pipelined()
+                    },
+                };
+                let r = simulate(&opt, Core::InOrder, cfg);
+                base_cycles as f64 / r.cycles.max(1) as f64
+            })
+            .collect();
+        Fig12Row {
+            bench: bench.abbrev().to_owned(),
+            speedups,
+        }
+    })
+}
+
+/// Renders Figure 12.
+pub fn fig12_text(rows: &[Fig12Row]) -> String {
+    let mut t = TextTable::new(
+        "Figure 12 — speedup vs POT-walk penalty (EACH, in-order, Pipelined)",
+        &["Bench", "ideal", "10cy", "30cy", "100cy", "300cy", "500cy"],
+    );
+    for r in rows {
+        let mut cells = vec![r.bench.clone()];
+        cells.extend(r.speedups.iter().map(|&x| fx(x)));
+        t.row(cells);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Seed sensitivity — a reproduction-robustness study (not in the paper)
+// ---------------------------------------------------------------------
+
+/// The RANDOM-pattern headline under one alternative seeding of keys,
+/// ASLR layout, and branch outcomes.
+#[derive(Clone, Debug, Serialize)]
+pub struct SeedRow {
+    /// Seed salt (0 = the seeds every other experiment uses).
+    pub salt: u64,
+    /// Per-benchmark in-order Pipelined speedups (Table 8 row order).
+    pub speedups: Vec<f64>,
+    /// Geomean across the six microbenchmarks.
+    pub geomean: f64,
+}
+
+/// Re-runs the Figure 9(a) RANDOM headline under `n_seeds` different
+/// seedings. The paper reports single runs; this quantifies how much the
+/// headline moves with the random inputs.
+pub fn seeds(scale: Scale, n_seeds: u64) -> Vec<SeedRow> {
+    let salts: Vec<u64> = (0..n_seeds).collect();
+    parallel_map(salts, default_workers(), |salt| {
+        let speedups: Vec<f64> = Micro::ALL
+            .iter()
+            .map(|&bench| {
+                let base =
+                    run_micro_seeded(bench, Pattern::Random, ExpConfig::Base, scale, salt, |_| {});
+                let opt =
+                    run_micro_seeded(bench, Pattern::Random, ExpConfig::Opt, scale, salt, |_| {});
+                simulate(&base, Core::InOrder, pipelined()).cycles as f64
+                    / simulate(&opt, Core::InOrder, pipelined()).cycles.max(1) as f64
+            })
+            .collect();
+        SeedRow {
+            salt,
+            geomean: geomean(&speedups),
+            speedups,
+        }
+    })
+}
+
+/// Renders the seed study.
+pub fn seeds_text(rows: &[SeedRow]) -> String {
+    let mut header: Vec<String> = vec!["Seed".into()];
+    header.extend(Micro::ALL.iter().map(|b| b.abbrev().to_owned()));
+    header.push("GeoMean".into());
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(
+        "Seed sensitivity — Fig 9(a) RANDOM headline across seeds",
+        &hdr,
+    );
+    for r in rows {
+        let mut cells = vec![r.salt.to_string()];
+        cells.extend(r.speedups.iter().map(|&x| fx(x)));
+        cells.push(fx(r.geomean));
+        t.row(cells);
+    }
+    let gms: Vec<f64> = rows.iter().map(|r| r.geomean).collect();
+    let (lo, hi) = gms
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(l, h), &g| (l.min(g), h.max(g)));
+    let mut cells = vec!["range".to_owned()];
+    cells.extend(std::iter::repeat_n("-".to_owned(), Micro::ALL.len()));
+    cells.push(format!("{}..{}", fx(lo), fx(hi)));
+    t.row(cells);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The quick-scale experiment suite is exercised end-to-end by the
+    // integration tests in `tests/`; here we keep one cheap sanity check
+    // per composite helper.
+
+    #[test]
+    fn seed_study_is_stable() {
+        let rows = seeds(Scale::Quick, 3);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.geomean > 1.2, "seed {}: {:?}", r.salt, r.speedups);
+        }
+        let gms: Vec<f64> = rows.iter().map(|r| r.geomean).collect();
+        let spread = gms.iter().cloned().fold(f64::MIN, f64::max)
+            - gms.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.8, "headline too seed-sensitive: {gms:?}");
+    }
+
+    #[test]
+    fn table2_shape() {
+        let rows = table2(Scale::Quick);
+        assert_eq!(rows.len(), 7, "6 benches + GeoMean");
+        let gm = rows.last().unwrap();
+        assert!(gm.insns_all < gm.insns_each, "EACH translations cost more");
+        assert!(gm.miss_each > 0.3, "EACH predictor misses a lot");
+        let text = table2_text(&rows);
+        assert!(text.contains("GeoMean"));
+    }
+
+    #[test]
+    fn fig12_is_monotonic_in_latency() {
+        let rows = fig12(Scale::Quick);
+        for r in &rows {
+            assert_eq!(r.speedups.len(), POT_LATENCIES.len());
+            for w in r.speedups.windows(2) {
+                assert!(
+                    w[1] <= w[0] * 1.02,
+                    "{}: higher POT latency should not speed things up: {:?}",
+                    r.bench,
+                    r.speedups
+                );
+            }
+        }
+    }
+}

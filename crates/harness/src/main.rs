@@ -1,0 +1,148 @@
+//! `repro` — regenerate the MICRO'17 tables and figures.
+//!
+//! ```text
+//! repro <artifact> [--quick] [--json PATH] [--csv DIR]
+//!
+//! artifacts: table2 | fig9a | fig9b | table8 | instrs | fig10
+//!            | fig11 | table9 | fig12 | ablations | seeds | all
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::time::Instant;
+
+use poat_harness::{ablations, csv};
+use poat_harness::experiments::{
+    self, fig10_text, fig11_text, fig12_text, fig9a_text, fig9b_text, instrs_text, table2_text,
+    table8_text, table9_text,
+};
+use poat_harness::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
+         [--quick] [--json PATH] [--csv DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(artifact) = args.next() else { usage() };
+    let mut scale = Scale::Full;
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--csv" => {
+                let d = std::path::PathBuf::from(args.next().unwrap_or_else(|| usage()));
+                std::fs::create_dir_all(&d).expect("create csv output directory");
+                csv_dir = Some(d);
+            }
+            _ => usage(),
+        }
+    }
+
+    let started = Instant::now();
+    let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+
+    let wants = |k: &str| artifact == k || artifact == "all";
+    let mut matched = false;
+
+    if wants("table2") {
+        matched = true;
+        let rows = experiments::table2(scale);
+        println!("{}", table2_text(&rows));
+        if let Some(dir) = &csv_dir {
+            csv::table2(dir, &rows).expect("write table2 csv");
+        }
+        json.insert("table2".into(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    if wants("fig9a") || wants("fig9b") || wants("table8") || wants("instrs") {
+        matched = true;
+        let main = experiments::main_matrix(scale);
+        if wants("fig9a") {
+            println!("{}", fig9a_text(&main.fig9a));
+        }
+        if wants("fig9b") {
+            println!("{}", fig9b_text(&main.fig9b));
+        }
+        if wants("table8") {
+            println!("{}", table8_text(&main.table8));
+        }
+        if wants("instrs") {
+            println!("{}", instrs_text(&main.instrs));
+        }
+        if let Some(dir) = &csv_dir {
+            csv::main_results(dir, &main).expect("write fig9/table8 csvs");
+        }
+        json.insert("main".into(), serde_json::to_value(&main).expect("serialize"));
+    }
+    if wants("fig10") {
+        matched = true;
+        let rows = experiments::fig10(scale);
+        println!("{}", fig10_text(&rows));
+        if let Some(dir) = &csv_dir {
+            csv::fig10(dir, &rows).expect("write fig10 csv");
+        }
+        json.insert("fig10".into(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    if wants("fig11") || wants("table9") {
+        matched = true;
+        let rows = experiments::fig11(scale);
+        if wants("fig11") {
+            println!("{}", fig11_text(&rows));
+        }
+        if wants("table9") {
+            println!("{}", table9_text(&rows));
+        }
+        if let Some(dir) = &csv_dir {
+            csv::fig11(dir, &rows).expect("write fig11/table9 csvs");
+        }
+        json.insert("fig11".into(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    if wants("fig12") {
+        matched = true;
+        let rows = experiments::fig12(scale);
+        println!("{}", fig12_text(&rows));
+        if let Some(dir) = &csv_dir {
+            csv::fig12(dir, &rows).expect("write fig12 csv");
+        }
+        json.insert("fig12".into(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    if wants("seeds") {
+        matched = true;
+        let rows = experiments::seeds(scale, 5);
+        println!("{}", experiments::seeds_text(&rows));
+        json.insert("seeds".into(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    if wants("ablations") {
+        matched = true;
+        let r = ablations::all(scale);
+        println!("{}", ablations::all_text(&r));
+        if let Some(dir) = &csv_dir {
+            csv::ablations(dir, &r).expect("write ablation csvs");
+        }
+        json.insert("ablations".into(), serde_json::to_value(&r).expect("serialize"));
+    }
+    if !matched {
+        usage();
+    }
+
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(
+            serde_json::to_string_pretty(&json)
+                .expect("serialize results")
+                .as_bytes(),
+        )
+        .expect("write json output");
+        eprintln!("results written to {path}");
+    }
+    eprintln!(
+        "[{artifact} @ {scale:?}] completed in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,311 @@
+//! Workload execution + simulation plumbing shared by all experiments.
+
+use poat_core::{PolbDesign, TranslationConfig};
+use poat_pmem::{MachineState, Runtime, RuntimeConfig, Trace, TraceSummary, XlatStats};
+use poat_sim::{simulate_inorder, simulate_ooo, SimConfig, SimResult};
+use poat_workloads::{ExpConfig, Micro, Pattern, Tpcc, TpccConfig, TpccPattern};
+
+/// Scale knob for every experiment: `full` reproduces the paper's exact
+/// workload sizes; `quick` shrinks operation counts (~10×) and the TPC-C
+/// database so the whole suite runs in seconds (used by tests and smoke
+/// runs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-exact workload sizes (Table 5; TPC-C at 10% cardinality with
+    /// the full 1000 transactions — see EXPERIMENTS.md).
+    Full,
+    /// ~10× smaller microbenchmarks, ~100× smaller TPC-C.
+    Quick,
+}
+
+impl Scale {
+    /// Operation count for a microbenchmark at this scale.
+    pub fn ops(self, bench: Micro) -> usize {
+        match self {
+            Scale::Full => bench.ops(),
+            Scale::Quick => (bench.ops() / 10).max(50),
+        }
+    }
+
+    /// TPC-C cardinality scale factor.
+    pub fn tpcc_scale(self) -> f64 {
+        match self {
+            // 10% of spec cardinality: trees reach their steady-state
+            // depth, per-transaction work matches the full database, and
+            // population stays tractable in simulation (see EXPERIMENTS.md).
+            Scale::Full => 0.1,
+            Scale::Quick => 0.005,
+        }
+    }
+
+    /// TPC-C transaction count.
+    pub fn tpcc_transactions(self) -> u64 {
+        match self {
+            Scale::Full => 1000,
+            Scale::Quick => 50,
+        }
+    }
+}
+
+/// The product of executing one workload natively: its dynamic trace and
+/// the machine state the timing models replay against.
+#[derive(Debug)]
+pub struct WorkloadRun {
+    /// The dynamic instruction trace.
+    pub trace: Trace,
+    /// POT + page-table state for the simulator.
+    pub state: MachineState,
+    /// Software-translation counters (meaningful for BASE runs).
+    pub xlat: XlatStats,
+    /// Trace-wide instruction/op counts.
+    pub summary: TraceSummary,
+    /// Pools the workload created.
+    pub pools: u64,
+}
+
+/// Deterministic per-(bench, pattern, config) seed, so BASE and OPT runs
+/// of the same workload see identical keys and pool layouts.
+fn seed_for(bench: Micro, pattern: Pattern) -> u64 {
+    let b = bench.abbrev().bytes().fold(0u64, |a, c| a * 31 + c as u64);
+    let p = match pattern {
+        Pattern::All => 1,
+        Pattern::Each => 2,
+        Pattern::Random => 3,
+    };
+    b * 1000 + p
+}
+
+/// Runs a microbenchmark natively and captures its trace.
+///
+/// # Panics
+///
+/// Panics on runtime errors — experiment inputs are fixed, so failures
+/// are bugs, not recoverable conditions.
+pub fn run_micro(
+    bench: Micro,
+    pattern: Pattern,
+    config: ExpConfig,
+    scale: Scale,
+) -> WorkloadRun {
+    run_micro_custom(bench, pattern, config, scale, |_| {})
+}
+
+/// [`run_micro`] with a hook to tweak the runtime configuration (used by
+/// the ablation experiments, e.g. disabling the last-value predictor).
+///
+/// # Panics
+///
+/// Panics on runtime errors (see [`run_micro`]).
+pub fn run_micro_custom(
+    bench: Micro,
+    pattern: Pattern,
+    config: ExpConfig,
+    scale: Scale,
+    tweak: impl FnOnce(&mut RuntimeConfig),
+) -> WorkloadRun {
+    run_micro_seeded(bench, pattern, config, scale, 0, tweak)
+}
+
+/// [`run_micro_custom`] with a seed salt: a non-zero salt re-randomizes
+/// the workload keys, ASLR layout, and branch outcomes, for studying
+/// sensitivity of the results to the random inputs.
+///
+/// # Panics
+///
+/// Panics on runtime errors (see [`run_micro`]).
+pub fn run_micro_seeded(
+    bench: Micro,
+    pattern: Pattern,
+    config: ExpConfig,
+    scale: Scale,
+    salt: u64,
+    tweak: impl FnOnce(&mut RuntimeConfig),
+) -> WorkloadRun {
+    let seed = seed_for(bench, pattern) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut cfg = config.runtime_config(seed);
+    tweak(&mut cfg);
+    let mut rt = Runtime::new(cfg);
+    let report = bench
+        .run_ops(&mut rt, pattern, seed, scale.ops(bench))
+        .unwrap_or_else(|e| panic!("{bench}/{pattern}/{config}: {e}"));
+    let trace = rt.take_trace();
+    WorkloadRun {
+        summary: trace.summary(),
+        state: rt.machine_state(),
+        xlat: rt.xlat_stats(),
+        pools: report.pools,
+        trace,
+    }
+}
+
+/// Runs TPC-C natively. Population traffic is excluded from the trace;
+/// the 1000-transaction phase is what the paper measures.
+///
+/// # Panics
+///
+/// Panics on runtime errors (see [`run_micro`]).
+pub fn run_tpcc(pattern: TpccPattern, config: ExpConfig, scale: Scale) -> WorkloadRun {
+    let seed = 0x7C0C + matches!(pattern, TpccPattern::Each) as u64;
+    let mut rt = Runtime::new(config.runtime_config(seed));
+    let cfg = TpccConfig {
+        scale: scale.tpcc_scale(),
+        seed,
+    };
+    let mut tpcc = Tpcc::setup(&mut rt, pattern, cfg)
+        .unwrap_or_else(|e| panic!("tpcc setup {pattern}/{config}: {e}"));
+    rt.take_trace(); // measure transactions only
+    // Reset translation counters so Table 2-style stats cover the
+    // measured phase only.
+    let setup_xlat = rt.xlat_stats();
+    tpcc.run(&mut rt, scale.tpcc_transactions())
+        .unwrap_or_else(|e| panic!("tpcc run {pattern}/{config}: {e}"));
+    let trace = rt.take_trace();
+    let mut xlat = rt.xlat_stats();
+    xlat.calls -= setup_xlat.calls;
+    xlat.instructions -= setup_xlat.instructions;
+    xlat.predictor_hits -= setup_xlat.predictor_hits;
+    xlat.predictor_misses -= setup_xlat.predictor_misses;
+    xlat.probes -= setup_xlat.probes;
+    WorkloadRun {
+        summary: trace.summary(),
+        state: rt.machine_state(),
+        xlat,
+        pools: rt.open_pools() as u64,
+        trace,
+    }
+}
+
+/// Which core model to replay on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Core {
+    /// Five-stage in-order pipeline.
+    InOrder,
+    /// 4-wide out-of-order (ROB model).
+    OutOfOrder,
+}
+
+/// Replays a run on the given core with the given translation hardware.
+///
+/// # Panics
+///
+/// Panics if the combination is unsupported (Parallel on out-of-order).
+pub fn simulate(run: &WorkloadRun, core: Core, translation: TranslationConfig) -> SimResult {
+    simulate_with(run, core, SimConfig::with_translation(translation))
+}
+
+/// [`simulate`] with a full simulator configuration (cache/prefetch
+/// knobs for ablations).
+///
+/// # Panics
+///
+/// Panics if the combination is unsupported (Parallel on out-of-order).
+pub fn simulate_with(run: &WorkloadRun, core: Core, cfg: SimConfig) -> SimResult {
+    match core {
+        Core::InOrder => simulate_inorder(&run.trace, &run.state, &cfg),
+        Core::OutOfOrder => simulate_ooo(&run.trace, &run.state, &cfg),
+    }
+    .expect("unsupported core/design combination")
+}
+
+/// The three translation configurations Figure 9 compares.
+pub fn pipelined() -> TranslationConfig {
+    TranslationConfig::for_design(PolbDesign::Pipelined)
+}
+
+/// Table 4 Parallel-design configuration.
+pub fn parallel() -> TranslationConfig {
+    TranslationConfig::for_design(PolbDesign::Parallel)
+}
+
+/// Zero-overhead translation (the red dots of Figure 9).
+pub fn ideal() -> TranslationConfig {
+    TranslationConfig::default().idealized()
+}
+
+/// Runs tasks on a small worker pool, preserving input order of results.
+///
+/// Traces are hundreds of MB, so parallelism is bounded: at most
+/// `max_workers` tasks are live at once and each returns only its small
+/// result.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, max_workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = inputs.len();
+    let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
+    for item in inputs.into_iter().enumerate() {
+        queue.push(item);
+    }
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let workers = max_workers.max(1).min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                while let Some((i, item)) = queue.pop() {
+                    let r = f(item);
+                    results_mutex.lock()[i] = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker completed every task"))
+        .collect()
+}
+
+/// Default worker count: physical parallelism, capped to bound memory.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_opt_runs_differ_only_in_codegen() {
+        let base = run_micro(Micro::Ll, Pattern::All, ExpConfig::Base, Scale::Quick);
+        let opt = run_micro(Micro::Ll, Pattern::All, ExpConfig::Opt, Scale::Quick);
+        assert!(base.summary.nvloads == 0 && opt.summary.nvloads > 0);
+        assert!(base.summary.instructions > opt.summary.instructions);
+        assert_eq!(base.pools, opt.pools, "same workload shape");
+    }
+
+    #[test]
+    fn simulate_runs_all_supported_combos() {
+        let opt = run_micro(Micro::Bst, Pattern::Random, ExpConfig::Opt, Scale::Quick);
+        let a = simulate(&opt, Core::InOrder, pipelined());
+        let b = simulate(&opt, Core::InOrder, parallel());
+        let c = simulate(&opt, Core::InOrder, ideal());
+        let d = simulate(&opt, Core::OutOfOrder, pipelined());
+        assert!(c.cycles <= a.cycles && c.cycles <= b.cycles);
+        assert!(d.cycles < a.cycles, "OoO is faster than in-order");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn parallel_on_ooo_panics() {
+        let opt = run_micro(Micro::Ll, Pattern::All, ExpConfig::Opt, Scale::Quick);
+        let _ = simulate(&opt, Core::OutOfOrder, parallel());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect(), 4, |x: i32| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tpcc_run_produces_trace() {
+        let run = run_tpcc(TpccPattern::All, ExpConfig::Opt, Scale::Quick);
+        assert!(run.summary.instructions > 0);
+        assert!(run.summary.nvloads > 0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The physical NVM device and its persistence model.
+//!
+//! Real NVMM sits behind the cache hierarchy: a store is *visible*
+//! immediately but only *durable* once its cache line has been written back
+//! (`clwb`/`clflushopt`) and ordered (`sfence`). We model exactly that:
+//!
+//! * every write dirties its 64-byte line in the volatile domain;
+//! * [`NvmDevice::clwb`] snapshots the line's current contents into a
+//!   pending write-back set;
+//! * [`NvmDevice::fence`] commits all pending lines to the durable image;
+//! * [`NvmDevice::crash`] reverts the device to its durable image — except
+//!   that each still-volatile dirty line *may* have been evicted (and thus
+//!   persisted) before the crash, decided per line by a seeded RNG. This is
+//!   the adversarial-but-realistic model that write-ahead undo logging must
+//!   tolerate (paper §2.1.4).
+
+use std::collections::{BTreeSet, HashMap};
+
+use poat_core::{PhysAddr, CACHE_LINE_BYTES, PAGE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAGE: usize = PAGE_BYTES as usize;
+const LINE: usize = CACHE_LINE_BYTES as usize;
+
+type Page = Box<[u8; PAGE]>;
+
+fn zero_page() -> Page {
+    Box::new([0u8; PAGE])
+}
+
+/// Operation counters for the device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Bytes written into the volatile domain.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// `clwb` operations issued.
+    pub clwbs: u64,
+    /// `sfence` operations issued.
+    pub fences: u64,
+    /// Physical frames currently allocated.
+    pub frames_allocated: u64,
+}
+
+/// A simulated byte-addressable NVM device.
+///
+/// Storage is sparse at page granularity: frames are materialized on first
+/// allocation, so a large nominal capacity (default 1 GB, Table 4) costs
+/// only what the workload touches.
+///
+/// ```
+/// use poat_nvm::NvmDevice;
+///
+/// let mut dev = NvmDevice::new(1 << 20);
+/// let frame = dev.alloc_frame().unwrap();
+/// dev.write(frame, &[1, 2, 3]);
+/// let mut buf = [0u8; 3];
+/// dev.read(frame, &mut buf);
+/// assert_eq!(buf, [1, 2, 3]);
+/// // Not yet durable: a crash may lose it.
+/// dev.clwb(frame);
+/// dev.fence();
+/// // Now it is durable.
+/// ```
+#[derive(Clone, Debug)]
+pub struct NvmDevice {
+    capacity: u64,
+    /// Current (volatile-domain) contents, sparse by frame number.
+    current: HashMap<u64, Page>,
+    /// Durable image, sparse by frame number. Pages absent here but present
+    /// in `current` were never persisted at all.
+    durable: HashMap<u64, Page>,
+    /// Lines written since they were last persisted.
+    dirty_lines: BTreeSet<u64>,
+    /// Lines `clwb`ed since the last fence, with the snapshotted contents.
+    pending_lines: HashMap<u64, [u8; LINE]>,
+    /// Frame allocator: bump pointer plus free list.
+    next_frame: u64,
+    free_frames: Vec<u64>,
+    stats: DeviceStats,
+}
+
+impl NvmDevice {
+    /// Creates a device with the given capacity in bytes (rounded up to a
+    /// whole number of 4 KB frames).
+    pub fn new(capacity_bytes: u64) -> Self {
+        let capacity = capacity_bytes.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        NvmDevice {
+            capacity,
+            current: HashMap::new(),
+            durable: HashMap::new(),
+            dirty_lines: BTreeSet::new(),
+            pending_lines: HashMap::new(),
+            next_frame: 0,
+            free_frames: Vec::new(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Allocates a zeroed physical frame, or `None` if the device is full.
+    pub fn alloc_frame(&mut self) -> Option<PhysAddr> {
+        let frame = if let Some(f) = self.free_frames.pop() {
+            f
+        } else if self.next_frame * PAGE_BYTES < self.capacity {
+            let f = self.next_frame;
+            self.next_frame += 1;
+            f
+        } else {
+            return None;
+        };
+        self.stats.frames_allocated += 1;
+        Some(PhysAddr::new(frame * PAGE_BYTES))
+    }
+
+    /// Returns a frame to the allocator, discarding its contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not page-aligned.
+    pub fn free_frame(&mut self, frame: PhysAddr) {
+        assert_eq!(frame.page_offset(), 0, "frame must be page-aligned");
+        let n = frame.page_number();
+        self.current.remove(&n);
+        self.durable.remove(&n);
+        let first_line = frame.raw() / CACHE_LINE_BYTES;
+        let lines = PAGE_BYTES / CACHE_LINE_BYTES;
+        for l in first_line..first_line + lines {
+            self.dirty_lines.remove(&l);
+            self.pending_lines.remove(&l);
+        }
+        self.stats.frames_allocated = self.stats.frames_allocated.saturating_sub(1);
+        self.free_frames.push(n);
+    }
+
+    fn page_for_read(&self, page: u64) -> Option<&Page> {
+        self.current.get(&page)
+    }
+
+    fn page_for_write(&mut self, page: u64) -> &mut Page {
+        self.current.entry(page).or_insert_with(zero_page)
+    }
+
+    /// Reads `buf.len()` bytes starting at `pa`.
+    ///
+    /// Unwritten memory reads as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity.
+    pub fn read(&mut self, pa: PhysAddr, buf: &mut [u8]) {
+        assert!(
+            pa.raw() + buf.len() as u64 <= self.capacity,
+            "read past end of device"
+        );
+        self.stats.bytes_read += buf.len() as u64;
+        let mut addr = pa.raw();
+        let mut filled = 0;
+        while filled < buf.len() {
+            let page = addr / PAGE_BYTES;
+            let off = (addr % PAGE_BYTES) as usize;
+            let n = (PAGE - off).min(buf.len() - filled);
+            match self.page_for_read(page) {
+                Some(p) => buf[filled..filled + n].copy_from_slice(&p[off..off + n]),
+                None => buf[filled..filled + n].fill(0),
+            }
+            filled += n;
+            addr += n as u64;
+        }
+    }
+
+    /// Writes `data` starting at `pa`, dirtying the covered cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity.
+    pub fn write(&mut self, pa: PhysAddr, data: &[u8]) {
+        assert!(
+            pa.raw() + data.len() as u64 <= self.capacity,
+            "write past end of device"
+        );
+        self.stats.bytes_written += data.len() as u64;
+        let mut addr = pa.raw();
+        let mut written = 0;
+        while written < data.len() {
+            let page = addr / PAGE_BYTES;
+            let off = (addr % PAGE_BYTES) as usize;
+            let n = (PAGE - off).min(data.len() - written);
+            self.page_for_write(page)[off..off + n].copy_from_slice(&data[written..written + n]);
+            written += n;
+            addr += n as u64;
+        }
+        let first = pa.raw() / CACHE_LINE_BYTES;
+        let last = (pa.raw() + data.len() as u64 - 1) / CACHE_LINE_BYTES;
+        for line in first..=last {
+            self.dirty_lines.insert(line);
+            // A store to a line that was clwb'ed but not yet fenced makes
+            // the pending snapshot stale for the *new* bytes; the line is
+            // dirty again and needs another clwb for the new data.
+            // (The old snapshot still writes back, as on real hardware.)
+        }
+    }
+
+    /// Convenience: reads a little-endian `u64` at `pa`.
+    pub fn read_u64(&mut self, pa: PhysAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(pa, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Convenience: writes a little-endian `u64` at `pa`.
+    pub fn write_u64(&mut self, pa: PhysAddr, v: u64) {
+        self.write(pa, &v.to_le_bytes());
+    }
+
+    /// Initiates write-back of the cache line containing `pa` (CLWB).
+    ///
+    /// The line's *current* contents are snapshotted; they become durable at
+    /// the next [`fence`](Self::fence).
+    pub fn clwb(&mut self, pa: PhysAddr) {
+        self.stats.clwbs += 1;
+        let line = pa.raw() / CACHE_LINE_BYTES;
+        let mut snap = [0u8; LINE];
+        self.read_line(line, &mut snap);
+        self.pending_lines.insert(line, snap);
+        self.dirty_lines.remove(&line);
+    }
+
+    fn read_line(&mut self, line: u64, buf: &mut [u8; LINE]) {
+        let addr = line * CACHE_LINE_BYTES;
+        let page = addr / PAGE_BYTES;
+        let off = (addr % PAGE_BYTES) as usize;
+        match self.page_for_read(page) {
+            Some(p) => buf.copy_from_slice(&p[off..off + LINE]),
+            None => buf.fill(0),
+        }
+    }
+
+    fn write_durable_line(&mut self, line: u64, data: &[u8; LINE]) {
+        let addr = line * CACHE_LINE_BYTES;
+        let page = addr / PAGE_BYTES;
+        let off = (addr % PAGE_BYTES) as usize;
+        let p = self.durable.entry(page).or_insert_with(zero_page);
+        p[off..off + LINE].copy_from_slice(data);
+    }
+
+    /// Orders all pending write-backs (SFENCE): every line `clwb`ed since
+    /// the previous fence is now durable.
+    pub fn fence(&mut self) {
+        self.stats.fences += 1;
+        let pending = std::mem::take(&mut self.pending_lines);
+        for (line, data) in pending {
+            self.write_durable_line(line, &data);
+        }
+    }
+
+    /// Persists an address range: clwb every covered line, then fence.
+    pub fn persist_range(&mut self, pa: PhysAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = pa.raw() / CACHE_LINE_BYTES;
+        let last = (pa.raw() + len - 1) / CACHE_LINE_BYTES;
+        for line in first..=last {
+            self.clwb(PhysAddr::new(line * CACHE_LINE_BYTES));
+        }
+        self.fence();
+    }
+
+    /// Whether the line containing `pa` has no volatile (unpersisted) data.
+    pub fn is_line_clean(&self, pa: PhysAddr) -> bool {
+        let line = pa.raw() / CACHE_LINE_BYTES;
+        !self.dirty_lines.contains(&line) && !self.pending_lines.contains_key(&line)
+    }
+
+    /// Simulates a power failure.
+    ///
+    /// The device reverts to its durable image, except that each dirty or
+    /// pending-but-unfenced line independently *may* have reached the media
+    /// (cache eviction or in-flight write-back), decided by `seed`. After
+    /// this call the device contents equal the post-recovery media state.
+    pub fn crash(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Unfenced clwb'ed lines: in-flight; may or may not complete.
+        let pending = std::mem::take(&mut self.pending_lines);
+        for (line, data) in pending {
+            if rng.gen_bool(0.5) {
+                self.write_durable_line(line, &data);
+            }
+        }
+        // Dirty lines: may have been evicted at any point, carrying the
+        // then-current contents. We conservatively use the latest contents;
+        // an eviction of intermediate contents is indistinguishable to
+        // recovery code that only reads whole committed records.
+        let dirty: Vec<u64> = std::mem::take(&mut self.dirty_lines).into_iter().collect();
+        for line in dirty {
+            if rng.gen_bool(0.5) {
+                let mut snap = [0u8; LINE];
+                self.read_line(line, &mut snap);
+                self.write_durable_line(line, &snap);
+            }
+        }
+        // Volatile state is gone: current := durable image.
+        self.current = self.durable.clone();
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Number of lines with unpersisted data (diagnostics).
+    pub fn volatile_lines(&self) -> usize {
+        self.dirty_lines.len() + self.pending_lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.write(pa.offset(10), b"hello");
+        let mut buf = [0u8; 5];
+        dev.read(pa.offset(10), &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        let mut buf = [7u8; 16];
+        dev.read(pa, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let a = dev.alloc_frame().unwrap();
+        let _b = dev.alloc_frame().unwrap();
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let start = a.offset(PAGE_BYTES - 100);
+        dev.write(start, &data);
+        let mut buf = vec![0u8; 200];
+        dev.read(start, &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn unpersisted_data_lost_on_unlucky_crash() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.write_u64(pa, 0xDEAD);
+        // Find a seed under which the dirty line is dropped.
+        let mut dropped = false;
+        for seed in 0..64 {
+            let mut d = dev.clone();
+            d.crash(seed);
+            if d.read_u64(pa) == 0 {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "some seed must drop the unpersisted line");
+    }
+
+    #[test]
+    fn persisted_data_survives_every_crash() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.write_u64(pa, 0xBEEF);
+        dev.clwb(pa);
+        dev.fence();
+        for seed in 0..32 {
+            let mut d = dev.clone();
+            d.crash(seed);
+            assert_eq!(d.read_u64(pa), 0xBEEF, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn clwb_without_fence_is_not_guaranteed() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.write_u64(pa, 0xAB);
+        dev.clwb(pa);
+        let (mut survived, mut lost) = (false, false);
+        for seed in 0..64 {
+            let mut d = dev.clone();
+            d.crash(seed);
+            match d.read_u64(pa) {
+                0xAB => survived = true,
+                0 => lost = true,
+                v => panic!("torn value {v:#x}"),
+            }
+        }
+        assert!(survived && lost, "clwb without fence may or may not persist");
+    }
+
+    #[test]
+    fn persist_range_covers_all_lines() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        let data = vec![0x5Au8; 300];
+        dev.write(pa, &data);
+        dev.persist_range(pa, 300);
+        for seed in 0..8 {
+            let mut d = dev.clone();
+            d.crash(seed);
+            let mut buf = vec![0u8; 300];
+            d.read(pa, &mut buf);
+            assert_eq!(buf, data, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn store_after_clwb_needs_new_clwb() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.write_u64(pa, 1);
+        dev.clwb(pa);
+        dev.write_u64(pa, 2); // re-dirties the line after the snapshot
+        dev.fence(); // persists the snapshot (value 1)
+        assert!(!dev.is_line_clean(pa), "line dirtied after clwb");
+        let mut lost_new = false;
+        for seed in 0..64 {
+            let mut d = dev.clone();
+            d.crash(seed);
+            let v = d.read_u64(pa);
+            assert!(v == 1 || v == 2, "must be old-snapshot or newer eviction");
+            if v == 1 {
+                lost_new = true;
+            }
+        }
+        assert!(lost_new, "value 2 was never guaranteed durable");
+    }
+
+    #[test]
+    fn frame_allocation_and_reuse() {
+        let mut dev = NvmDevice::new(3 * PAGE_BYTES);
+        let a = dev.alloc_frame().unwrap();
+        let b = dev.alloc_frame().unwrap();
+        let c = dev.alloc_frame().unwrap();
+        assert!(dev.alloc_frame().is_none(), "capacity exhausted");
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        dev.write_u64(b, 99);
+        dev.free_frame(b);
+        let b2 = dev.alloc_frame().unwrap();
+        assert_eq!(b2, b, "free list reuse");
+        assert_eq!(dev.read_u64(b2), 0, "reallocated frame is zeroed");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.write(pa, &[0u8; 8]);
+        let mut b = [0u8; 4];
+        dev.read(pa, &mut b);
+        dev.clwb(pa);
+        dev.fence();
+        let s = dev.stats();
+        assert_eq!(s.bytes_written, 8);
+        assert_eq!(s.bytes_read, 4);
+        assert_eq!(s.clwbs, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.frames_allocated, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn oob_write_panics() {
+        let mut dev = NvmDevice::new(PAGE_BYTES);
+        dev.write(PhysAddr::new(PAGE_BYTES - 2), &[0u8; 4]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # poat-nvm — simulated non-volatile main memory
+//!
+//! The paper evaluates on a machine whose main memory is byte-addressable
+//! NVM (battery-backed DRAM timing, Table 4). We do not have such hardware,
+//! so this crate builds the closest synthetic equivalent:
+//!
+//! * [`device::NvmDevice`] — a sparse, page-granular physical memory with a
+//!   **persistence model**: stores land in a (simulated) volatile cache
+//!   domain and only become durable after `clwb` + `sfence`, mirroring the
+//!   Intel persistence instructions the paper's `persist()` uses. A
+//!   [`device::NvmDevice::crash`] operation discards an arbitrary
+//!   (seeded-random) subset of non-persisted lines, which is exactly the
+//!   failure model undo logging must survive.
+//! * [`vspace::VSpace`] — a per-process virtual address space that maps
+//!   pools at randomized base addresses (pseudo-ASLR). ObjectIDs exist
+//!   precisely because pools can land anywhere, so the simulation keeps
+//!   that property observable.
+//! * [`page_table::PageTable`] — conventional 4 KB-page VA→PA mappings, as
+//!   used by the TLB and by the *Parallel* POLB refill path (POT walk +
+//!   page-table walk).
+//! * [`NvMemory`] — a façade combining the three, offering virtual-address
+//!   reads/writes with durability control. This is the substrate the
+//!   `poat-pmem` runtime runs on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod memory;
+pub mod page_table;
+pub mod vspace;
+
+pub use device::{DeviceStats, NvmDevice};
+pub use memory::{NvMemory, NvmError};
+pub use page_table::PageTable;
+pub use vspace::VSpace;

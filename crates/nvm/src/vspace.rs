@@ -1,0 +1,176 @@
+//! Virtual-address-space management with pseudo-ASLR.
+//!
+//! Pools may be mapped anywhere in a process' address space — that is the
+//! whole reason ObjectIDs exist (paper §1: fixed persistent segments defeat
+//! Address Space Layout Randomization). The simulated address space
+//! therefore places each region at a randomized, page-aligned base chosen
+//! by a seeded RNG, and the same pool genuinely lands at different bases in
+//! different "processes" (different `VSpace` instances / seeds).
+
+use std::collections::BTreeMap;
+
+use poat_core::{VirtAddr, PAGE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lowest base address handed out (keeps regions away from page 0).
+const MMAP_FLOOR: u64 = 0x1000_0000_0000;
+/// One past the highest base address handed out (47-bit user space).
+const MMAP_CEIL: u64 = 0x7FFF_F000_0000;
+
+/// A process' virtual address space: allocates non-overlapping, randomized,
+/// page-aligned regions.
+///
+/// ```
+/// use poat_nvm::VSpace;
+///
+/// let mut vs = VSpace::new(42);
+/// let a = vs.map_region(8192).unwrap();
+/// let b = vs.map_region(4096).unwrap();
+/// assert_ne!(a, b);
+/// assert_eq!(a.page_offset(), 0);
+/// // A different process (seed) maps regions elsewhere: ASLR.
+/// let mut other = VSpace::new(43);
+/// assert_ne!(other.map_region(8192).unwrap(), a);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VSpace {
+    /// base → length of each mapped region.
+    regions: BTreeMap<u64, u64>,
+    rng: StdRng,
+}
+
+impl VSpace {
+    /// Creates an address space whose layout is randomized by `seed`.
+    pub fn new(seed: u64) -> Self {
+        VSpace {
+            regions: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xA51A_51A5_1A51_A51A),
+        }
+    }
+
+    fn overlaps(&self, base: u64, len: u64) -> bool {
+        // Predecessor region may extend into [base, base+len).
+        if let Some((&b, &l)) = self.regions.range(..=base).next_back() {
+            if b + l > base {
+                return true;
+            }
+        }
+        // Successor region may start inside it.
+        if let Some((&b, _)) = self.regions.range(base..).next() {
+            if b < base + len {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Maps a region of `len` bytes (rounded up to whole pages) at a
+    /// randomized base, returning the base address. Returns `None` only if
+    /// no free slot can be found (address space pathologically full).
+    pub fn map_region(&mut self, len: u64) -> Option<VirtAddr> {
+        let len = len.max(1).div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        let span = (MMAP_CEIL - MMAP_FLOOR).checked_sub(len)? / PAGE_BYTES;
+        for _ in 0..4096 {
+            let base = MMAP_FLOOR + self.rng.gen_range(0..=span) * PAGE_BYTES;
+            if !self.overlaps(base, len) {
+                self.regions.insert(base, len);
+                return Some(VirtAddr::new(base));
+            }
+        }
+        None
+    }
+
+    /// Unmaps the region based at `base`, returning its length.
+    pub fn unmap_region(&mut self, base: VirtAddr) -> Option<u64> {
+        self.regions.remove(&base.raw())
+    }
+
+    /// The region containing `va`, as `(base, len)`, if any.
+    pub fn region_of(&self, va: VirtAddr) -> Option<(VirtAddr, u64)> {
+        let (&b, &l) = self.regions.range(..=va.raw()).next_back()?;
+        (va.raw() < b + l).then_some((VirtAddr::new(b), l))
+    }
+
+    /// Number of mapped regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_never_overlap() {
+        let mut vs = VSpace::new(1);
+        let mut mapped = Vec::new();
+        for i in 0..500 {
+            let len = ((i % 7) + 1) as u64 * PAGE_BYTES;
+            let base = vs.map_region(len).unwrap();
+            mapped.push((base.raw(), len));
+        }
+        mapped.sort_unstable();
+        for w in mapped.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn bases_are_page_aligned_and_in_range() {
+        let mut vs = VSpace::new(2);
+        for _ in 0..100 {
+            let b = vs.map_region(123).unwrap();
+            assert_eq!(b.page_offset(), 0);
+            assert!(b.raw() >= MMAP_FLOOR && b.raw() < MMAP_CEIL);
+        }
+    }
+
+    #[test]
+    fn aslr_differs_across_seeds() {
+        let a = VSpace::new(10).map_region(PAGE_BYTES).unwrap();
+        let b = VSpace::new(11).map_region(PAGE_BYTES).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut x = VSpace::new(5);
+        let mut y = VSpace::new(5);
+        for _ in 0..20 {
+            assert_eq!(x.map_region(PAGE_BYTES), y.map_region(PAGE_BYTES));
+        }
+    }
+
+    #[test]
+    fn region_of_finds_containing_region() {
+        let mut vs = VSpace::new(3);
+        let base = vs.map_region(3 * PAGE_BYTES).unwrap();
+        let (b, l) = vs.region_of(base.offset(2 * PAGE_BYTES + 5)).unwrap();
+        assert_eq!(b, base);
+        assert_eq!(l, 3 * PAGE_BYTES);
+        assert!(vs.region_of(base.offset(3 * PAGE_BYTES)).is_none());
+    }
+
+    #[test]
+    fn unmap_frees_the_slot() {
+        let mut vs = VSpace::new(4);
+        let base = vs.map_region(PAGE_BYTES).unwrap();
+        assert_eq!(vs.unmap_region(base), Some(PAGE_BYTES));
+        assert_eq!(vs.region_count(), 0);
+        assert!(vs.region_of(base).is_none());
+    }
+
+    #[test]
+    fn len_rounded_to_pages() {
+        let mut vs = VSpace::new(6);
+        vs.map_region(1).unwrap();
+        assert_eq!(vs.mapped_bytes(), PAGE_BYTES);
+    }
+}

@@ -1,0 +1,105 @@
+//! Calibrated instruction-cost model for the software runtime.
+//!
+//! The paper measures `oid_direct` at ≈17 dynamic x86 instructions when the
+//! last-value predictor hits and ≈97 when the full hash-table look-up runs
+//! (Table 2). We cannot execute x86, so the runtime *emits* those
+//! instructions into the trace: each constant below is the `Exec`-batch
+//! size of a code region, and the loads/stores of the translation
+//! structures are emitted as real memory operations at the addresses given
+//! here (so they occupy cache space and can miss, reproducing the paper's
+//! observation that software translation also "increases the working set of
+//! the program").
+//!
+//! Cost breakdown of the predictor-hit path (17 instructions):
+//! call/prologue + validity check (6 Exec) + 2 global loads + compare &
+//! branch + add + return (9 Exec).
+//!
+//! Cost breakdown of the full-look-up path (≈97 instructions for an
+//! average-length probe): the hit-path check (8) + hash computation (36) +
+//! per-probe: entry load ×2 + tag compare (10 Exec) + predictor update
+//! (2 stores + 8 Exec) + base+offset & return (28 Exec). With the ≈1.3
+//! mean probes of a lightly loaded table this lands in the mid-90s,
+//! matching Table 2's per-benchmark range (77.8–107.3).
+
+use poat_core::VirtAddr;
+
+/// Exec instructions before the predictor's global loads (call overhead,
+/// validity flag test).
+pub const HIT_PRE_EXEC: u32 = 6;
+/// Loads of `most_recent_pool_id` / `most_recent_base_addr`.
+pub const HIT_GLOBAL_LOADS: u32 = 2;
+/// Exec instructions after the loads on the hit path (compare, branch,
+/// add, return). Total hit path = 6 + 2 + 9 = 17 instructions.
+pub const HIT_POST_EXEC: u32 = 9;
+
+/// Exec instructions computing the hash and setting up the probe loop.
+pub const MISS_HASH_EXEC: u32 = 36;
+/// Loads per probe of the translation table (key word + value word).
+pub const PROBE_LOADS: u32 = 2;
+/// Exec instructions per probe (index arithmetic, tag compare, branch).
+pub const PROBE_EXEC: u32 = 10;
+/// Stores updating the last-value predictor after a successful look-up.
+pub const MISS_UPDATE_STORES: u32 = 2;
+/// Exec instructions around the predictor update.
+pub const MISS_UPDATE_EXEC: u32 = 8;
+/// Exec instructions for base+offset computation and epilogue.
+pub const MISS_POST_EXEC: u32 = 28;
+
+/// Instructions charged to a `pmalloc` fast path beyond its emitted memory
+/// operations (size rounding, free-list bookkeeping arithmetic).
+pub const PMALLOC_EXEC: u32 = 80;
+/// Instructions charged to `pfree` beyond its memory operations.
+pub const PFREE_EXEC: u32 = 40;
+/// Instructions charged to `pool_create`/`pool_open` beyond memory
+/// operations (system call, permission check, mmap bookkeeping). Identical
+/// in BASE and OPT; kept moderate so EACH-pattern pool churn is visible but
+/// does not drown the measured effect, as in the paper.
+pub const POOL_OPEN_EXEC: u32 = 220;
+/// Instructions charged to transaction bookkeeping at `tx_begin`.
+pub const TX_BEGIN_EXEC: u32 = 32;
+/// Instructions charged at `tx_end` beyond persists and memory traffic.
+pub const TX_END_EXEC: u32 = 40;
+/// Per-record bookkeeping instructions in `tx_add_range`.
+pub const TX_ADD_EXEC: u32 = 48;
+
+/// Base virtual address of the runtime's volatile globals (the last-value
+/// predictor pair lives here). Below the pool-mapping floor, so it never
+/// collides with a pool.
+pub const GLOBALS_VA: VirtAddr = VirtAddr::new(0x0800_0000_0000);
+
+/// Base virtual address of the volatile translation hash table
+/// (16-byte entries: pool id word + base-address word).
+pub const XLAT_TABLE_VA: VirtAddr = VirtAddr::new(0x0810_0000_0000);
+
+/// Bytes per translation-table entry.
+pub const XLAT_ENTRY_BYTES: u64 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_path_totals_17_instructions() {
+        assert_eq!(HIT_PRE_EXEC + HIT_GLOBAL_LOADS + HIT_POST_EXEC, 17);
+    }
+
+    #[test]
+    fn miss_path_lands_near_97_for_typical_probes() {
+        // Hit-path prefix runs first (checks the predictor), then the look-up.
+        let prefix = (HIT_PRE_EXEC + HIT_GLOBAL_LOADS) as f64; // 8: no post-exec on miss
+        let per_probe = (PROBE_LOADS + PROBE_EXEC) as f64;
+        let fixed = (MISS_HASH_EXEC + MISS_UPDATE_STORES + MISS_UPDATE_EXEC + MISS_POST_EXEC)
+            as f64;
+        let total = |probes: f64| prefix + fixed + per_probe * probes;
+        // Table 2 reports a 77.8–107.3 per-benchmark range, geomean 97.3.
+        assert!(total(1.0) > 70.0 && total(1.0) < 110.0, "{}", total(1.0));
+        assert!(total(5.0) < 160.0, "{}", total(5.0));
+    }
+
+    #[test]
+    fn synthetic_regions_below_pool_floor() {
+        assert!(GLOBALS_VA.raw() < 0x1000_0000_0000);
+        assert!(XLAT_TABLE_VA.raw() < 0x1000_0000_0000);
+        assert!(XLAT_TABLE_VA.raw() > GLOBALS_VA.raw());
+    }
+}

@@ -1,0 +1,105 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use poat_core::ObjectId;
+use poat_nvm::NvmError;
+
+/// Errors returned by the persistent-object runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PmemError {
+    /// `pool_open` on a name that was never created.
+    PoolNotFound(String),
+    /// `pool_create` on a name that already exists.
+    PoolExists(String),
+    /// The referenced pool is not currently open in this process.
+    PoolNotOpen(ObjectId),
+    /// Allocation failed: the pool has no free block of the needed size.
+    PoolFull {
+        /// The pool that is full.
+        pool: u32,
+        /// The allocation size that failed.
+        requested: u64,
+    },
+    /// An ObjectID was NULL or referenced memory outside its pool.
+    InvalidObjectId(ObjectId),
+    /// A transactional call outside a transaction.
+    NotInTransaction,
+    /// `tx_begin` while a transaction is already active.
+    NestedTransaction,
+    /// The undo log pool ran out of space.
+    LogFull,
+    /// An underlying memory-system failure.
+    Nvm(NvmError),
+    /// `pfree` on an ObjectID that is not the start of a live allocation.
+    BadFree(ObjectId),
+    /// A write, allocation, or transaction on a pool opened read-only.
+    ReadOnlyPool(u32),
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::PoolNotFound(n) => write!(f, "pool {n:?} not found"),
+            PmemError::PoolExists(n) => write!(f, "pool {n:?} already exists"),
+            PmemError::PoolNotOpen(oid) => write!(f, "pool of {oid} is not open"),
+            PmemError::PoolFull { pool, requested } => {
+                write!(f, "pool {pool} cannot satisfy allocation of {requested} bytes")
+            }
+            PmemError::InvalidObjectId(oid) => write!(f, "invalid ObjectID {oid}"),
+            PmemError::NotInTransaction => write!(f, "no transaction is active"),
+            PmemError::NestedTransaction => write!(f, "transaction already active"),
+            PmemError::LogFull => write!(f, "undo log is full"),
+            PmemError::Nvm(e) => write!(f, "memory system: {e}"),
+            PmemError::BadFree(oid) => write!(f, "free of non-allocated {oid}"),
+            PmemError::ReadOnlyPool(p) => write!(f, "pool {p} is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmemError::Nvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmError> for PmemError {
+    fn from(e: NvmError) -> Self {
+        PmemError::Nvm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_ish() {
+        let errs: Vec<PmemError> = vec![
+            PmemError::PoolNotFound("x".into()),
+            PmemError::PoolExists("x".into()),
+            PmemError::PoolNotOpen(ObjectId::NULL),
+            PmemError::PoolFull { pool: 1, requested: 64 },
+            PmemError::InvalidObjectId(ObjectId::NULL),
+            PmemError::NotInTransaction,
+            PmemError::NestedTransaction,
+            PmemError::LogFull,
+            PmemError::Nvm(NvmError::OutOfMemory),
+            PmemError::BadFree(ObjectId::NULL),
+            PmemError::ReadOnlyPool(3),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn nvm_error_converts_and_sources() {
+        use std::error::Error;
+        let e: PmemError = NvmError::OutOfMemory.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,326 @@
+//! Pool inspection and consistency checking — the `pmempool`-style
+//! tooling a persistent-memory library ships with.
+//!
+//! [`Runtime::inspect_pool`] walks a pool's on-media structures (header,
+//! allocator blocks, free list, undo-log area) and returns a
+//! [`PoolReport`]; [`PoolReport::problems`] lists any structural
+//! inconsistencies found. Inspection reads through the normal access
+//! paths, so it works on any open pool — including read-only ones — and
+//! after crash recovery.
+
+use std::fmt;
+
+use poat_core::{ObjectId, PoolId};
+
+use crate::alloc::BLOCK_HEADER_BYTES;
+use crate::error::PmemError;
+use crate::pool::{header, log_layout, PoolMode, POOL_MAGIC};
+use crate::runtime::Runtime;
+
+/// What `inspect_pool` found in one pool.
+#[derive(Clone, Debug)]
+pub struct PoolReport {
+    /// The pool's id.
+    pub pool: PoolId,
+    /// Its name in the durable directory.
+    pub name: String,
+    /// Access mode.
+    pub mode: PoolMode,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Undo-log area size in bytes.
+    pub log_bytes: u64,
+    /// Header magic as read from media.
+    pub magic: u64,
+    /// Root object offset (0 = none).
+    pub root_offset: u64,
+    /// Bump pointer (first never-allocated offset).
+    pub bump: u64,
+    /// Blocks currently on the free list.
+    pub free_blocks: u64,
+    /// Bytes on the free list (block totals).
+    pub free_bytes: u64,
+    /// Live (allocated) blocks.
+    pub live_blocks: u64,
+    /// Bytes in live blocks (block totals).
+    pub live_bytes: u64,
+    /// Whether the undo log is marked active (an interrupted transaction
+    /// that recovery would roll back).
+    pub log_active: bool,
+    /// Valid records currently in the log area.
+    pub log_records: u64,
+    /// Structural problems found (empty = consistent).
+    pub problems: Vec<String>,
+}
+
+impl PoolReport {
+    /// Whether the pool passed every structural check.
+    pub fn is_consistent(&self) -> bool {
+        self.problems.is_empty()
+    }
+}
+
+impl fmt::Display for PoolReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pool {:>4}  {:<20} {:?}", self.pool, self.name, self.mode)?;
+        writeln!(
+            f,
+            "  size {} B, log {} B, root @ {:#x}, bump @ {:#x}",
+            self.size, self.log_bytes, self.root_offset, self.bump
+        )?;
+        writeln!(
+            f,
+            "  live: {} blocks / {} B   free: {} blocks / {} B",
+            self.live_blocks, self.live_bytes, self.free_blocks, self.free_bytes
+        )?;
+        writeln!(
+            f,
+            "  log: {}, {} records",
+            if self.log_active { "ACTIVE" } else { "clean" },
+            self.log_records
+        )?;
+        if self.problems.is_empty() {
+            write!(f, "  consistent")
+        } else {
+            for p in &self.problems {
+                writeln!(f, "  PROBLEM: {p}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl Runtime {
+    /// Walks `pool`'s on-media structures and reports their state.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::PoolNotOpen`] if the pool is not mapped.
+    pub fn inspect_pool(&mut self, pool: PoolId) -> Result<PoolReport, PmemError> {
+        let p = self.pool_of(ObjectId::new(pool, 0))?;
+        let name = self
+            .dir()
+            .by_id(pool)
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|| "<unregistered>".to_owned());
+        let mut problems = Vec::new();
+
+        let h = self.direct_ref(pool, 0)?;
+        let (magic, _) = self.read_u64_at(&h, header::MAGIC)?;
+        if magic != POOL_MAGIC {
+            problems.push(format!("bad magic {magic:#x}"));
+        }
+        let (hdr_size, _) = self.read_u64_at(&h, header::SIZE)?;
+        if hdr_size != p.size {
+            problems.push(format!("header size {hdr_size} != mapping size {}", p.size));
+        }
+        let (root_offset, _) = self.read_u64_at(&h, header::ROOT_OFF)?;
+        let (bump, _) = self.read_u64_at(&h, header::BUMP)?;
+        let (free_head, _) = self.read_u64_at(&h, header::FREE_HEAD)?;
+        let (log_bytes, _) = self.read_u64_at(&h, header::LOG_BYTES)?;
+
+        let data_start = header::SIZE_BYTES as u64 + log_bytes;
+        if bump < data_start || bump > p.size {
+            problems.push(format!("bump {bump:#x} outside data area"));
+        }
+        if root_offset != 0 && (root_offset < data_start || root_offset >= p.size) {
+            problems.push(format!("root offset {root_offset:#x} outside data area"));
+        }
+
+        // Collect the free list (bounded by the block count to catch
+        // cycles).
+        let mut free_offsets = std::collections::HashSet::new();
+        let mut free_bytes = 0u64;
+        let mut cur = free_head;
+        let max_blocks = (p.size / BLOCK_HEADER_BYTES as u64) + 1;
+        while cur != 0 {
+            if cur < data_start || cur >= bump {
+                problems.push(format!("free-list entry {cur:#x} outside allocated region"));
+                break;
+            }
+            if !free_offsets.insert(cur) {
+                problems.push(format!("free-list cycle at {cur:#x}"));
+                break;
+            }
+            if free_offsets.len() as u64 > max_blocks {
+                problems.push("free list longer than possible".to_owned());
+                break;
+            }
+            let b = self.direct_ref(pool, cur as u32)?;
+            let (bsize, _) = self.read_u64_at(&b, 0)?;
+            free_bytes += bsize;
+            let (next, _) = self.read_u64_at(&b, BLOCK_HEADER_BYTES)?;
+            cur = next;
+        }
+
+        // Walk all blocks from the data area to the bump pointer.
+        let mut live_blocks = 0u64;
+        let mut live_bytes = 0u64;
+        let mut off = data_start;
+        while off + BLOCK_HEADER_BYTES as u64 <= bump {
+            let b = self.direct_ref(pool, off as u32)?;
+            let (bsize, _) = self.read_u64_at(&b, 0)?;
+            if bsize < BLOCK_HEADER_BYTES as u64 + 8 || off + bsize > bump {
+                problems.push(format!("corrupt block header at {off:#x}: size {bsize}"));
+                break;
+            }
+            if !free_offsets.contains(&off) {
+                live_blocks += 1;
+                live_bytes += bsize;
+            }
+            off += bsize;
+        }
+        if off != bump && problems.is_empty() {
+            problems.push(format!("block walk ended at {off:#x}, bump is {bump:#x}"));
+        }
+
+        // Log state.
+        let (mut log_active, mut log_records) = (false, 0u64);
+        if log_bytes > 0 {
+            let log = self.direct_ref(pool, header::SIZE_BYTES)?;
+            let (active, _) = self.read_u64_at(&log, log_layout::ACTIVE)?;
+            let (tail, _) = self.read_u64_at(&log, log_layout::TAIL)?;
+            log_active = active == 1;
+            if active > 1 {
+                problems.push(format!("log active flag corrupt: {active}"));
+            }
+            if tail != 0 && (tail < log_layout::RECORDS as u64 || tail > log_bytes) {
+                problems.push(format!("log tail {tail:#x} outside log area"));
+            } else if tail >= log_layout::RECORDS as u64 {
+                // Count record headers without touching their payloads.
+                let mut r = log_layout::RECORDS as u64;
+                while r + 24 <= tail {
+                    let (kind, _) = self.read_u64_at(&log, r as u32)?;
+                    if !(1..=3).contains(&kind) {
+                        problems.push(format!("log record {r:#x} has bad kind {kind}"));
+                        break;
+                    }
+                    let (len, _) = self.read_u64_at(&log, r as u32 + 16)?;
+                    log_records += 1;
+                    r += 24 + len.div_ceil(8) * 8;
+                }
+            }
+        }
+
+        Ok(PoolReport {
+            pool,
+            name,
+            mode: p.mode,
+            size: p.size,
+            log_bytes,
+            magic,
+            root_offset,
+            bump,
+            free_blocks: free_offsets.len() as u64,
+            free_bytes,
+            live_blocks,
+            live_bytes,
+            log_active,
+            log_records,
+            problems,
+        })
+    }
+
+    /// Inspects every open pool (id order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inspection failures.
+    pub fn inspect_all(&mut self) -> Result<Vec<PoolReport>, PmemError> {
+        let mut ids: Vec<PoolId> = self.open_pool_ids();
+        ids.sort();
+        ids.into_iter().map(|p| self.inspect_pool(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+
+    #[test]
+    fn fresh_pool_is_consistent_and_empty() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let rep = rt.inspect_pool(pool).unwrap();
+        assert!(rep.is_consistent(), "{:?}", rep.problems);
+        assert_eq!(rep.live_blocks, 0);
+        assert_eq!(rep.free_blocks, 0);
+        assert_eq!(rep.magic, POOL_MAGIC);
+        assert!(!rep.log_active);
+        assert!(!rep.to_string().is_empty());
+    }
+
+    #[test]
+    fn block_accounting_tracks_alloc_and_free() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let a = rt.pmalloc(pool, 100).unwrap();
+        let _b = rt.pmalloc(pool, 100).unwrap();
+        let _c = rt.pmalloc(pool, 100).unwrap();
+        rt.pfree(a).unwrap();
+        let rep = rt.inspect_pool(pool).unwrap();
+        assert!(rep.is_consistent(), "{:?}", rep.problems);
+        assert_eq!(rep.live_blocks, 2);
+        assert_eq!(rep.free_blocks, 1);
+        assert_eq!(rep.live_bytes + rep.free_bytes, rep.bump - (64 + rep.log_bytes));
+    }
+
+    #[test]
+    fn mid_transaction_log_is_visible() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let oid = rt.pmalloc(pool, 16).unwrap();
+        rt.tx_begin(pool).unwrap();
+        rt.tx_add_range(oid, 16).unwrap();
+        let rep = rt.inspect_pool(pool).unwrap();
+        assert!(rep.log_active);
+        assert_eq!(rep.log_records, 1);
+        rt.tx_end().unwrap();
+        let rep = rt.inspect_pool(pool).unwrap();
+        assert!(!rep.log_active);
+        assert_eq!(rep.log_records, 0);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let a = rt.pmalloc(pool, 64).unwrap();
+        // Overwrite the block header (simulates a stray write).
+        let block = rt.direct_ref(pool, a.offset() - 8).unwrap();
+        rt.write_u64_at(&block, 0, 3).unwrap();
+        let rep = rt.inspect_pool(pool).unwrap();
+        assert!(!rep.is_consistent());
+        assert!(rep.problems.iter().any(|p| p.contains("corrupt block")));
+    }
+
+    #[test]
+    fn inspect_all_covers_open_pools() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        rt.pool_create("a", 1 << 14).unwrap();
+        rt.pool_create("b", 1 << 14).unwrap();
+        let reps = rt.inspect_all().unwrap();
+        assert_eq!(reps.len(), 2);
+        assert!(reps.windows(2).all(|w| w[0].pool < w[1].pool));
+    }
+
+    #[test]
+    fn read_only_pools_are_inspectable_but_not_writable() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt
+            .pool_create_with_mode("ro", 1 << 14, PoolMode::ReadOnly)
+            .unwrap();
+        let rep = rt.inspect_pool(pool).unwrap();
+        assert_eq!(rep.mode, PoolMode::ReadOnly);
+        assert!(rep.is_consistent(), "{:?}", rep.problems);
+        assert!(matches!(
+            rt.pmalloc(pool, 8),
+            Err(PmemError::ReadOnlyPool(_))
+        ));
+        assert!(matches!(
+            rt.tx_begin(pool),
+            Err(PmemError::ReadOnlyPool(_))
+        ));
+    }
+}

@@ -1,0 +1,469 @@
+//! Write-ahead undo logging (paper §2.1.4, "Failure Safety").
+//!
+//! Each pool carries a log area (see [`crate::pool`]). A transaction:
+//!
+//! 1. `tx_begin(pool)` — marks the pool's log active (persisted);
+//! 2. `tx_add_range(oid, size)` — snapshots the *pre-modification* bytes
+//!    into the log and persists them **before** the caller modifies the
+//!    range (write-ahead);
+//! 3. `tx_pmalloc` / `tx_pfree` — allocation with an undo record; frees
+//!    are deferred to commit so an abort can keep the data;
+//! 4. `tx_end()` — persists every snapshotted range's current (modified)
+//!    data, performs deferred frees, then truncates the log. The log
+//!    truncation persist is the commit point.
+//!
+//! Recovery (and `tx_abort`) replays the log backwards: data snapshots are
+//! restored, transactional allocations are freed. The paper notes that
+//! logging code itself translates ObjectIDs and benefits from hardware
+//! translation (§6.2) — here, every log access goes through the same
+//! dereference path as user data, so that effect is reproduced.
+
+use poat_core::{ObjectId, PoolId};
+
+use crate::costs;
+use crate::error::PmemError;
+use crate::pool::{header, log_layout};
+use crate::runtime::{Runtime, TxState};
+use crate::trace::TraceOp;
+
+/// Undo-record kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecordKind {
+    /// A pre-image snapshot of `len` bytes at `oid`.
+    Data = 1,
+    /// `oid` was allocated inside the transaction (undo = free it).
+    Alloc = 2,
+    /// `oid` will be freed at commit (undo = nothing).
+    FreeIntent = 3,
+}
+
+impl RecordKind {
+    fn from_u64(v: u64) -> Option<Self> {
+        match v {
+            1 => Some(RecordKind::Data),
+            2 => Some(RecordKind::Alloc),
+            3 => Some(RecordKind::FreeIntent),
+            _ => None,
+        }
+    }
+}
+
+const RECORD_HEADER_BYTES: u32 = 24;
+
+fn round8(n: u32) -> u32 {
+    n.div_ceil(8) * 8
+}
+
+impl Runtime {
+    /// The pool-relative offset of byte `rel` of the log area.
+    fn log_off(rel: u32) -> u32 {
+        header::SIZE_BYTES + rel
+    }
+
+    /// `tx_begin(pool)`: starts a transaction whose undo records live in
+    /// `pool`'s log area. A no-op in the `_NTX` configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::NestedTransaction`] if one is already active;
+    /// [`PmemError::PoolNotOpen`] if the pool is not mapped.
+    pub fn tx_begin(&mut self, pool: PoolId) -> Result<(), PmemError> {
+        if !self.cfg.failure_safety {
+            return Ok(());
+        }
+        if self.tx.is_some() {
+            return Err(PmemError::NestedTransaction);
+        }
+        self.check_writable(ObjectId::new(pool, 0))?;
+        let p = self.pool_of(ObjectId::new(pool, 0))?;
+        debug_assert!(p.log_bytes > 0, "pool created without a log area");
+        self.trace.push(TraceOp::Exec { n: costs::TX_BEGIN_EXEC });
+        let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
+        self.write_u64_at(&log, log_layout::ACTIVE, 1)?;
+        self.write_u64_at(&log, log_layout::TAIL, log_layout::RECORDS as u64)?;
+        self.persist_at(&log, 0, 16)?;
+        self.tx = Some(TxState {
+            pool,
+            data_records: Vec::new(),
+            frees: Vec::new(),
+            tail: log_layout::RECORDS,
+        });
+        self.stats.tx_begun += 1;
+        Ok(())
+    }
+
+    fn tx_state(&self) -> Result<&TxState, PmemError> {
+        self.tx.as_ref().ok_or(PmemError::NotInTransaction)
+    }
+
+    /// Appends a record header (+ optional pre-image already copied) and
+    /// durably advances the tail.
+    fn append_record(
+        &mut self,
+        kind: RecordKind,
+        oid: ObjectId,
+        len: u32,
+    ) -> Result<u32, PmemError> {
+        let tx = self.tx_state()?;
+        let pool = tx.pool;
+        let tail = tx.tail;
+        let entry = RECORD_HEADER_BYTES + round8(len);
+        let log_bytes = self.pool_of(ObjectId::new(pool, 0))?.log_bytes as u32;
+        if tail + entry > log_bytes {
+            return Err(PmemError::LogFull);
+        }
+        let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
+        self.write_u64_at(&log, tail, kind as u64)?;
+        self.write_u64_at(&log, tail + 8, oid.raw())?;
+        self.write_u64_at(&log, tail + 16, len as u64)?;
+        if len > 0 {
+            // Copy the pre-image: real word loads from the object, word
+            // stores into the log (this is the logging traffic §6.2 talks
+            // about).
+            let src = self.deref(oid, None)?;
+            let mut buf = vec![0u8; len as usize];
+            self.read_bytes_at(&src, 0, &mut buf)?;
+            self.write_bytes_at(&log, tail + RECORD_HEADER_BYTES, &buf)?;
+        }
+        self.persist_at(&log, tail, (RECORD_HEADER_BYTES + len) as u64)?;
+        let new_tail = tail + entry;
+        self.write_u64_at(&log, log_layout::TAIL, new_tail as u64)?;
+        self.persist_at(&log, log_layout::TAIL, 8)?;
+        self.tx.as_mut().expect("checked above").tail = new_tail;
+        Ok(new_tail)
+    }
+
+    /// `tx_add_range(oid, size)`: snapshots `[oid, oid+size)` into the undo
+    /// log. Call **before** modifying the range. A no-op in `_NTX`.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::NotInTransaction`] outside a transaction;
+    /// [`PmemError::LogFull`] if the log area cannot hold the snapshot.
+    pub fn tx_add_range(&mut self, oid: ObjectId, size: u32) -> Result<(), PmemError> {
+        if !self.cfg.failure_safety {
+            return Ok(());
+        }
+        self.tx_state()?;
+        self.trace.push(TraceOp::Exec { n: costs::TX_ADD_EXEC });
+        // Bounds-check the range against its pool.
+        let p = self.pool_of(oid)?;
+        if oid.offset() as u64 + size as u64 > p.size {
+            return Err(PmemError::InvalidObjectId(oid));
+        }
+        self.append_record(RecordKind::Data, oid, size)?;
+        self.tx
+            .as_mut()
+            .expect("checked above")
+            .data_records
+            .push((oid, size));
+        Ok(())
+    }
+
+    /// `tx_pmalloc(size)`: allocates in the transaction's pool, recording
+    /// an undo record so a crash or abort rolls the allocation back.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::NotInTransaction`] outside a transaction; otherwise as
+    /// [`Runtime::pmalloc`]. Without failure safety this degenerates to a
+    /// plain `pmalloc` **only if** a pool was implied by a preceding
+    /// `tx_begin`; the `_NTX` workloads call `pmalloc` directly instead.
+    pub fn tx_pmalloc(&mut self, size: u64) -> Result<ObjectId, PmemError> {
+        let pool = self.tx_state()?.pool;
+        self.tx_pmalloc_in(pool, size)
+    }
+
+    /// Like [`tx_pmalloc`](Self::tx_pmalloc), but allocating in an
+    /// explicit pool (an extension over Table 1 used by structures whose
+    /// one transaction creates nodes in several pools, e.g. B+Tree
+    /// splits). The undo record still lives in the transaction's log.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::NotInTransaction`] outside a transaction; otherwise as
+    /// [`Runtime::pmalloc`].
+    pub fn tx_pmalloc_in(&mut self, pool: PoolId, size: u64) -> Result<ObjectId, PmemError> {
+        self.tx_state()?;
+        let oid = self.pmalloc(pool, size)?;
+        self.append_record(RecordKind::Alloc, oid, 0)?;
+        Ok(oid)
+    }
+
+    /// `tx_pfree(oid)`: schedules a free for commit time. If the
+    /// transaction aborts, the object is kept.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::NotInTransaction`] outside a transaction.
+    pub fn tx_pfree(&mut self, oid: ObjectId) -> Result<(), PmemError> {
+        self.tx_state()?;
+        self.append_record(RecordKind::FreeIntent, oid, 0)?;
+        self.tx.as_mut().expect("checked above").frees.push(oid);
+        Ok(())
+    }
+
+    /// `tx_end()`: commits — persists all snapshotted ranges' current data,
+    /// performs deferred frees, and truncates the log (the commit point).
+    /// A no-op in `_NTX`.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::NotInTransaction`] outside a transaction.
+    pub fn tx_end(&mut self) -> Result<(), PmemError> {
+        if !self.cfg.failure_safety {
+            return Ok(());
+        }
+        let tx = self.tx.take().ok_or(PmemError::NotInTransaction)?;
+        self.trace.push(TraceOp::Exec { n: costs::TX_END_EXEC });
+        for (oid, len) in &tx.data_records {
+            self.raw_persist(*oid, *len as u64)?;
+        }
+        for oid in &tx.frees {
+            self.pfree(*oid)?;
+        }
+        let log = self.deref(ObjectId::new(tx.pool, Self::log_off(0)), None)?;
+        self.write_u64_at(&log, log_layout::ACTIVE, 0)?;
+        self.write_u64_at(&log, log_layout::TAIL, log_layout::RECORDS as u64)?;
+        self.persist_at(&log, 0, 16)?;
+        self.stats.tx_committed += 1;
+        Ok(())
+    }
+
+    /// `tx_abort()`: rolls the transaction back immediately by replaying
+    /// its undo log, exactly as crash recovery would.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::NotInTransaction`] outside a transaction.
+    pub fn tx_abort(&mut self) -> Result<(), PmemError> {
+        if !self.cfg.failure_safety {
+            return Ok(());
+        }
+        let tx = self.tx.take().ok_or(PmemError::NotInTransaction)?;
+        self.apply_undo(tx.pool)?;
+        self.stats.tx_aborted += 1;
+        Ok(())
+    }
+
+    /// Replays a pool's undo log backwards if it is active, restoring
+    /// pre-images and rolling back transactional allocations. Returns the
+    /// number of records applied.
+    pub(crate) fn apply_undo(&mut self, pool: PoolId) -> Result<u64, PmemError> {
+        let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
+        let (active, _) = self.read_u64_at(&log, log_layout::ACTIVE)?;
+        if active == 0 {
+            return Ok(0);
+        }
+        let (tail, _) = self.read_u64_at(&log, log_layout::TAIL)?;
+        let tail = tail as u32;
+
+        // Walk forward to index the records.
+        let mut records = Vec::new();
+        let mut off = log_layout::RECORDS;
+        while off + RECORD_HEADER_BYTES <= tail {
+            let (kind, _) = self.read_u64_at(&log, off)?;
+            let (oid_raw, _) = self.read_u64_at(&log, off + 8)?;
+            let (len, _) = self.read_u64_at(&log, off + 16)?;
+            let Some(kind) = RecordKind::from_u64(kind) else {
+                break; // torn/garbage record: everything after is invalid
+            };
+            records.push((off, kind, ObjectId::from_raw(oid_raw), len as u32));
+            off += RECORD_HEADER_BYTES + round8(len as u32);
+        }
+
+        // Apply in reverse.
+        let mut applied = 0u64;
+        for &(off, kind, oid, len) in records.iter().rev() {
+            match kind {
+                RecordKind::Data => {
+                    let mut buf = vec![0u8; len as usize];
+                    let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
+                    self.read_bytes_at(&log, off + RECORD_HEADER_BYTES, &mut buf)?;
+                    let dst = self.deref(oid, None)?;
+                    self.write_bytes_at(&dst, 0, &buf)?;
+                    self.persist_at(&dst, 0, len as u64)?;
+                }
+                RecordKind::Alloc => {
+                    self.pfree(oid)?;
+                }
+                RecordKind::FreeIntent => {}
+            }
+            self.stats.undo_applied += 1;
+            applied += 1;
+        }
+
+        let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
+        self.write_u64_at(&log, log_layout::ACTIVE, 0)?;
+        self.write_u64_at(&log, log_layout::TAIL, log_layout::RECORDS as u64)?;
+        self.persist_at(&log, 0, 16)?;
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::{Runtime, RuntimeConfig};
+    use crate::PmemError;
+
+    fn rt() -> (Runtime, poat_core::PoolId) {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        (rt, pool)
+    }
+
+    #[test]
+    fn commit_makes_updates_durable() {
+        let (mut rt, pool) = rt();
+        let oid = rt.pmalloc(pool, 16).unwrap();
+        rt.write_u64(oid, 1).unwrap();
+        rt.persist(oid, 8).unwrap();
+        rt.tx_begin(pool).unwrap();
+        rt.tx_add_range(oid, 8).unwrap();
+        rt.write_u64(oid, 2).unwrap();
+        rt.tx_end().unwrap();
+        for seed in 0..8 {
+            let rt2 = rt.clone().crash_and_recover(seed).unwrap();
+            let mut rt2 = rt2;
+            assert_eq!(rt2.read_u64(oid).unwrap(), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crash_mid_transaction_rolls_back() {
+        let (mut rt, pool) = rt();
+        let oid = rt.pmalloc(pool, 16).unwrap();
+        rt.write_u64(oid, 1).unwrap();
+        rt.persist(oid, 8).unwrap();
+        rt.tx_begin(pool).unwrap();
+        rt.tx_add_range(oid, 8).unwrap();
+        rt.write_u64(oid, 2).unwrap();
+        rt.persist(oid, 8).unwrap(); // even if the new value hit media...
+        // no tx_end: crash
+        for seed in 0..8 {
+            let mut rt2 = rt.clone().crash_and_recover(seed).unwrap();
+            assert_eq!(rt2.read_u64(oid).unwrap(), 1, "seed {seed}: undo restores");
+        }
+    }
+
+    #[test]
+    fn abort_restores_pre_images_in_reverse() {
+        let (mut rt, pool) = rt();
+        let a = rt.pmalloc(pool, 16).unwrap();
+        let b = rt.pmalloc(pool, 16).unwrap();
+        rt.write_u64(a, 10).unwrap();
+        rt.write_u64(b, 20).unwrap();
+        rt.tx_begin(pool).unwrap();
+        rt.tx_add_range(a, 8).unwrap();
+        rt.write_u64(a, 11).unwrap();
+        rt.tx_add_range(b, 8).unwrap();
+        rt.write_u64(b, 21).unwrap();
+        // Second snapshot of `a` after modification: undo must apply in
+        // reverse so the *first* (oldest) image wins.
+        rt.tx_add_range(a, 8).unwrap();
+        rt.write_u64(a, 12).unwrap();
+        rt.tx_abort().unwrap();
+        assert_eq!(rt.read_u64(a).unwrap(), 10);
+        assert_eq!(rt.read_u64(b).unwrap(), 20);
+        assert!(!rt.in_transaction());
+    }
+
+    #[test]
+    fn tx_pmalloc_rolled_back_on_crash() {
+        let (mut rt, pool) = rt();
+        rt.tx_begin(pool).unwrap();
+        let oid = rt.tx_pmalloc(32).unwrap();
+        rt.write_u64(oid, 5).unwrap();
+        let mut rt2 = rt.crash_and_recover(0).unwrap();
+        // The allocation was undone: the same block is handed out again.
+        let again = rt2.pmalloc(pool, 32).unwrap();
+        assert_eq!(again, oid, "rolled-back block is reusable");
+    }
+
+    #[test]
+    fn tx_pfree_keeps_data_on_abort() {
+        let (mut rt, pool) = rt();
+        let oid = rt.pmalloc(pool, 16).unwrap();
+        rt.write_u64(oid, 9).unwrap();
+        rt.tx_begin(pool).unwrap();
+        rt.tx_pfree(oid).unwrap();
+        rt.tx_abort().unwrap();
+        assert_eq!(rt.read_u64(oid).unwrap(), 9, "free was deferred");
+        // And on commit the free actually happens.
+        rt.tx_begin(pool).unwrap();
+        rt.tx_pfree(oid).unwrap();
+        rt.tx_end().unwrap();
+        let re = rt.pmalloc(pool, 16).unwrap();
+        assert_eq!(re, oid);
+    }
+
+    #[test]
+    fn nested_transactions_rejected() {
+        let (mut rt, pool) = rt();
+        rt.tx_begin(pool).unwrap();
+        assert!(matches!(
+            rt.tx_begin(pool),
+            Err(PmemError::NestedTransaction)
+        ));
+    }
+
+    #[test]
+    fn tx_ops_outside_transaction_rejected() {
+        let (mut rt, pool) = rt();
+        let oid = rt.pmalloc(pool, 16).unwrap();
+        assert!(matches!(rt.tx_add_range(oid, 8), Err(PmemError::NotInTransaction)));
+        assert!(matches!(rt.tx_pmalloc(8), Err(PmemError::NotInTransaction)));
+        assert!(matches!(rt.tx_pfree(oid), Err(PmemError::NotInTransaction)));
+        assert!(matches!(rt.tx_end(), Err(PmemError::NotInTransaction)));
+    }
+
+    #[test]
+    fn log_full_detected() {
+        let mut r = Runtime::new(RuntimeConfig {
+            pool_log_bytes: 256,
+            ..RuntimeConfig::default()
+        });
+        let pool = r.pool_create("p", 1 << 16).unwrap();
+        let oid = r.pmalloc(pool, 4096).unwrap();
+        r.tx_begin(pool).unwrap();
+        assert!(matches!(
+            r.tx_add_range(oid, 4096),
+            Err(PmemError::LogFull)
+        ));
+    }
+
+    #[test]
+    fn ntx_mode_transactions_are_free() {
+        let mut r = Runtime::new(RuntimeConfig::base().without_failure_safety());
+        let pool = r.pool_create("p", 1 << 16).unwrap();
+        let oid = r.pmalloc(pool, 16).unwrap();
+        r.take_trace();
+        r.tx_begin(pool).unwrap();
+        r.tx_add_range(oid, 8).unwrap();
+        r.tx_end().unwrap();
+        assert!(r.trace().is_empty(), "NTX emits no logging traffic");
+        assert_eq!(r.stats().tx_begun, 0);
+    }
+
+    #[test]
+    fn cross_pool_transaction() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let p1 = rt.pool_create("p1", 1 << 16).unwrap();
+        let p2 = rt.pool_create("p2", 1 << 16).unwrap();
+        let a = rt.pmalloc(p1, 16).unwrap();
+        let b = rt.pmalloc(p2, 16).unwrap();
+        rt.write_u64(a, 1).unwrap();
+        rt.write_u64(b, 2).unwrap();
+        rt.persist(a, 8).unwrap();
+        rt.persist(b, 8).unwrap();
+        // Log lives in p1 but covers an update in p2.
+        rt.tx_begin(p1).unwrap();
+        rt.tx_add_range(a, 8).unwrap();
+        rt.tx_add_range(b, 8).unwrap();
+        rt.write_u64(a, 10).unwrap();
+        rt.write_u64(b, 20).unwrap();
+        let mut rt2 = rt.crash_and_recover(1).unwrap();
+        assert_eq!(rt2.read_u64(a).unwrap(), 1);
+        assert_eq!(rt2.read_u64(b).unwrap(), 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Pools: the file-like containers of persistent objects (paper §2.1.1).
+//!
+//! A pool is a contiguous persistent region identified system-wide by its
+//! [`PoolId`]. Its on-media layout is:
+//!
+//! ```text
+//! +--------+-----------------+--------------------------------------+
+//! | header | undo-log area   | data area (allocator-managed)        |
+//! | 64 B   | log_bytes       | ...                                  |
+//! +--------+-----------------+--------------------------------------+
+//! ```
+//!
+//! The per-pool undo-log area follows NVML's design (each pool carries its
+//! own transaction log). This is also what makes the paper's Figure 10
+//! observation reproducible: without logging, small pools fit in a single
+//! page; with logging they span several, which is what penalizes the
+//! per-page *Parallel* POLB.
+//!
+//! The [`PoolDirectory`] plays the role of the DAX filesystem: the durable
+//! name → (id, size, physical frames) catalog that survives crashes. Pool
+//! *contents* go through the full persistence model; the directory itself
+//! is assumed durably maintained by the OS, as file metadata would be.
+
+use std::collections::HashMap;
+
+use poat_core::{PhysAddr, PoolId, VirtAddr};
+
+/// Access mode a pool is created/opened with (the `mode` argument of
+/// `pool_create` in the paper's Table 1). `pool_open` re-checks it, as the
+/// paper notes ("Permissions will be checked").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PoolMode {
+    /// Reads and writes permitted.
+    #[default]
+    ReadWrite,
+    /// Reads only: writes, allocation, and transactions are rejected.
+    ReadOnly,
+}
+
+/// Byte offsets of the pool-header fields (all fields are `u64` LE).
+pub mod header {
+    /// Magic number identifying a formatted pool.
+    pub const MAGIC: u32 = 0x00;
+    /// Total pool size in bytes.
+    pub const SIZE: u32 = 0x08;
+    /// Offset of the root object's payload (0 = not yet allocated).
+    pub const ROOT_OFF: u32 = 0x10;
+    /// Size requested for the root object.
+    pub const ROOT_SIZE: u32 = 0x18;
+    /// Bump pointer: offset of the first never-allocated byte.
+    pub const BUMP: u32 = 0x20;
+    /// Head of the free list (offset of a block header, 0 = empty).
+    pub const FREE_HEAD: u32 = 0x28;
+    /// Size of the undo-log area in bytes.
+    pub const LOG_BYTES: u32 = 0x30;
+    /// Total header size; the log area starts here.
+    pub const SIZE_BYTES: u32 = 0x40;
+}
+
+/// Magic value stored in [`header::MAGIC`] ("POATPOOL").
+pub const POOL_MAGIC: u64 = 0x504F_4154_504F_4F4C;
+
+/// Byte offsets within a pool's undo-log area (relative to the area start).
+pub mod log_layout {
+    /// 1 while a transaction is active (its undo records are live).
+    pub const ACTIVE: u32 = 0x00;
+    /// Byte offset one past the last valid record, relative to the area.
+    pub const TAIL: u32 = 0x08;
+    /// First record starts here.
+    pub const RECORDS: u32 = 0x10;
+}
+
+/// Durable metadata for one pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolMeta {
+    /// The pool's system-wide id.
+    pub id: PoolId,
+    /// The name it was created under.
+    pub name: String,
+    /// Total size in bytes (page-rounded).
+    pub size: u64,
+    /// Physical frames backing the pool, in order.
+    pub frames: Vec<PhysAddr>,
+    /// The access mode it was created with.
+    pub mode: PoolMode,
+}
+
+/// The durable pool catalog (name ↔ id ↔ frames).
+///
+/// ```
+/// use poat_core::PhysAddr;
+/// use poat_pmem::pool::{PoolDirectory, PoolMode};
+///
+/// let mut dir = PoolDirectory::new();
+/// let id = dir.register(
+///     "accounts",
+///     8192,
+///     vec![PhysAddr::new(0), PhysAddr::new(4096)],
+///     PoolMode::ReadWrite,
+/// );
+/// assert_eq!(dir.by_name("accounts").unwrap().id, id);
+/// assert_eq!(dir.by_id(id).unwrap().name, "accounts");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PoolDirectory {
+    by_name: HashMap<String, PoolId>,
+    pools: HashMap<PoolId, PoolMeta>,
+    next_id: u32,
+}
+
+impl PoolDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        PoolDirectory {
+            by_name: HashMap::new(),
+            pools: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Registers a new pool, assigning it the next system-wide id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered (callers check first and
+    /// return [`crate::PmemError::PoolExists`]).
+    pub fn register(
+        &mut self,
+        name: &str,
+        size: u64,
+        frames: Vec<PhysAddr>,
+        mode: PoolMode,
+    ) -> PoolId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "pool {name:?} already registered"
+        );
+        let id = PoolId::new(self.next_id).expect("pool ids start at 1");
+        self.next_id += 1;
+        self.by_name.insert(name.to_owned(), id);
+        self.pools.insert(
+            id,
+            PoolMeta {
+                id,
+                name: name.to_owned(),
+                size,
+                frames,
+                mode,
+            },
+        );
+        id
+    }
+
+    /// Looks a pool up by name.
+    pub fn by_name(&self, name: &str) -> Option<&PoolMeta> {
+        self.by_name.get(name).and_then(|id| self.pools.get(id))
+    }
+
+    /// Looks a pool up by id.
+    pub fn by_id(&self, id: PoolId) -> Option<&PoolMeta> {
+        self.pools.get(&id)
+    }
+
+    /// Removes a pool, returning its metadata (for frame release).
+    pub fn unregister(&mut self, name: &str) -> Option<PoolMeta> {
+        let id = self.by_name.remove(name)?;
+        self.pools.remove(&id)
+    }
+
+    /// Whether a pool with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Number of registered pools.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// Iterates over all pools in id order (deterministic recovery order).
+    pub fn iter(&self) -> impl Iterator<Item = &PoolMeta> {
+        let mut v: Vec<&PoolMeta> = self.pools.values().collect();
+        v.sort_by_key(|m| m.id);
+        v.into_iter()
+    }
+}
+
+/// Runtime state of an open (mapped) pool.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenPool {
+    /// The pool's id.
+    pub id: PoolId,
+    /// Where it is currently mapped.
+    pub base: VirtAddr,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Size of the undo-log area (0 when created without failure safety).
+    pub log_bytes: u64,
+    /// The access mode this mapping permits.
+    pub mode: PoolMode,
+}
+
+impl OpenPool {
+    /// First data-area offset (after header and log area).
+    pub fn data_start(&self) -> u32 {
+        header::SIZE_BYTES + self.log_bytes as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut d = PoolDirectory::new();
+        let a = d.register("a", 4096, vec![], PoolMode::default());
+        let b = d.register("b", 4096, vec![], PoolMode::default());
+        assert_eq!(a.raw(), 1);
+        assert_eq!(b.raw(), 2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_name_panics() {
+        let mut d = PoolDirectory::new();
+        d.register("a", 4096, vec![], PoolMode::default());
+        d.register("a", 4096, vec![], PoolMode::default());
+    }
+
+    #[test]
+    fn unregister_frees_the_name() {
+        let mut d = PoolDirectory::new();
+        let id = d.register("a", 4096, vec![PhysAddr::new(0)], PoolMode::default());
+        let meta = d.unregister("a").unwrap();
+        assert_eq!(meta.id, id);
+        assert!(!d.contains("a"));
+        assert!(d.by_id(id).is_none());
+        // Name reusable; id is not recycled (system-wide unique).
+        let id2 = d.register("a", 4096, vec![], PoolMode::default());
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn iter_is_id_ordered() {
+        let mut d = PoolDirectory::new();
+        d.register("x", 1, vec![], PoolMode::default());
+        d.register("y", 1, vec![], PoolMode::default());
+        d.register("z", 1, vec![], PoolMode::default());
+        let ids: Vec<u32> = d.iter().map(|m| m.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn open_pool_data_start() {
+        let p = OpenPool {
+            id: PoolId::new(1).unwrap(),
+            base: VirtAddr::new(0x1000),
+            size: 1 << 16,
+            log_bytes: 8192,
+            mode: PoolMode::ReadWrite,
+        };
+        assert_eq!(p.data_start(), 0x40 + 8192);
+    }
+
+    #[test]
+    fn header_layout_is_disjoint() {
+        let offs = [
+            header::MAGIC,
+            header::SIZE,
+            header::ROOT_OFF,
+            header::ROOT_SIZE,
+            header::BUMP,
+            header::FREE_HEAD,
+            header::LOG_BYTES,
+        ];
+        for w in offs.windows(2) {
+            assert!(w[1] - w[0] >= 8);
+        }
+        assert!(offs[offs.len() - 1] + 8 <= header::SIZE_BYTES);
+    }
+}

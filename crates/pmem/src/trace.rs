@@ -1,0 +1,302 @@
+//! The dynamic instruction trace the runtime emits.
+//!
+//! The paper uses Pin as a front-end for Sniper: the workload executes
+//! natively and the simulator replays its instruction stream against a
+//! timing model (§5.1). We reproduce that structure: the workloads run
+//! natively in Rust against the [`crate::Runtime`], which emits one
+//! [`TraceOp`] per dynamic instruction (batching non-memory instructions),
+//! and `poat-sim`'s core models replay the trace.
+//!
+//! Memory operations carry an optional **dependency edge** (`dep`): the
+//! index of the earlier operation that produced the address being accessed.
+//! Pointer-chasing chains (a linked-list traversal, a tree descent, the
+//! probe chain inside `oid_direct`) are serialized through these edges,
+//! which is what lets the out-of-order core model extract realistic —
+//! rather than unbounded — memory-level parallelism. This is why, as in the
+//! paper, hardware translation helps an in-order core more than an
+//! out-of-order core.
+
+use poat_core::{ObjectId, VirtAddr};
+
+/// Index of an operation within a [`Trace`]; usable as a dependency target.
+pub type OpId = u64;
+
+/// One dynamic instruction (or batch of non-memory instructions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `n` back-to-back non-memory instructions (ALU, moves, compares).
+    Exec {
+        /// Number of instructions in the batch.
+        n: u32,
+    },
+    /// A regular load through a virtual address.
+    Load {
+        /// Accessed virtual address.
+        va: VirtAddr,
+        /// Producer of the address (pointer-chasing edge), if any.
+        dep: Option<OpId>,
+    },
+    /// A regular store through a virtual address.
+    Store {
+        /// Accessed virtual address.
+        va: VirtAddr,
+        /// Producer of the address, if any.
+        dep: Option<OpId>,
+    },
+    /// `nvld`: a load addressed by ObjectID, translated in hardware.
+    NvLoad {
+        /// The ObjectID operand.
+        oid: ObjectId,
+        /// The virtual address the POLB/POT translation resolves to
+        /// (recorded so cache behavior can be replayed exactly).
+        va: VirtAddr,
+        /// Producer of the ObjectID, if any.
+        dep: Option<OpId>,
+    },
+    /// `nvst`: a store addressed by ObjectID, translated in hardware.
+    NvStore {
+        /// The ObjectID operand.
+        oid: ObjectId,
+        /// The translated virtual address.
+        va: VirtAddr,
+        /// Producer of the ObjectID, if any.
+        dep: Option<OpId>,
+    },
+    /// `clwb`: initiate write-back of the line containing `va`.
+    Clwb {
+        /// Line address being written back.
+        va: VirtAddr,
+    },
+    /// `sfence`: order preceding write-backs.
+    Fence,
+    /// A conditional branch.
+    Branch {
+        /// Whether the branch mispredicted (charged the Table 4 penalty).
+        mispredicted: bool,
+    },
+}
+
+impl TraceOp {
+    /// Number of dynamic instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            TraceOp::Exec { n } => *n as u64,
+            _ => 1,
+        }
+    }
+
+    /// Whether this op accesses memory through the data cache.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            TraceOp::Load { .. }
+                | TraceOp::Store { .. }
+                | TraceOp::NvLoad { .. }
+                | TraceOp::NvStore { .. }
+        )
+    }
+
+    /// Whether this is an ObjectID-addressed (`nvld`/`nvst`) access.
+    pub fn is_persistent_access(&self) -> bool {
+        matches!(self, TraceOp::NvLoad { .. } | TraceOp::NvStore { .. })
+    }
+}
+
+/// Aggregate counts over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Regular loads.
+    pub loads: u64,
+    /// Regular stores.
+    pub stores: u64,
+    /// `nvld` count.
+    pub nvloads: u64,
+    /// `nvst` count.
+    pub nvstores: u64,
+    /// `clwb` count.
+    pub clwbs: u64,
+    /// `sfence` count.
+    pub fences: u64,
+    /// Branch count.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredictions: u64,
+}
+
+/// A recorded dynamic instruction stream.
+///
+/// ```
+/// use poat_core::VirtAddr;
+/// use poat_pmem::trace::{Trace, TraceOp};
+///
+/// let mut t = Trace::new();
+/// let a = t.push(TraceOp::Load { va: VirtAddr::new(0x1000), dep: None });
+/// t.push(TraceOp::Load { va: VirtAddr::new(0x2000), dep: Some(a) });
+/// t.push(TraceOp::Exec { n: 5 });
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.summary().instructions, 7);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an op, returning its [`OpId`].
+    pub fn push(&mut self, op: TraceOp) -> OpId {
+        let id = self.ops.len() as OpId;
+        // Coalesce adjacent Exec batches to keep traces compact.
+        if let (TraceOp::Exec { n }, Some(TraceOp::Exec { n: last })) =
+            (&op, self.ops.last_mut())
+        {
+            if let Some(sum) = last.checked_add(*n) {
+                *last = sum;
+                return id - 1;
+            }
+        }
+        self.ops.push(op);
+        id
+    }
+
+    /// The ops in program order.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of trace entries (batches count once).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Computes aggregate counts.
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for op in &self.ops {
+            s.instructions += op.instructions();
+            match op {
+                TraceOp::Load { .. } => s.loads += 1,
+                TraceOp::Store { .. } => s.stores += 1,
+                TraceOp::NvLoad { .. } => s.nvloads += 1,
+                TraceOp::NvStore { .. } => s.nvstores += 1,
+                TraceOp::Clwb { .. } => s.clwbs += 1,
+                TraceOp::Fence => s.fences += 1,
+                TraceOp::Branch { mispredicted } => {
+                    s.branches += 1;
+                    if *mispredicted {
+                        s.mispredictions += 1;
+                    }
+                }
+                TraceOp::Exec { .. } => {}
+            }
+        }
+        s
+    }
+}
+
+impl FromIterator<TraceOp> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceOp>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for op in iter {
+            t.push(op);
+        }
+        t
+    }
+}
+
+impl Extend<TraceOp> for Trace {
+    fn extend<I: IntoIterator<Item = TraceOp>>(&mut self, iter: I) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceOp;
+    type IntoIter = std::slice::Iter<'a, TraceOp>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(x: u64) -> VirtAddr {
+        VirtAddr::new(x)
+    }
+
+    #[test]
+    fn push_returns_sequential_ids() {
+        let mut t = Trace::new();
+        let a = t.push(TraceOp::Load { va: va(1), dep: None });
+        let b = t.push(TraceOp::Store { va: va(2), dep: Some(a) });
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+    }
+
+    #[test]
+    fn exec_batches_coalesce() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Exec { n: 3 });
+        t.push(TraceOp::Exec { n: 4 });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.summary().instructions, 7);
+        t.push(TraceOp::Fence);
+        t.push(TraceOp::Exec { n: 1 });
+        assert_eq!(t.len(), 3, "fence breaks coalescing");
+    }
+
+    #[test]
+    fn summary_counts_every_kind() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Exec { n: 10 });
+        t.push(TraceOp::Load { va: va(1), dep: None });
+        t.push(TraceOp::Store { va: va(2), dep: None });
+        t.push(TraceOp::NvLoad { oid: ObjectId::NULL, va: va(3), dep: None });
+        t.push(TraceOp::NvStore { oid: ObjectId::NULL, va: va(4), dep: None });
+        t.push(TraceOp::Clwb { va: va(5) });
+        t.push(TraceOp::Fence);
+        t.push(TraceOp::Branch { mispredicted: true });
+        t.push(TraceOp::Branch { mispredicted: false });
+        let s = t.summary();
+        assert_eq!(s.instructions, 18);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.nvloads, 1);
+        assert_eq!(s.nvstores, 1);
+        assert_eq!(s.clwbs, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.mispredictions, 1);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(TraceOp::Load { va: va(0), dep: None }.is_memory());
+        assert!(TraceOp::NvStore { oid: ObjectId::NULL, va: va(0), dep: None }
+            .is_persistent_access());
+        assert!(!TraceOp::Fence.is_memory());
+        assert_eq!(TraceOp::Exec { n: 9 }.instructions(), 9);
+        assert_eq!(TraceOp::Fence.instructions(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = vec![TraceOp::Exec { n: 2 }, TraceOp::Fence].into_iter().collect();
+        assert_eq!(t.summary().instructions, 3);
+    }
+}

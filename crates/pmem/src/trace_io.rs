@@ -1,0 +1,295 @@
+//! Trace serialization: save a recorded instruction stream to disk and
+//! replay it later without re-running the workload ("record once,
+//! simulate many" — the workflow trace-driven simulators live by).
+//!
+//! Binary format (little-endian):
+//!
+//! ```text
+//! magic "POATTRC1" (8 B) | op count (u64) | ops…
+//! op: tag (u8) followed by the tag's fields:
+//!   0 Exec    n:u32
+//!   1 Load    va:u64 dep:u64+1(0=None)
+//!   2 Store   va:u64 dep
+//!   3 NvLoad  oid:u64 va:u64 dep
+//!   4 NvStore oid:u64 va:u64 dep
+//!   5 Clwb    va:u64
+//!   6 Fence
+//!   7 Branch  mispredicted:u8
+//! ```
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use poat_core::{ObjectId, VirtAddr};
+
+use crate::trace::{Trace, TraceOp};
+
+const MAGIC: &[u8; 8] = b"POATTRC1";
+
+/// Errors decoding a serialized trace.
+#[derive(Debug)]
+pub enum TraceDecodeError {
+    /// The magic header did not match.
+    BadMagic,
+    /// The buffer ended mid-op or an op tag was unknown.
+    Truncated,
+    /// An unknown op tag was encountered.
+    BadTag(u8),
+    /// An underlying I/O failure (file read).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::BadMagic => write!(f, "not a poat trace (bad magic)"),
+            TraceDecodeError::Truncated => write!(f, "trace truncated"),
+            TraceDecodeError::BadTag(t) => write!(f, "unknown op tag {t}"),
+            TraceDecodeError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceDecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceDecodeError {
+    fn from(e: std::io::Error) -> Self {
+        TraceDecodeError::Io(e)
+    }
+}
+
+fn put_dep(buf: &mut BytesMut, dep: Option<u64>) {
+    buf.put_u64_le(dep.map(|d| d + 1).unwrap_or(0));
+}
+
+fn get_dep(buf: &mut Bytes) -> Option<u64> {
+    match buf.get_u64_le() {
+        0 => None,
+        d => Some(d - 1),
+    }
+}
+
+/// Serializes a trace to its binary representation.
+pub fn to_bytes(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.len() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(trace.len() as u64);
+    for op in trace {
+        match *op {
+            TraceOp::Exec { n } => {
+                buf.put_u8(0);
+                buf.put_u32_le(n);
+            }
+            TraceOp::Load { va, dep } => {
+                buf.put_u8(1);
+                buf.put_u64_le(va.raw());
+                put_dep(&mut buf, dep);
+            }
+            TraceOp::Store { va, dep } => {
+                buf.put_u8(2);
+                buf.put_u64_le(va.raw());
+                put_dep(&mut buf, dep);
+            }
+            TraceOp::NvLoad { oid, va, dep } => {
+                buf.put_u8(3);
+                buf.put_u64_le(oid.raw());
+                buf.put_u64_le(va.raw());
+                put_dep(&mut buf, dep);
+            }
+            TraceOp::NvStore { oid, va, dep } => {
+                buf.put_u8(4);
+                buf.put_u64_le(oid.raw());
+                buf.put_u64_le(va.raw());
+                put_dep(&mut buf, dep);
+            }
+            TraceOp::Clwb { va } => {
+                buf.put_u8(5);
+                buf.put_u64_le(va.raw());
+            }
+            TraceOp::Fence => buf.put_u8(6),
+            TraceOp::Branch { mispredicted } => {
+                buf.put_u8(7);
+                buf.put_u8(u8::from(mispredicted));
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace from its binary representation.
+///
+/// # Errors
+///
+/// [`TraceDecodeError`] on malformed input.
+pub fn from_bytes(data: &[u8]) -> Result<Trace, TraceDecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < MAGIC.len() + 8 {
+        return Err(TraceDecodeError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceDecodeError::BadMagic);
+    }
+    let count = buf.get_u64_le();
+    let mut trace = Trace::new();
+    for _ in 0..count {
+        if buf.remaining() < 1 {
+            return Err(TraceDecodeError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let need = match tag {
+            0 => 4,
+            1 | 2 => 16,
+            3 | 4 => 24,
+            5 => 8,
+            6 => 0,
+            7 => 1,
+            t => return Err(TraceDecodeError::BadTag(t)),
+        };
+        if buf.remaining() < need {
+            return Err(TraceDecodeError::Truncated);
+        }
+        // Push the decoded op verbatim (bypassing Exec coalescing would
+        // change ids; the encoder writes already-coalesced batches, and
+        // pushing a batch after a non-Exec op never merges).
+        let op = match tag {
+            0 => TraceOp::Exec { n: buf.get_u32_le() },
+            1 => TraceOp::Load {
+                va: VirtAddr::new(buf.get_u64_le()),
+                dep: get_dep(&mut buf),
+            },
+            2 => TraceOp::Store {
+                va: VirtAddr::new(buf.get_u64_le()),
+                dep: get_dep(&mut buf),
+            },
+            3 => TraceOp::NvLoad {
+                oid: ObjectId::from_raw(buf.get_u64_le()),
+                va: VirtAddr::new(buf.get_u64_le()),
+                dep: get_dep(&mut buf),
+            },
+            4 => TraceOp::NvStore {
+                oid: ObjectId::from_raw(buf.get_u64_le()),
+                va: VirtAddr::new(buf.get_u64_le()),
+                dep: get_dep(&mut buf),
+            },
+            5 => TraceOp::Clwb { va: VirtAddr::new(buf.get_u64_le()) },
+            6 => TraceOp::Fence,
+            _ => TraceOp::Branch { mispredicted: buf.get_u8() != 0 },
+        };
+        trace.push(op);
+    }
+    Ok(trace)
+}
+
+/// Writes a trace to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(trace))
+}
+
+/// Reads a trace from a file.
+///
+/// # Errors
+///
+/// [`TraceDecodeError`] on I/O failure or malformed contents.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceDecodeError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{Runtime, RuntimeConfig};
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Trace {
+        let mut rt = Runtime::new(RuntimeConfig::opt());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let oid = rt.pmalloc(pool, 64).unwrap();
+        rt.tx_begin(pool).unwrap();
+        rt.tx_add_range(oid, 16).unwrap();
+        rt.write_u64(oid, 9).unwrap();
+        rt.tx_end().unwrap();
+        rt.branch(true);
+        rt.exec(7);
+        rt.take_trace()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_op() {
+        let t = sample_trace();
+        let decoded = from_bytes(&to_bytes(&t)).unwrap();
+        assert_eq!(t.ops(), decoded.ops());
+        assert_eq!(t.summary(), decoded.summary());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join(format!("poat-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.poattrc");
+        save(&t, &path).unwrap();
+        let decoded = load(&path).unwrap();
+        assert_eq!(t.ops(), decoded.ops());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(matches!(from_bytes(b"short"), Err(TraceDecodeError::Truncated)));
+        assert!(matches!(
+            from_bytes(b"NOTATRACE\0\0\0\0\0\0\0\0"),
+            Err(TraceDecodeError::BadMagic)
+        ));
+        let mut data = to_bytes(&sample_trace()).to_vec();
+        data.truncate(data.len() - 3);
+        assert!(matches!(from_bytes(&data), Err(TraceDecodeError::Truncated)));
+        // Corrupt a tag byte past the header.
+        let mut data = to_bytes(&sample_trace()).to_vec();
+        data[16] = 0xEE;
+        assert!(matches!(from_bytes(&data), Err(TraceDecodeError::BadTag(0xEE))));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_traces_roundtrip(
+            ops in prop::collection::vec((0u8..8, any::<u64>(), any::<u64>(), any::<u32>()), 0..200),
+        ) {
+            let mut t = Trace::new();
+            for (tag, a, b, n) in ops {
+                let dep = if b % 3 == 0 { None } else { Some(b % 1000) };
+                let op = match tag {
+                    0 => TraceOp::Exec { n: n.max(1) },
+                    1 => TraceOp::Load { va: VirtAddr::new(a), dep },
+                    2 => TraceOp::Store { va: VirtAddr::new(a), dep },
+                    3 => TraceOp::NvLoad { oid: ObjectId::from_raw(b), va: VirtAddr::new(a), dep },
+                    4 => TraceOp::NvStore { oid: ObjectId::from_raw(b), va: VirtAddr::new(a), dep },
+                    5 => TraceOp::Clwb { va: VirtAddr::new(a) },
+                    6 => TraceOp::Fence,
+                    _ => TraceOp::Branch { mispredicted: n % 2 == 0 },
+                };
+                t.push(op);
+            }
+            let decoded = from_bytes(&to_bytes(&t)).unwrap();
+            prop_assert_eq!(t.ops(), decoded.ops());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The core-side translation unit: POLB backed by a hardware POT walk.
+//!
+//! This wires the `poat-core` structures into a timing model: each
+//! `nvld`/`nvst` consults the POLB; a miss triggers the fixed-latency POT
+//! walk (plus a page-table walk for the *Parallel* design, which must
+//! produce a physical frame — paper §4.2, Figure 7).
+
+use poat_core::polb::{ParallelPolb, PipelinedPolb, TranslationBuffer};
+use poat_core::{ObjectId, PolbDesign, Pot, TranslationConfig, TranslationStats, VirtAddr};
+use poat_nvm::PageTable;
+use poat_pmem::MachineState;
+
+/// Outcome of translating one ObjectID.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TranslateOutcome {
+    /// Translation succeeded; `extra_cycles` is the added latency (POLB
+    /// access and/or walk penalties).
+    Ok {
+        /// Added latency in cycles.
+        extra_cycles: u64,
+    },
+    /// No POT mapping: the access faults to the OS (paper §4.2). The
+    /// simulator counts it and charges the walk that discovered it.
+    Fault {
+        /// Cycles spent discovering the fault.
+        extra_cycles: u64,
+    },
+}
+
+/// POLB + POT translation hardware for one core.
+pub struct TranslationUnit {
+    cfg: TranslationConfig,
+    polb: Box<dyn TranslationBuffer>,
+    pot: Pot,
+    page_table: PageTable,
+    stats: TranslationStats,
+}
+
+impl std::fmt::Debug for TranslationUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TranslationUnit")
+            .field("design", &self.cfg.design)
+            .field("polb_entries", &self.polb.capacity())
+            .field("polb_stats", self.polb.stats())
+            .field("pot_len", &self.pot.len())
+            .field("page_table_len", &self.page_table.len())
+            .finish()
+    }
+}
+
+impl TranslationUnit {
+    /// Builds the unit for a given configuration and end-of-run machine
+    /// state (POT contents + page table) exported by the runtime.
+    pub fn new(cfg: TranslationConfig, state: &MachineState) -> Self {
+        let polb: Box<dyn TranslationBuffer> = match cfg.design {
+            PolbDesign::Pipelined => Box::new(PipelinedPolb::new(cfg.polb_entries)),
+            PolbDesign::Parallel => Box::new(ParallelPolb::new(cfg.polb_entries)),
+        };
+        TranslationUnit {
+            cfg,
+            polb,
+            pot: state.pot.clone(),
+            page_table: state.page_table.clone(),
+            stats: TranslationStats::default(),
+        }
+    }
+
+    /// The configured design.
+    pub fn design(&self) -> PolbDesign {
+        self.cfg.design
+    }
+
+    /// Translates `oid`, whose runtime-recorded virtual address is `va`
+    /// (used by the Parallel refill path to find the physical frame).
+    pub fn translate(&mut self, oid: ObjectId, va: VirtAddr) -> TranslateOutcome {
+        if self.cfg.ideal {
+            return TranslateOutcome::Ok { extra_cycles: 0 };
+        }
+        if self.polb.translate(oid).is_some() {
+            let extra = self.cfg.hit_latency_cycles();
+            self.stats.translation_cycles += extra;
+            return TranslateOutcome::Ok { extra_cycles: extra };
+        }
+        // POLB miss: hardware POT walk.
+        self.stats.pot_walks += 1;
+        let extra = self.cfg.hit_latency_cycles() + self.cfg.miss_penalty_cycles();
+        self.stats.translation_cycles += extra;
+        let Some(pool) = oid.pool() else {
+            self.stats.exceptions += 1;
+            return TranslateOutcome::Fault { extra_cycles: extra };
+        };
+        let Some(base) = self.pot.lookup(pool) else {
+            self.stats.exceptions += 1;
+            return TranslateOutcome::Fault { extra_cycles: extra };
+        };
+        match self.cfg.design {
+            PolbDesign::Pipelined => self.polb.fill(oid, base.raw()),
+            PolbDesign::Parallel => {
+                // The POT yields a virtual base; the page-table walk (whose
+                // latency is folded into `pot_page_walk_cycles`) yields the
+                // frame for the *accessed page*.
+                let frame = self
+                    .page_table
+                    .frame_of(va)
+                    .map(|f| f.raw())
+                    .unwrap_or(va.page_base().raw());
+                self.polb.fill(oid, frame);
+            }
+        }
+        TranslateOutcome::Ok { extra_cycles: extra }
+    }
+
+    /// Accumulated statistics, with the POLB counters folded in.
+    pub fn stats(&self) -> TranslationStats {
+        let mut s = self.stats;
+        s.polb = *self.polb.stats();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poat_pmem::{Runtime, RuntimeConfig};
+
+    fn state_with_pool() -> (MachineState, ObjectId) {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let oid = rt.pmalloc(pool, 64).unwrap();
+        (rt.machine_state(), oid)
+    }
+
+    fn va_of(state: &MachineState, oid: ObjectId) -> VirtAddr {
+        let base = state.pot.lookup(oid.pool().unwrap()).unwrap();
+        base.offset(oid.offset() as u64)
+    }
+
+    #[test]
+    fn pipelined_miss_then_hit_latencies() {
+        let (state, oid) = state_with_pool();
+        let va = va_of(&state, oid);
+        let mut tu = TranslationUnit::new(TranslationConfig::default(), &state);
+        assert_eq!(
+            tu.translate(oid, va),
+            TranslateOutcome::Ok { extra_cycles: 3 + 30 },
+            "cold access: POLB access + POT walk"
+        );
+        assert_eq!(
+            tu.translate(oid, va),
+            TranslateOutcome::Ok { extra_cycles: 3 },
+            "warm access: POLB hit"
+        );
+        let s = tu.stats();
+        assert_eq!(s.polb.misses, 1);
+        assert_eq!(s.polb.hits, 1);
+        assert_eq!(s.pot_walks, 1);
+        assert_eq!(s.exceptions, 0);
+    }
+
+    #[test]
+    fn parallel_hit_is_free_but_miss_is_60() {
+        let (state, oid) = state_with_pool();
+        let va = va_of(&state, oid);
+        let cfg = TranslationConfig::for_design(PolbDesign::Parallel);
+        let mut tu = TranslationUnit::new(cfg, &state);
+        assert_eq!(tu.translate(oid, va), TranslateOutcome::Ok { extra_cycles: 60 });
+        assert_eq!(tu.translate(oid, va), TranslateOutcome::Ok { extra_cycles: 0 });
+    }
+
+    #[test]
+    fn parallel_needs_refill_per_page() {
+        let (state, oid) = state_with_pool();
+        let cfg = TranslationConfig::for_design(PolbDesign::Parallel);
+        let mut tu = TranslationUnit::new(cfg, &state);
+        let va = va_of(&state, oid);
+        tu.translate(oid, va);
+        // Same pool, different page: misses again under Parallel.
+        let oid2 = ObjectId::new(oid.pool().unwrap(), oid.offset() + 8192);
+        let va2 = va_of(&state, oid2);
+        assert!(matches!(
+            tu.translate(oid2, va2),
+            TranslateOutcome::Ok { extra_cycles: 60 }
+        ));
+        assert_eq!(tu.stats().polb.misses, 2);
+    }
+
+    #[test]
+    fn unmapped_pool_faults() {
+        let (state, _) = state_with_pool();
+        let mut tu = TranslationUnit::new(TranslationConfig::default(), &state);
+        let bogus = ObjectId::new(poat_core::PoolId::new(999).unwrap(), 0);
+        assert!(matches!(
+            tu.translate(bogus, VirtAddr::new(0)),
+            TranslateOutcome::Fault { .. }
+        ));
+        assert_eq!(tu.stats().exceptions, 1);
+    }
+
+    #[test]
+    fn ideal_mode_is_free() {
+        let (state, oid) = state_with_pool();
+        let va = va_of(&state, oid);
+        let mut tu = TranslationUnit::new(TranslationConfig::default().idealized(), &state);
+        assert_eq!(tu.translate(oid, va), TranslateOutcome::Ok { extra_cycles: 0 });
+        assert_eq!(tu.stats().polb.lookups(), 0, "ideal bypasses the POLB");
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests for the timing models: determinism, instruction
+//! conservation, and latency monotonicity — the invariants any credible
+//! cycle model must satisfy regardless of the trace.
+
+use poat_core::{ObjectId, PoolId, TranslationConfig, VirtAddr};
+use poat_pmem::{MachineState, Runtime, RuntimeConfig, Trace, TraceOp};
+use poat_sim::{simulate_inorder, simulate_ooo, SimConfig};
+use proptest::prelude::*;
+
+/// Builds a machine with one mapped pool and returns (state, pool base).
+fn machine() -> (MachineState, ObjectId) {
+    let mut rt = Runtime::new(RuntimeConfig::default());
+    let pool = rt.pool_create("p", 1 << 20).unwrap();
+    let oid = rt.pmalloc(pool, 1 << 16).unwrap();
+    (rt.machine_state(), oid)
+}
+
+/// Strategy: an arbitrary well-formed trace over the mapped pool.
+fn trace_ops() -> impl Strategy<Value = Vec<(u8, u32, bool)>> {
+    prop::collection::vec((0u8..8, 0u32..(1 << 14), any::<bool>()), 1..300)
+}
+
+fn build_trace(ops: &[(u8, u32, bool)], oid: ObjectId, state: &MachineState) -> Trace {
+    let base = state
+        .pot
+        .lookup(oid.pool().expect("pool"))
+        .expect("mapped")
+        .offset(oid.offset() as u64);
+    let mut t = Trace::new();
+    let mut last_load: Option<u64> = None;
+    for &(tag, off, chain) in ops {
+        let off = off & !7;
+        let va = base.offset(off as u64);
+        let o = oid.add(off);
+        let dep = if chain { last_load } else { None };
+        match tag {
+            0 => {
+                t.push(TraceOp::Exec { n: off % 32 + 1 });
+            }
+            1 => last_load = Some(t.push(TraceOp::Load { va, dep })),
+            2 => {
+                t.push(TraceOp::Store { va, dep });
+            }
+            3 => last_load = Some(t.push(TraceOp::NvLoad { oid: o, va, dep })),
+            4 => {
+                t.push(TraceOp::NvStore { oid: o, va, dep });
+            }
+            5 => {
+                t.push(TraceOp::Clwb { va });
+            }
+            6 => {
+                t.push(TraceOp::Fence);
+            }
+            _ => {
+                t.push(TraceOp::Branch { mispredicted: chain });
+            }
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_is_deterministic(ops in trace_ops()) {
+        let (state, oid) = machine();
+        let t = build_trace(&ops, oid, &state);
+        let cfg = SimConfig::default();
+        let a = simulate_inorder(&t, &state, &cfg).unwrap();
+        let b = simulate_inorder(&t, &state, &cfg).unwrap();
+        prop_assert_eq!(a, b);
+        let c = simulate_ooo(&t, &state, &cfg).unwrap();
+        let d = simulate_ooo(&t, &state, &cfg).unwrap();
+        prop_assert_eq!(c, d);
+    }
+
+    #[test]
+    fn instructions_are_conserved(ops in trace_ops()) {
+        let (state, oid) = machine();
+        let t = build_trace(&ops, oid, &state);
+        let want = t.summary().instructions;
+        let cfg = SimConfig::default();
+        prop_assert_eq!(simulate_inorder(&t, &state, &cfg).unwrap().instructions, want);
+        prop_assert_eq!(simulate_ooo(&t, &state, &cfg).unwrap().instructions, want);
+    }
+
+    #[test]
+    fn ideal_translation_is_a_lower_bound(ops in trace_ops()) {
+        let (state, oid) = machine();
+        let t = build_trace(&ops, oid, &state);
+        let normal = SimConfig::default();
+        let ideal = SimConfig::with_translation(TranslationConfig::default().idealized());
+        prop_assert!(
+            simulate_inorder(&t, &state, &ideal).unwrap().cycles
+                <= simulate_inorder(&t, &state, &normal).unwrap().cycles
+        );
+        prop_assert!(
+            simulate_ooo(&t, &state, &ideal).unwrap().cycles
+                <= simulate_ooo(&t, &state, &normal).unwrap().cycles
+        );
+    }
+
+    #[test]
+    fn higher_latencies_never_speed_things_up(ops in trace_ops()) {
+        let (state, oid) = machine();
+        let t = build_trace(&ops, oid, &state);
+        let base = SimConfig::default();
+        let mut slow = base;
+        slow.mem.memory_latency = 400;
+        slow.mem.clwb_latency = 300;
+        slow.translation.pot_walk_cycles = 200;
+        slow.translation.polb_access_cycles = 5;
+        prop_assert!(
+            simulate_inorder(&t, &state, &base).unwrap().cycles
+                <= simulate_inorder(&t, &state, &slow).unwrap().cycles
+        );
+        prop_assert!(
+            simulate_ooo(&t, &state, &base).unwrap().cycles
+                <= simulate_ooo(&t, &state, &slow).unwrap().cycles
+        );
+    }
+
+    #[test]
+    fn a_bigger_polb_never_misses_more(ops in trace_ops()) {
+        let (state, oid) = machine();
+        let t = build_trace(&ops, oid, &state);
+        let mut prev_misses = u64::MAX;
+        for entries in [1usize, 4, 32] {
+            let cfg = SimConfig::with_translation(TranslationConfig {
+                polb_entries: entries,
+                ..TranslationConfig::default()
+            });
+            let r = simulate_inorder(&t, &state, &cfg).unwrap();
+            prop_assert!(r.translation.polb.misses <= prev_misses);
+            prev_misses = r.translation.polb.misses;
+        }
+    }
+
+    #[test]
+    fn cycles_grow_with_the_trace(ops in trace_ops()) {
+        // A prefix of a trace never takes longer than the whole trace.
+        let (state, oid) = machine();
+        let t = build_trace(&ops, oid, &state);
+        let half = build_trace(&ops[..ops.len() / 2], oid, &state);
+        let cfg = SimConfig::default();
+        prop_assert!(
+            simulate_inorder(&half, &state, &cfg).unwrap().cycles
+                <= simulate_inorder(&t, &state, &cfg).unwrap().cycles
+        );
+    }
+
+    #[test]
+    fn virtual_addresses_not_in_the_page_table_still_simulate(
+        vas in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        // Robustness: arbitrary (even wild) addresses must not panic —
+        // unmapped pages model volatile DRAM.
+        let (state, _) = machine();
+        let mut t = Trace::new();
+        for va in vas {
+            t.push(TraceOp::Load { va: VirtAddr::new(va & 0x7FFF_FFFF_FFFF), dep: None });
+        }
+        let cfg = SimConfig::default();
+        let r = simulate_inorder(&t, &state, &cfg).unwrap();
+        prop_assert!(r.cycles >= r.instructions);
+    }
+}
+
+#[test]
+fn faulting_oids_are_counted_not_fatal() {
+    let (state, _) = machine();
+    let bogus = ObjectId::new(PoolId::new(4040).unwrap(), 64);
+    let mut t = Trace::new();
+    t.push(TraceOp::NvLoad {
+        oid: bogus,
+        va: VirtAddr::new(0x5000_0000_0000),
+        dep: None,
+    });
+    let r = simulate_inorder(&t, &state, &SimConfig::default()).unwrap();
+    assert_eq!(r.translation.exceptions, 1);
+}

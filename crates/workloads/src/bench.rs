@@ -1,0 +1,305 @@
+//! The six microbenchmarks with their Table 5 parameters, behind one
+//! dispatching enum the harness drives.
+
+use poat_pmem::{PmemError, Runtime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bplus::PersistentBPlusTree;
+use crate::bst::PersistentBst;
+use crate::btree::PersistentBTree;
+use crate::list::PersistentList;
+use crate::pattern::{Pattern, PoolSet};
+use crate::rbt::PersistentRbt;
+use crate::sps::StringArray;
+
+/// Instructions charged per benchmark-driver iteration (random-number
+/// generation, call setup, loop bookkeeping of the harness program).
+pub const OP_DRIVER_EXEC: u32 = 40;
+
+/// One of the paper's six microbenchmarks (Table 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Micro {
+    /// Linked list: 700 search-then-remove-or-insert operations.
+    Ll,
+    /// Binary search tree: 5000 operations.
+    Bst,
+    /// String position swap: 10000 random swaps in a 32 KB string array.
+    Sps,
+    /// Red-black tree: 3000 operations.
+    Rbt,
+    /// B-Tree (order 7): 5000 search-then-insert-if-missing operations.
+    Bt,
+    /// B+Tree (order 7): 5000 search-then-remove-or-insert operations.
+    Bpt,
+}
+
+impl Micro {
+    /// All six microbenchmarks, in Table 8's row order.
+    pub const ALL: [Micro; 6] = [
+        Micro::Ll,
+        Micro::Bst,
+        Micro::Rbt,
+        Micro::Bt,
+        Micro::Bpt,
+        Micro::Sps,
+    ];
+
+    /// The paper's abbreviation (Table 5).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Micro::Ll => "LL",
+            Micro::Bst => "BST",
+            Micro::Sps => "SPS",
+            Micro::Rbt => "RBT",
+            Micro::Bt => "BT",
+            Micro::Bpt => "B+T",
+        }
+    }
+
+    /// Number of operations (Table 5).
+    pub fn ops(self) -> usize {
+        match self {
+            Micro::Ll => 700,
+            Micro::Bst => 5000,
+            Micro::Sps => 10000,
+            Micro::Rbt => 3000,
+            Micro::Bt => 5000,
+            Micro::Bpt => 5000,
+        }
+    }
+
+    /// Key range the random integers are drawn from. Sized so a realistic
+    /// fraction of searches hit, and (for LL, whose search is linear) so
+    /// the list stays at a few hundred nodes, as in the paper.
+    pub fn key_range(self) -> u64 {
+        match self {
+            Micro::Ll => 500,
+            Micro::Bst => 2500,
+            Micro::Sps => 0, // slots, not keys
+            Micro::Rbt => 1500,
+            Micro::Bt => 5000,
+            Micro::Bpt => 2500,
+        }
+    }
+
+    /// Runs the full Table 5 benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures.
+    pub fn run(
+        self,
+        rt: &mut Runtime,
+        pattern: Pattern,
+        seed: u64,
+    ) -> Result<MicroReport, PmemError> {
+        self.run_ops(rt, pattern, seed, self.ops())
+    }
+
+    /// Runs the benchmark with an explicit operation count (tests and
+    /// quick calibration use smaller counts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures.
+    pub fn run_ops(
+        self,
+        rt: &mut Runtime,
+        pattern: Pattern,
+        seed: u64,
+        ops: usize,
+    ) -> Result<MicroReport, PmemError> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB16B_00B5);
+        let range = self.key_range();
+        let mut report = MicroReport {
+            bench: self,
+            pattern,
+            ops,
+            pools: 0,
+        };
+        match self {
+            Micro::Ll => {
+                let mut l = PersistentList::create(rt, pattern)?;
+                for _ in 0..ops {
+                    let k = rng.gen_range(0..range);
+                    rt.exec(OP_DRIVER_EXEC);
+                    l.op(rt, k, &mut rng)?;
+                }
+                report.pools = l.pools().pool_count();
+            }
+            Micro::Bst => {
+                let mut t = PersistentBst::create(rt, pattern)?;
+                for _ in 0..ops {
+                    let k = rng.gen_range(0..range);
+                    rt.exec(OP_DRIVER_EXEC);
+                    t.op(rt, k, &mut rng)?;
+                }
+                report.pools = t.pools().pool_count();
+            }
+            Micro::Sps => {
+                let mut a = StringArray::create(rt, pattern)?;
+                for _ in 0..ops {
+                    rt.exec(OP_DRIVER_EXEC);
+                    a.swap_random(rt, &mut rng)?;
+                }
+                report.pools = a.pools().pool_count();
+            }
+            Micro::Rbt => {
+                let mut t = PersistentRbt::create(rt, pattern)?;
+                for _ in 0..ops {
+                    let k = rng.gen_range(0..range);
+                    rt.exec(OP_DRIVER_EXEC);
+                    t.op(rt, k, &mut rng)?;
+                }
+                report.pools = t.pools().pool_count();
+            }
+            Micro::Bt => {
+                let mut t = PersistentBTree::create(rt, pattern)?;
+                for _ in 0..ops {
+                    let k = rng.gen_range(0..range);
+                    rt.exec(OP_DRIVER_EXEC);
+                    t.insert(rt, k, &mut rng)?;
+                }
+                report.pools = t.pools().pool_count();
+            }
+            Micro::Bpt => {
+                let mut b = BPlusBench::create(rt, pattern)?;
+                for _ in 0..ops {
+                    let k = rng.gen_range(0..range);
+                    rt.exec(OP_DRIVER_EXEC);
+                    b.op(rt, k, &mut rng)?;
+                }
+                report.pools = b.pools.pool_count();
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl std::fmt::Display for Micro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// What a microbenchmark run produced (beyond the runtime's own trace and
+/// counters).
+#[derive(Clone, Copy, Debug)]
+pub struct MicroReport {
+    /// Which benchmark ran.
+    pub bench: Micro,
+    /// The pool-usage pattern used.
+    pub pattern: Pattern,
+    /// Operations executed.
+    pub ops: usize,
+    /// Pools the workload created.
+    pub pools: u64,
+}
+
+/// The B+T microbenchmark wrapper: a [`PersistentBPlusTree`] plus the
+/// per-node pool placement of Table 6.
+#[derive(Debug)]
+pub struct BPlusBench {
+    tree: PersistentBPlusTree,
+    /// Pool placement (public so reports can read pool counts).
+    pub pools: PoolSet,
+}
+
+impl BPlusBench {
+    /// Creates an empty tree with pools laid out per `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation failures.
+    pub fn create(rt: &mut Runtime, pattern: Pattern) -> Result<Self, PmemError> {
+        let pools = PoolSet::create(rt, pattern, "bpt", 4 << 20)?;
+        let holder = rt.pool_root(pools.anchor(), 8)?;
+        let tree = PersistentBPlusTree::create(rt, holder)?;
+        Ok(BPlusBench { tree, pools })
+    }
+
+    /// One Table 5 operation: search; remove if found, else insert.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime failures.
+    pub fn op(&mut self, rt: &mut Runtime, key: u64, rng: &mut StdRng) -> Result<(), PmemError> {
+        if self.tree.remove(rt, key, rng)?.is_some() {
+            return Ok(());
+        }
+        let pool = self.pools.pool_for(rt, key)?;
+        self.tree.insert(rt, key, key, pool, rng)?;
+        Ok(())
+    }
+
+    /// The underlying tree (test access).
+    pub fn tree(&self) -> &PersistentBPlusTree {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ExpConfig;
+    use poat_pmem::TranslationMode;
+
+    #[test]
+    fn every_micro_runs_under_every_pattern() {
+        for bench in Micro::ALL {
+            for pattern in Pattern::ALL {
+                let mut rt = Runtime::new(ExpConfig::Base.runtime_config(1));
+                let rep = bench.run_ops(&mut rt, pattern, 7, 40).unwrap();
+                assert_eq!(rep.ops, 40);
+                assert!(rep.pools >= 1, "{bench} {pattern}");
+                assert!(!rt.trace().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn opt_trace_has_nv_ops_base_does_not() {
+        let mut base = Runtime::new(ExpConfig::Base.runtime_config(1));
+        let mut opt = Runtime::new(ExpConfig::Opt.runtime_config(1));
+        Micro::Ll.run_ops(&mut base, Pattern::All, 3, 30).unwrap();
+        Micro::Ll.run_ops(&mut opt, Pattern::All, 3, 30).unwrap();
+        assert_eq!(base.trace().summary().nvloads, 0);
+        assert!(opt.trace().summary().nvloads > 0);
+        assert_eq!(opt.config().mode, TranslationMode::Hardware);
+    }
+
+    #[test]
+    fn hardware_mode_reduces_instruction_count() {
+        let mut base = Runtime::new(ExpConfig::Base.runtime_config(1));
+        let mut opt = Runtime::new(ExpConfig::Opt.runtime_config(1));
+        Micro::Bst.run_ops(&mut base, Pattern::Random, 3, 100).unwrap();
+        Micro::Bst.run_ops(&mut opt, Pattern::Random, 3, 100).unwrap();
+        let bi = base.trace().summary().instructions;
+        let oi = opt.trace().summary().instructions;
+        assert!(
+            oi < bi * 8 / 10,
+            "expected a large dynamic-instruction reduction: {oi} vs {bi}"
+        );
+    }
+
+    #[test]
+    fn ntx_emits_no_persistence_traffic() {
+        let mut rt = Runtime::new(ExpConfig::OptNtx.runtime_config(1));
+        Micro::Bpt.run_ops(&mut rt, Pattern::Each, 3, 30).unwrap();
+        let s = rt.trace().summary();
+        assert_eq!(s.clwbs, 0);
+        assert_eq!(s.fences, 0);
+    }
+
+    #[test]
+    fn table5_parameters() {
+        assert_eq!(Micro::Ll.ops(), 700);
+        assert_eq!(Micro::Bst.ops(), 5000);
+        assert_eq!(Micro::Sps.ops(), 10000);
+        assert_eq!(Micro::Rbt.ops(), 3000);
+        assert_eq!(Micro::Bt.ops(), 5000);
+        assert_eq!(Micro::Bpt.ops(), 5000);
+        assert_eq!(Micro::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,863 @@
+//! B+Tree of order 7 (paper Table 5; also the core structure of TPC-C).
+//!
+//! Nodes are 120-byte persistent objects (15 `u64` words):
+//!
+//! ```text
+//! internal: [tag=0][nkeys][keys ×6][children ×7]
+//! leaf:     [tag=1][nkeys][keys ×6][values ×6][next]
+//! ```
+//!
+//! Keys live only in leaves (with their values); internal keys are
+//! separators. Leaves are chained through `next` for range scans.
+//! Insertion splits full nodes preemptively on the way down; deletion
+//! rebalances by borrowing from or merging with siblings on the way down
+//! (minimum occupancy 2 — one below ⌈m/2⌉−1, the standard relaxation that
+//! makes merges fit an even maximum of 6 keys).
+//!
+//! The tree does not own its pools: the caller supplies the pool for each
+//! allocating operation, which is how the microbench patterns (per-node
+//! placement) and TPC-C (per-tree placement, Table 6 `TPCC_*`) share one
+//! implementation.
+
+use poat_core::{ObjectId, PoolId};
+use poat_pmem::{PmemError, Runtime};
+use rand::rngs::StdRng;
+
+use crate::util::{compare_branch, loop_branch, TxLogSet};
+
+const TAG: u32 = 0;
+const NKEYS: u32 = 8;
+const KEYS: u32 = 16;
+const CHILDREN: u32 = 64;
+const VALUES: u32 = 64;
+const NEXT: u32 = 112;
+
+/// Maximum keys per node (order 7 ⇒ 6 keys, 7 children).
+pub const MAX_KEYS: usize = 6;
+/// Minimum keys per non-root node.
+pub const MIN_KEYS: usize = 2;
+/// Node payload size in bytes.
+pub const NODE_BYTES: u32 = 120;
+
+/// Volatile mirror of one node.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    leaf: bool,
+    keys: Vec<u64>,
+    children: Vec<ObjectId>,
+    values: Vec<u64>,
+    next: ObjectId,
+}
+
+/// A persistent B+Tree mapping `u64` keys to `u64` values.
+///
+/// The `holder` is an 8-byte persistent cell (allocated by the caller)
+/// that stores the root's ObjectID, so the whole tree is reachable after a
+/// restart.
+#[derive(Debug)]
+pub struct PersistentBPlusTree {
+    holder: ObjectId,
+}
+
+impl PersistentBPlusTree {
+    /// Wraps (and initializes) a tree whose root pointer lives at `holder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn create(rt: &mut Runtime, holder: ObjectId) -> Result<Self, PmemError> {
+        rt.write_u64(holder, ObjectId::NULL.raw())?;
+        rt.persist(holder, 8)?;
+        Ok(PersistentBPlusTree { holder })
+    }
+
+    /// Re-attaches to an existing tree rooted at `holder` (after reopen).
+    pub fn attach(holder: ObjectId) -> Self {
+        PersistentBPlusTree { holder }
+    }
+
+    /// The root-holder cell.
+    pub fn holder(&self) -> ObjectId {
+        self.holder
+    }
+
+    fn root(&self, rt: &mut Runtime) -> Result<ObjectId, PmemError> {
+        Ok(ObjectId::from_raw(rt.read_u64(self.holder)?))
+    }
+
+    fn set_root(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        root: ObjectId,
+    ) -> Result<(), PmemError> {
+        log.log(rt, self.holder, 8)?;
+        let h = rt.deref(self.holder, None)?;
+        rt.write_u64_at(&h, 0, root.raw())?;
+        Ok(())
+    }
+
+    fn read_node(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        dep: Option<u64>,
+    ) -> Result<Node, PmemError> {
+        let r = rt.deref(oid, dep)?;
+        let (tag, _) = rt.read_u64_at(&r, TAG)?;
+        let (n, _) = rt.read_u64_at(&r, NKEYS)?;
+        let n = n as usize;
+        debug_assert!(n <= MAX_KEYS, "corrupt node {oid}: nkeys={n}");
+        let mut node = Node {
+            leaf: tag == 1,
+            ..Node::default()
+        };
+        for i in 0..n {
+            node.keys.push(rt.read_u64_at(&r, KEYS + i as u32 * 8)?.0);
+        }
+        if node.leaf {
+            for i in 0..n {
+                node.values.push(rt.read_u64_at(&r, VALUES + i as u32 * 8)?.0);
+            }
+            node.next = ObjectId::from_raw(rt.read_u64_at(&r, NEXT)?.0);
+        } else {
+            for i in 0..=n {
+                node.children
+                    .push(ObjectId::from_raw(rt.read_u64_at(&r, CHILDREN + i as u32 * 8)?.0));
+            }
+        }
+        Ok(node)
+    }
+
+    fn write_node(
+        &self,
+        rt: &mut Runtime,
+        log: Option<&mut TxLogSet>,
+        oid: ObjectId,
+        node: &Node,
+    ) -> Result<(), PmemError> {
+        if let Some(log) = log {
+            log.log(rt, oid, NODE_BYTES)?;
+        }
+        let r = rt.deref(oid, None)?;
+        rt.write_u64_at(&r, TAG, u64::from(node.leaf))?;
+        rt.write_u64_at(&r, NKEYS, node.keys.len() as u64)?;
+        for (i, &k) in node.keys.iter().enumerate() {
+            rt.write_u64_at(&r, KEYS + i as u32 * 8, k)?;
+        }
+        if node.leaf {
+            for (i, &v) in node.values.iter().enumerate() {
+                rt.write_u64_at(&r, VALUES + i as u32 * 8, v)?;
+            }
+            rt.write_u64_at(&r, NEXT, node.next.raw())?;
+        } else {
+            for (i, &c) in node.children.iter().enumerate() {
+                rt.write_u64_at(&r, CHILDREN + i as u32 * 8, c.raw())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_node(&self, rt: &mut Runtime, pool: PoolId) -> Result<ObjectId, PmemError> {
+        let oid = if rt.config().failure_safety && rt.in_transaction() {
+            rt.tx_pmalloc_in(pool, NODE_BYTES as u64)?
+        } else {
+            rt.pmalloc(pool, NODE_BYTES as u64)?
+        };
+        Ok(oid)
+    }
+
+    /// Index of the child to descend into for `key`, with compare-branch
+    /// emission: child `i` covers keys `< keys[i]`, child `n` covers the
+    /// rest.
+    fn child_index(rt: &mut Runtime, node: &Node, key: u64, rng: &mut StdRng) -> usize {
+        for (i, &k) in node.keys.iter().enumerate() {
+            compare_branch(rt, rng);
+            if key < k {
+                return i;
+            }
+        }
+        node.keys.len()
+    }
+
+    /// Position of `key` in a leaf, with compare-branch emission.
+    fn leaf_position(
+        rt: &mut Runtime,
+        node: &Node,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<usize, usize> {
+        for (i, &k) in node.keys.iter().enumerate() {
+            compare_branch(rt, rng);
+            if k == key {
+                return Ok(i);
+            }
+            if k > key {
+                return Err(i);
+            }
+        }
+        Err(node.keys.len())
+    }
+
+    /// Looks `key` up, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn get(
+        &self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<Option<u64>, PmemError> {
+        let mut cur = self.root(rt)?;
+        loop {
+            loop_branch(rt);
+            if cur.is_null() {
+                return Ok(None);
+            }
+            let node = self.read_node(rt, cur, None)?;
+            if node.leaf {
+                return Ok(match Self::leaf_position(rt, &node, key, rng) {
+                    Ok(i) => Some(node.values[i]),
+                    Err(_) => None,
+                });
+            }
+            cur = node.children[Self::child_index(rt, &node, key, rng)];
+        }
+    }
+
+    /// Inserts `key → value`, allocating any new nodes in `alloc_pool`.
+    /// Returns `false` (without modifying the mapping) if the key exists.
+    ///
+    /// The operation is wrapped in a transaction on `alloc_pool` when
+    /// failure safety is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/allocation/transaction failures.
+    pub fn insert(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        value: u64,
+        alloc_pool: PoolId,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        if rt.in_transaction() {
+            // Join the caller's transaction (TPC-C wraps several tree
+            // operations in one); its undo log covers our modifications.
+            let mut log = TxLogSet::new();
+            return self.insert_inner(rt, &mut log, key, value, alloc_pool, rng);
+        }
+        rt.tx_begin(alloc_pool)?;
+        let mut log = TxLogSet::new();
+        let result = self.insert_inner(rt, &mut log, key, value, alloc_pool, rng);
+        match result {
+            Ok(inserted) => {
+                rt.tx_end()?;
+                Ok(inserted)
+            }
+            Err(e) => {
+                // Roll back any partial splits before propagating.
+                if rt.in_transaction() {
+                    rt.tx_abort()?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_inner(
+        &mut self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        key: u64,
+        value: u64,
+        alloc_pool: PoolId,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let mut root = self.root(rt)?;
+        if root.is_null() {
+            let leaf = self.alloc_node(rt, alloc_pool)?;
+            let node = Node {
+                leaf: true,
+                keys: vec![key],
+                values: vec![value],
+                children: Vec::new(),
+                next: ObjectId::NULL,
+            };
+            self.write_node(rt, None, leaf, &node)?;
+            rt.persist(leaf, NODE_BYTES as u64)?;
+            self.set_root(rt, log, leaf)?;
+            return Ok(true);
+        }
+
+        // Split a full root first so the descent always has room above.
+        let root_node = self.read_node(rt, root, None)?;
+        if root_node.keys.len() == MAX_KEYS {
+            let new_root_oid = self.alloc_node(rt, alloc_pool)?;
+            let (sep, right_oid) = self.split_child(rt, log, root, &root_node, alloc_pool)?;
+            let new_root = Node {
+                leaf: false,
+                keys: vec![sep],
+                children: vec![root, right_oid],
+                values: Vec::new(),
+                next: ObjectId::NULL,
+            };
+            self.write_node(rt, None, new_root_oid, &new_root)?;
+            rt.persist(new_root_oid, NODE_BYTES as u64)?;
+            self.set_root(rt, log, new_root_oid)?;
+            root = new_root_oid;
+        }
+
+        let mut cur = root;
+        loop {
+            loop_branch(rt);
+            let node = self.read_node(rt, cur, None)?;
+            if node.leaf {
+                let mut node = node;
+                match Self::leaf_position(rt, &node, key, rng) {
+                    Ok(_) => return Ok(false),
+                    Err(pos) => {
+                        node.keys.insert(pos, key);
+                        node.values.insert(pos, value);
+                        self.write_node(rt, Some(log), cur, &node)?;
+                        return Ok(true);
+                    }
+                }
+            }
+            let idx = Self::child_index(rt, &node, key, rng);
+            let child = node.children[idx];
+            let child_node = self.read_node(rt, child, None)?;
+            if child_node.keys.len() == MAX_KEYS {
+                let (sep, right_oid) =
+                    self.split_child(rt, log, child, &child_node, alloc_pool)?;
+                let mut parent = node;
+                parent.keys.insert(idx, sep);
+                parent.children.insert(idx + 1, right_oid);
+                self.write_node(rt, Some(log), cur, &parent)?;
+                compare_branch(rt, rng);
+                cur = if key < sep { child } else { right_oid };
+            } else {
+                cur = child;
+            }
+        }
+    }
+
+    /// Splits a full node, returning `(separator, right sibling)`. The
+    /// left half is written back in place.
+    fn split_child(
+        &mut self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        oid: ObjectId,
+        node: &Node,
+        alloc_pool: PoolId,
+    ) -> Result<(u64, ObjectId), PmemError> {
+        debug_assert_eq!(node.keys.len(), MAX_KEYS);
+        let right_oid = self.alloc_node(rt, alloc_pool)?;
+        let mid = MAX_KEYS / 2; // 3
+        let (sep, left, right);
+        if node.leaf {
+            // Copy-up: the separator remains in the right leaf.
+            sep = node.keys[mid];
+            left = Node {
+                leaf: true,
+                keys: node.keys[..mid].to_vec(),
+                values: node.values[..mid].to_vec(),
+                children: Vec::new(),
+                next: right_oid,
+            };
+            right = Node {
+                leaf: true,
+                keys: node.keys[mid..].to_vec(),
+                values: node.values[mid..].to_vec(),
+                children: Vec::new(),
+                next: node.next,
+            };
+        } else {
+            // Move-up: the separator leaves the internal node.
+            sep = node.keys[mid];
+            left = Node {
+                leaf: false,
+                keys: node.keys[..mid].to_vec(),
+                children: node.children[..=mid].to_vec(),
+                values: Vec::new(),
+                next: ObjectId::NULL,
+            };
+            right = Node {
+                leaf: false,
+                keys: node.keys[mid + 1..].to_vec(),
+                children: node.children[mid + 1..].to_vec(),
+                values: Vec::new(),
+                next: ObjectId::NULL,
+            };
+        }
+        self.write_node(rt, None, right_oid, &right)?;
+        rt.persist(right_oid, NODE_BYTES as u64)?;
+        self.write_node(rt, Some(log), oid, &left)?;
+        rt.exec(12);
+        Ok((sep, right_oid))
+    }
+
+    /// Updates the value of an existing key; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn update(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        value: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let mut cur = self.root(rt)?;
+        loop {
+            loop_branch(rt);
+            if cur.is_null() {
+                return Ok(false);
+            }
+            let node = self.read_node(rt, cur, None)?;
+            if node.leaf {
+                let Ok(i) = Self::leaf_position(rt, &node, key, rng) else {
+                    return Ok(false);
+                };
+                let pool = cur.pool().expect("live node");
+                let own_tx = !rt.in_transaction();
+                if own_tx {
+                    rt.tx_begin(pool)?;
+                }
+                rt.tx_add_range(cur, NODE_BYTES)?;
+                let r = rt.deref(cur, None)?;
+                rt.write_u64_at(&r, VALUES + i as u32 * 8, value)?;
+                if own_tx {
+                    rt.tx_end()?;
+                }
+                return Ok(true);
+            }
+            cur = node.children[Self::child_index(rt, &node, key, rng)];
+        }
+    }
+
+    /// Removes `key`, rebalancing on the way down; returns its value if it
+    /// was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn remove(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<Option<u64>, PmemError> {
+        // Read-only probe first (the Table 5 ops search before mutating).
+        let Some(value) = self.get(rt, key, rng)? else {
+            return Ok(None);
+        };
+        let root = self.root(rt)?;
+        let own_tx = !rt.in_transaction();
+        if own_tx {
+            rt.tx_begin(root.pool().expect("non-empty tree"))?;
+        }
+        let mut log = TxLogSet::new();
+        let result = self.remove_rec(rt, &mut log, root, key, rng);
+        match result {
+            Ok(()) => {
+                // Shrink the root if it lost all its keys.
+                let root_node = self.read_node(rt, root, None)?;
+                if root_node.keys.is_empty() {
+                    let new_root = if root_node.leaf {
+                        ObjectId::NULL
+                    } else {
+                        root_node.children[0]
+                    };
+                    self.set_root(rt, &mut log, new_root)?;
+                    if rt.config().failure_safety {
+                        rt.tx_pfree(root)?;
+                    } else {
+                        rt.pfree(root)?;
+                    }
+                }
+                if own_tx {
+                    rt.tx_end()?;
+                }
+                Ok(Some(value))
+            }
+            Err(e) => {
+                if own_tx && rt.in_transaction() {
+                    rt.tx_abort()?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn remove_rec(
+        &mut self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        cur: ObjectId,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<(), PmemError> {
+        let node = self.read_node(rt, cur, None)?;
+        if node.leaf {
+            let mut node = node;
+            if let Ok(i) = Self::leaf_position(rt, &node, key, rng) {
+                node.keys.remove(i);
+                node.values.remove(i);
+                self.write_node(rt, Some(log), cur, &node)?;
+            }
+            return Ok(());
+        }
+        let idx = Self::child_index(rt, &node, key, rng);
+        let child = node.children[idx];
+        let child_node = self.read_node(rt, child, None)?;
+        let descend_into = if child_node.keys.len() <= MIN_KEYS {
+            // Rebalancing may merge the child leftward; descend into the
+            // node that now covers the key.
+            self.rebalance_child(rt, log, cur, node, idx, rng)?.0
+        } else {
+            child
+        };
+        self.remove_rec(rt, log, descend_into, key, rng)
+    }
+
+    /// Gives `parent.children[idx]` at least `MIN_KEYS + 1` keys by
+    /// borrowing from a sibling or merging. Returns the node to descend
+    /// into (the merged node may differ from the original child) and its
+    /// new index.
+    fn rebalance_child(
+        &mut self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        parent_oid: ObjectId,
+        mut parent: Node,
+        idx: usize,
+        _rng: &mut StdRng,
+    ) -> Result<(ObjectId, usize), PmemError> {
+        let child_oid = parent.children[idx];
+        let mut child = self.read_node(rt, child_oid, None)?;
+        rt.exec(6);
+
+        // Try borrowing from the left sibling.
+        if idx > 0 {
+            let left_oid = parent.children[idx - 1];
+            let mut left = self.read_node(rt, left_oid, None)?;
+            if left.keys.len() > MIN_KEYS {
+                if child.leaf {
+                    let k = left.keys.pop().expect("len > MIN_KEYS");
+                    let v = left.values.pop().expect("leaf values match keys");
+                    child.keys.insert(0, k);
+                    child.values.insert(0, v);
+                    parent.keys[idx - 1] = child.keys[0];
+                } else {
+                    let sep = parent.keys[idx - 1];
+                    let k = left.keys.pop().expect("len > MIN_KEYS");
+                    let c = left.children.pop().expect("children match keys");
+                    child.keys.insert(0, sep);
+                    child.children.insert(0, c);
+                    parent.keys[idx - 1] = k;
+                }
+                self.write_node(rt, Some(log), left_oid, &left)?;
+                self.write_node(rt, Some(log), child_oid, &child)?;
+                self.write_node(rt, Some(log), parent_oid, &parent)?;
+                return Ok((child_oid, idx));
+            }
+        }
+        // Try borrowing from the right sibling.
+        if idx < parent.children.len() - 1 {
+            let right_oid = parent.children[idx + 1];
+            let mut right = self.read_node(rt, right_oid, None)?;
+            if right.keys.len() > MIN_KEYS {
+                if child.leaf {
+                    let k = right.keys.remove(0);
+                    let v = right.values.remove(0);
+                    child.keys.push(k);
+                    child.values.push(v);
+                    parent.keys[idx] = right.keys[0];
+                } else {
+                    let sep = parent.keys[idx];
+                    child.keys.push(sep);
+                    child.children.push(right.children.remove(0));
+                    parent.keys[idx] = right.keys.remove(0);
+                }
+                self.write_node(rt, Some(log), right_oid, &right)?;
+                self.write_node(rt, Some(log), child_oid, &child)?;
+                self.write_node(rt, Some(log), parent_oid, &parent)?;
+                return Ok((child_oid, idx));
+            }
+        }
+
+        // Merge with a sibling (prefer left so the survivor is leftmost).
+        let (left_idx, left_oid, right_oid) = if idx > 0 {
+            (idx - 1, parent.children[idx - 1], child_oid)
+        } else {
+            (idx, child_oid, parent.children[idx + 1])
+        };
+        let mut left = self.read_node(rt, left_oid, None)?;
+        let right = self.read_node(rt, right_oid, None)?;
+        if left.leaf {
+            left.keys.extend_from_slice(&right.keys);
+            left.values.extend_from_slice(&right.values);
+            left.next = right.next;
+        } else {
+            left.keys.push(parent.keys[left_idx]);
+            left.keys.extend_from_slice(&right.keys);
+            left.children.extend_from_slice(&right.children);
+        }
+        debug_assert!(left.keys.len() <= MAX_KEYS, "merge overflow");
+        parent.keys.remove(left_idx);
+        parent.children.remove(left_idx + 1);
+        self.write_node(rt, Some(log), left_oid, &left)?;
+        self.write_node(rt, Some(log), parent_oid, &parent)?;
+        if rt.config().failure_safety {
+            rt.tx_pfree(right_oid)?;
+        } else {
+            rt.pfree(right_oid)?;
+        }
+        Ok((left_oid, left_idx))
+    }
+
+    /// Scans up to `limit` entries with keys `>= from`, via the leaf chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn scan_from(
+        &self,
+        rt: &mut Runtime,
+        from: u64,
+        limit: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(u64, u64)>, PmemError> {
+        let mut out = Vec::new();
+        let mut cur = self.root(rt)?;
+        if cur.is_null() {
+            return Ok(out);
+        }
+        // Descend to the leaf covering `from`.
+        loop {
+            let node = self.read_node(rt, cur, None)?;
+            if node.leaf {
+                break;
+            }
+            cur = node.children[Self::child_index(rt, &node, from, rng)];
+        }
+        // Walk the leaf chain.
+        while !cur.is_null() && out.len() < limit {
+            loop_branch(rt);
+            let node = self.read_node(rt, cur, None)?;
+            for (i, &k) in node.keys.iter().enumerate() {
+                compare_branch(rt, rng);
+                if k >= from && out.len() < limit {
+                    out.push((k, node.values[i]));
+                }
+            }
+            cur = node.next;
+        }
+        Ok(out)
+    }
+
+    /// All `(key, value)` pairs in key order via the leaf chain (test
+    /// helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn to_sorted_vec(&self, rt: &mut Runtime) -> Result<Vec<(u64, u64)>, PmemError> {
+        let mut out = Vec::new();
+        let mut cur = self.root(rt)?;
+        if cur.is_null() {
+            return Ok(out);
+        }
+        loop {
+            let node = self.read_node(rt, cur, None)?;
+            if node.leaf {
+                break;
+            }
+            cur = node.children[0];
+        }
+        while !cur.is_null() {
+            let node = self.read_node(rt, cur, None)?;
+            for (i, &k) in node.keys.iter().enumerate() {
+                out.push((k, node.values[i]));
+            }
+            cur = node.next;
+        }
+        Ok(out)
+    }
+
+    /// Verifies structural invariants; returns the tree height (test
+    /// helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invariant violation.
+    pub fn check_invariants(&self, rt: &mut Runtime) -> Result<u32, PmemError> {
+        let root = self.root(rt)?;
+        if root.is_null() {
+            return Ok(0);
+        }
+        self.check_subtree(rt, root, None, None, true)
+    }
+
+    fn check_subtree(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        is_root: bool,
+    ) -> Result<u32, PmemError> {
+        let node = self.read_node(rt, oid, None)?;
+        assert!(node.keys.len() <= MAX_KEYS, "node overflow");
+        if !is_root {
+            assert!(node.keys.len() >= MIN_KEYS, "node underflow: {}", node.keys.len());
+        }
+        assert!(node.keys.windows(2).all(|w| w[0] < w[1]), "keys sorted");
+        if let Some(lo) = lo {
+            assert!(node.keys.first().is_none_or(|&k| k >= lo), "lower bound");
+        }
+        if let Some(hi) = hi {
+            assert!(node.keys.last().is_none_or(|&k| k < hi), "upper bound");
+        }
+        if node.leaf {
+            assert_eq!(node.keys.len(), node.values.len());
+            return Ok(1);
+        }
+        assert_eq!(node.children.len(), node.keys.len() + 1);
+        let mut heights = Vec::new();
+        for (i, &c) in node.children.iter().enumerate() {
+            let clo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
+            let chi = if i == node.keys.len() { hi } else { Some(node.keys[i]) };
+            heights.push(self.check_subtree(rt, c, clo, chi, false)?);
+        }
+        assert!(heights.windows(2).all(|w| w[0] == w[1]), "uniform depth");
+        Ok(heights[0] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Pattern, PoolSet};
+    use poat_pmem::RuntimeConfig;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    fn setup() -> (Runtime, PersistentBPlusTree, PoolSet, StdRng) {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let mut pools = PoolSet::create(&mut rt, Pattern::All, "bpt", 4 << 20).unwrap();
+        let holder = rt.pool_root(pools.anchor(), 8).unwrap();
+        let tree = PersistentBPlusTree::create(&mut rt, holder).unwrap();
+        let _ = &mut pools;
+        (rt, tree, pools, StdRng::seed_from_u64(8))
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let (mut rt, mut t, mut pools, mut rng) = setup();
+        for k in [5u64, 1, 9, 3, 7] {
+            let pool = pools.pool_for(&mut rt, k).unwrap();
+            assert!(t.insert(&mut rt, k, k * 10, pool, &mut rng).unwrap());
+        }
+        let pool = pools.pool_for(&mut rt, 5).unwrap();
+        assert!(!t.insert(&mut rt, 5, 999, pool, &mut rng).unwrap(), "duplicate");
+        assert_eq!(t.get(&mut rt, 5, &mut rng).unwrap(), Some(50), "not clobbered");
+        assert_eq!(t.get(&mut rt, 4, &mut rng).unwrap(), None);
+        assert!(t.update(&mut rt, 9, 91, &mut rng).unwrap());
+        assert!(!t.update(&mut rt, 4, 0, &mut rng).unwrap());
+        assert_eq!(t.get(&mut rt, 9, &mut rng).unwrap(), Some(91));
+    }
+
+    #[test]
+    fn splits_keep_invariants_and_order() {
+        let (mut rt, mut t, mut pools, mut rng) = setup();
+        for k in 0..200u64 {
+            let pool = pools.pool_for(&mut rt, k).unwrap();
+            t.insert(&mut rt, k * 7 % 200, k, pool, &mut rng).unwrap();
+            if k % 25 == 0 {
+                t.check_invariants(&mut rt).unwrap();
+            }
+        }
+        let h = t.check_invariants(&mut rt).unwrap();
+        assert!(h >= 3, "200 keys at order 7 needs height >= 3, got {h}");
+        let keys: Vec<u64> = t.to_sorted_vec(&mut rt).unwrap().iter().map(|p| p.0).collect();
+        assert_eq!(keys, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn removals_rebalance() {
+        let (mut rt, mut t, mut pools, mut rng) = setup();
+        for k in 0..100u64 {
+            let pool = pools.pool_for(&mut rt, k).unwrap();
+            t.insert(&mut rt, k, k, pool, &mut rng).unwrap();
+        }
+        for k in (0..100u64).step_by(2) {
+            assert_eq!(t.remove(&mut rt, k, &mut rng).unwrap(), Some(k));
+            if k % 20 == 0 {
+                t.check_invariants(&mut rt).unwrap();
+            }
+        }
+        assert_eq!(t.remove(&mut rt, 2, &mut rng).unwrap(), None, "already gone");
+        t.check_invariants(&mut rt).unwrap();
+        let keys: Vec<u64> = t.to_sorted_vec(&mut rt).unwrap().iter().map(|p| p.0).collect();
+        assert_eq!(keys, (1..100).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_to_empty_and_reuse() {
+        let (mut rt, mut t, mut pools, mut rng) = setup();
+        for k in 0..40u64 {
+            let pool = pools.pool_for(&mut rt, k).unwrap();
+            t.insert(&mut rt, k, k, pool, &mut rng).unwrap();
+        }
+        for k in 0..40u64 {
+            assert!(t.remove(&mut rt, k, &mut rng).unwrap().is_some(), "{k}");
+        }
+        assert!(t.to_sorted_vec(&mut rt).unwrap().is_empty());
+        // Tree usable again after being emptied.
+        let pool = pools.pool_for(&mut rt, 7).unwrap();
+        assert!(t.insert(&mut rt, 7, 70, pool, &mut rng).unwrap());
+        assert_eq!(t.get(&mut rt, 7, &mut rng).unwrap(), Some(70));
+    }
+
+    #[test]
+    fn matches_btreemap_reference() {
+        let (mut rt, mut t, mut pools, mut rng) = setup();
+        let mut reference = BTreeMap::new();
+        for _ in 0..800 {
+            let k = rng.gen_range(0..250u64);
+            if reference.remove(&k).is_some() {
+                assert!(t.remove(&mut rt, k, &mut rng).unwrap().is_some());
+            } else {
+                reference.insert(k, k * 3);
+                let pool = pools.pool_for(&mut rt, k).unwrap();
+                assert!(t.insert(&mut rt, k, k * 3, pool, &mut rng).unwrap());
+            }
+        }
+        t.check_invariants(&mut rt).unwrap();
+        let want: Vec<(u64, u64)> = reference.into_iter().collect();
+        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), want);
+    }
+
+    #[test]
+    fn scan_returns_range_in_order() {
+        let (mut rt, mut t, mut pools, mut rng) = setup();
+        for k in 0..60u64 {
+            let pool = pools.pool_for(&mut rt, k).unwrap();
+            t.insert(&mut rt, k * 2, k, pool, &mut rng).unwrap();
+        }
+        let got = t.scan_from(&mut rt, 50, 10, &mut rng).unwrap();
+        let keys: Vec<u64> = got.iter().map(|p| p.0).collect();
+        assert_eq!(keys, vec![50, 52, 54, 56, 58, 60, 62, 64, 66, 68]);
+    }
+}

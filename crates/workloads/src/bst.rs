@@ -1,0 +1,363 @@
+//! BST — the persistent (unbalanced) binary search tree (paper Table 5).
+//!
+//! Node layout: `{ key: u64, left: OID, right: OID }`. The Table 5
+//! operation searches a random key; if found the node is removed and
+//! replaced with the maximum of its left subtree (as the paper specifies),
+//! otherwise a new node is inserted at the leaf position.
+
+use poat_core::ObjectId;
+use poat_pmem::{PmemError, Runtime};
+use rand::rngs::StdRng;
+
+use crate::pattern::{Pattern, PoolSet};
+use crate::util::{compare_branch, loop_branch, TxLogSet};
+
+const KEY: u32 = 0;
+const LEFT: u32 = 8;
+const RIGHT: u32 = 16;
+/// Node payload size in bytes.
+pub const NODE_BYTES: u32 = 24;
+
+/// Which child link of a parent points at a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+impl Side {
+    fn offset(self) -> u32 {
+        match self {
+            Side::Left => LEFT,
+            Side::Right => RIGHT,
+        }
+    }
+}
+
+/// A link slot: either the root holder or a parent's child field.
+#[derive(Clone, Copy, Debug)]
+enum Link {
+    Root,
+    Child(ObjectId, Side),
+}
+
+/// The persistent binary search tree.
+#[derive(Debug)]
+pub struct PersistentBst {
+    root: ObjectId, // root object of the anchor pool; holds the tree root OID
+    pools: PoolSet,
+}
+
+impl PersistentBst {
+    /// Creates an empty tree with pools laid out per `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation failures.
+    pub fn create(rt: &mut Runtime, pattern: Pattern) -> Result<Self, PmemError> {
+        let pools = PoolSet::create(rt, pattern, "bst", 2 << 20)?;
+        let root = rt.pool_root(pools.anchor(), 8)?;
+        rt.write_u64(root, ObjectId::NULL.raw())?;
+        rt.persist(root, 8)?;
+        Ok(PersistentBst { root, pools })
+    }
+
+    fn link_oid(&self, link: Link) -> ObjectId {
+        match link {
+            Link::Root => self.root,
+            Link::Child(parent, side) => parent.add(side.offset()),
+        }
+    }
+
+    fn read_link(&self, rt: &mut Runtime, link: Link) -> Result<(u64, u64), PmemError> {
+        let r = rt.deref(self.link_oid(link), None)?;
+        let (v, dep) = rt.read_u64_at(&r, 0)?;
+        Ok((v, dep))
+    }
+
+    fn write_link(&self, rt: &mut Runtime, link: Link, value: u64) -> Result<(), PmemError> {
+        let r = rt.deref(self.link_oid(link), None)?;
+        rt.write_u64_at(&r, 0, value)?;
+        Ok(())
+    }
+
+    /// Descends to `key`. Returns the node and the link that points at it,
+    /// or the link where `key` would be inserted.
+    fn descend(
+        &self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<(Link, Option<ObjectId>), PmemError> {
+        let (mut cur_raw, mut dep) = self.read_link(rt, Link::Root)?;
+        let mut link = Link::Root;
+        loop {
+            let cur = ObjectId::from_raw(cur_raw);
+            loop_branch(rt);
+            if cur.is_null() {
+                return Ok((link, None));
+            }
+            let node = rt.deref(cur, Some(dep))?;
+            let (k, _) = rt.read_u64_at(&node, KEY)?;
+            compare_branch(rt, rng);
+            if k == key {
+                return Ok((link, Some(cur)));
+            }
+            let side = if key < k { Side::Left } else { Side::Right };
+            let (next, ndep) = rt.read_u64_at(&node, side.offset())?;
+            link = Link::Child(cur, side);
+            cur_raw = next;
+            dep = ndep;
+        }
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn contains(
+        &self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        Ok(self.descend(rt, key, rng)?.1.is_some())
+    }
+
+    /// Inserts `key` if absent; returns whether it was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn insert(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let (link, found) = self.descend(rt, key, rng)?;
+        if found.is_some() {
+            return Ok(false);
+        }
+        let pool = self.pools.pool_for(rt, key)?;
+        rt.tx_begin(pool)?;
+        let node = if rt.config().failure_safety {
+            rt.tx_pmalloc(NODE_BYTES as u64)?
+        } else {
+            rt.pmalloc(pool, NODE_BYTES as u64)?
+        };
+        let nref = rt.deref(node, None)?;
+        rt.write_u64_at(&nref, KEY, key)?;
+        rt.write_u64_at(&nref, LEFT, ObjectId::NULL.raw())?;
+        rt.write_u64_at(&nref, RIGHT, ObjectId::NULL.raw())?;
+        rt.persist(node, NODE_BYTES as u64)?;
+        rt.tx_add_range(self.link_oid(link), 8)?;
+        self.write_link(rt, link, node.raw())?;
+        rt.tx_end()?;
+        Ok(true)
+    }
+
+    /// Removes `key` if present (replacing with the max of the left
+    /// subtree, per Table 5); returns whether a node was removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn remove(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let (link, Some(node)) = self.descend(rt, key, rng)? else {
+            return Ok(false);
+        };
+        let nref = rt.deref(node, None)?;
+        let (left_raw, ldep) = rt.read_u64_at(&nref, LEFT)?;
+        let (right_raw, _) = rt.read_u64_at(&nref, RIGHT)?;
+        let left = ObjectId::from_raw(left_raw);
+        loop_branch(rt);
+
+        if left.is_null() {
+            // Splice: the node's right subtree takes its place.
+            let victim_pool = node.pool().expect("live node");
+            rt.tx_begin(victim_pool)?;
+            let mut log = TxLogSet::new();
+            log.log(rt, self.link_oid(link), 8)?;
+            self.write_link(rt, link, right_raw)?;
+            if rt.config().failure_safety {
+                rt.tx_pfree(node)?;
+            } else {
+                rt.pfree(node)?;
+            }
+            rt.tx_end()?;
+            return Ok(true);
+        }
+
+        // Find the maximum of the left subtree (rightmost descendant).
+        let mut mlink = Link::Child(node, Side::Left);
+        let mut cur = left;
+        let mut dep = ldep;
+        loop {
+            let cref = rt.deref(cur, Some(dep))?;
+            let (r_raw, rdep) = rt.read_u64_at(&cref, RIGHT)?;
+            loop_branch(rt);
+            let r = ObjectId::from_raw(r_raw);
+            if r.is_null() {
+                break;
+            }
+            mlink = Link::Child(cur, Side::Right);
+            cur = r;
+            dep = rdep;
+        }
+        let max_node = cur;
+        let mref = rt.deref(max_node, None)?;
+        let (max_key, _) = rt.read_u64_at(&mref, KEY)?;
+        let (max_left, _) = rt.read_u64_at(&mref, LEFT)?;
+
+        let victim_pool = max_node.pool().expect("live node");
+        rt.tx_begin(victim_pool)?;
+        let mut log = TxLogSet::new();
+        // The removed key's node receives the max key; the max node is
+        // spliced out (it has no right child by construction).
+        log.log(rt, node.add(KEY), 8)?;
+        let nref = rt.deref(node, None)?;
+        rt.write_u64_at(&nref, KEY, max_key)?;
+        log.log(rt, self.link_oid(mlink), 8)?;
+        self.write_link(rt, mlink, max_left)?;
+        if rt.config().failure_safety {
+            rt.tx_pfree(max_node)?;
+        } else {
+            rt.pfree(max_node)?;
+        }
+        rt.tx_end()?;
+        Ok(true)
+    }
+
+    /// Runs one Table 5 operation: search; remove if found, else insert.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn op(&mut self, rt: &mut Runtime, key: u64, rng: &mut StdRng) -> Result<(), PmemError> {
+        if self.remove(rt, key, rng)? {
+            return Ok(());
+        }
+        self.insert(rt, key, rng)?;
+        Ok(())
+    }
+
+    /// In-order key traversal (test/diagnostic helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn to_sorted_vec(&self, rt: &mut Runtime) -> Result<Vec<u64>, PmemError> {
+        fn walk(
+            rt: &mut Runtime,
+            oid: ObjectId,
+            out: &mut Vec<u64>,
+        ) -> Result<(), PmemError> {
+            if oid.is_null() {
+                return Ok(());
+            }
+            let r = rt.deref(oid, None)?;
+            let (k, _) = rt.read_u64_at(&r, KEY)?;
+            let (l, _) = rt.read_u64_at(&r, LEFT)?;
+            let (rr, _) = rt.read_u64_at(&r, RIGHT)?;
+            walk(rt, ObjectId::from_raw(l), out)?;
+            out.push(k);
+            walk(rt, ObjectId::from_raw(rr), out)?;
+            Ok(())
+        }
+        let mut out = Vec::new();
+        let root = ObjectId::from_raw(rt.read_u64(self.root)?);
+        walk(rt, root, &mut out)?;
+        Ok(out)
+    }
+
+    /// The pool set (for pool-count reporting).
+    pub fn pools(&self) -> &PoolSet {
+        &self.pools
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poat_pmem::RuntimeConfig;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn setup(pattern: Pattern) -> (Runtime, PersistentBst, StdRng) {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let t = PersistentBst::create(&mut rt, pattern).unwrap();
+        (rt, t, StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        for k in [50, 25, 75, 10, 60] {
+            assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+        }
+        assert!(!t.insert(&mut rt, 25, &mut rng).unwrap(), "duplicate");
+        assert!(t.contains(&mut rt, 60, &mut rng).unwrap());
+        assert!(!t.contains(&mut rt, 61, &mut rng).unwrap());
+        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), vec![10, 25, 50, 60, 75]);
+    }
+
+    #[test]
+    fn remove_leaf_one_child_two_children() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        for k in [50, 25, 75, 10, 30, 27, 35] {
+            t.insert(&mut rt, k, &mut rng).unwrap();
+        }
+        assert!(t.remove(&mut rt, 10, &mut rng).unwrap(), "leaf");
+        assert!(t.remove(&mut rt, 75, &mut rng).unwrap(), "no left child");
+        assert!(t.remove(&mut rt, 25, &mut rng).unwrap(), "two children");
+        assert!(t.remove(&mut rt, 50, &mut rng).unwrap(), "root with children");
+        assert!(!t.remove(&mut rt, 50, &mut rng).unwrap());
+        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), vec![27, 30, 35]);
+    }
+
+    #[test]
+    fn matches_btreeset_reference() {
+        for pattern in [Pattern::All, Pattern::Random] {
+            let (mut rt, mut t, mut rng) = setup(pattern);
+            let mut reference = BTreeSet::new();
+            for _ in 0..400 {
+                let k = rng.gen_range(0..120u64);
+                if reference.contains(&k) {
+                    reference.remove(&k);
+                    assert!(t.remove(&mut rt, k, &mut rng).unwrap());
+                } else {
+                    reference.insert(k);
+                    assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+                }
+            }
+            let want: Vec<u64> = reference.into_iter().collect();
+            assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), want, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn op_toggles_membership() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        t.op(&mut rt, 5, &mut rng).unwrap();
+        assert!(t.contains(&mut rt, 5, &mut rng).unwrap());
+        t.op(&mut rt, 5, &mut rng).unwrap();
+        assert!(!t.contains(&mut rt, 5, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn committed_tree_survives_crash() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::Each);
+        for k in [5, 3, 8, 1] {
+            t.insert(&mut rt, k, &mut rng).unwrap();
+        }
+        let mut rt2 = rt.crash_and_recover(11).unwrap();
+        assert_eq!(t.to_sorted_vec(&mut rt2).unwrap(), vec![1, 3, 5, 8]);
+    }
+}

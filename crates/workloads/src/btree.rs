@@ -1,0 +1,441 @@
+//! BT — the persistent B-Tree of order 7 (paper Table 5).
+//!
+//! Unlike the B+Tree, keys live in every node (a classic B-Tree). The
+//! Table 5 workload only inserts: "Search 5000 random integers. If the
+//! number is missing, insert a new node ... and the tree will be
+//! re-balanced" — rebalancing on insert means node splits.
+//!
+//! Node layout (15 `u64` words / 120 bytes):
+//! `[nkeys][leaf][keys ×6][children ×7]`.
+
+use poat_core::{ObjectId, PoolId};
+use poat_pmem::{PmemError, Runtime};
+use rand::rngs::StdRng;
+
+use crate::pattern::{Pattern, PoolSet};
+use crate::util::{compare_branch, loop_branch, TxLogSet};
+
+const NKEYS: u32 = 0;
+const LEAF: u32 = 8;
+const KEYS: u32 = 16;
+const CHILDREN: u32 = 64;
+
+/// Maximum keys per node (order 7).
+pub const MAX_KEYS: usize = 6;
+/// Node payload size in bytes.
+pub const NODE_BYTES: u32 = 120;
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    leaf: bool,
+    keys: Vec<u64>,
+    children: Vec<ObjectId>,
+}
+
+/// The persistent B-Tree (a `u64` key set).
+#[derive(Debug)]
+pub struct PersistentBTree {
+    root_holder: ObjectId,
+    pools: PoolSet,
+}
+
+impl PersistentBTree {
+    /// Creates an empty tree with pools laid out per `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation failures.
+    pub fn create(rt: &mut Runtime, pattern: Pattern) -> Result<Self, PmemError> {
+        let pools = PoolSet::create(rt, pattern, "bt", 4 << 20)?;
+        let root_holder = rt.pool_root(pools.anchor(), 8)?;
+        rt.write_u64(root_holder, ObjectId::NULL.raw())?;
+        rt.persist(root_holder, 8)?;
+        Ok(PersistentBTree { root_holder, pools })
+    }
+
+    fn root(&self, rt: &mut Runtime) -> Result<ObjectId, PmemError> {
+        Ok(ObjectId::from_raw(rt.read_u64(self.root_holder)?))
+    }
+
+    fn read_node(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        dep: Option<u64>,
+    ) -> Result<Node, PmemError> {
+        let r = rt.deref(oid, dep)?;
+        let (n, _) = rt.read_u64_at(&r, NKEYS)?;
+        let (leaf, _) = rt.read_u64_at(&r, LEAF)?;
+        let n = n as usize;
+        debug_assert!(n <= MAX_KEYS);
+        let mut node = Node {
+            leaf: leaf == 1,
+            ..Node::default()
+        };
+        for i in 0..n {
+            node.keys.push(rt.read_u64_at(&r, KEYS + i as u32 * 8)?.0);
+        }
+        if !node.leaf {
+            for i in 0..=n {
+                node.children
+                    .push(ObjectId::from_raw(rt.read_u64_at(&r, CHILDREN + i as u32 * 8)?.0));
+            }
+        }
+        Ok(node)
+    }
+
+    fn write_node(
+        &self,
+        rt: &mut Runtime,
+        log: Option<&mut TxLogSet>,
+        oid: ObjectId,
+        node: &Node,
+    ) -> Result<(), PmemError> {
+        if let Some(log) = log {
+            log.log(rt, oid, NODE_BYTES)?;
+        }
+        let r = rt.deref(oid, None)?;
+        rt.write_u64_at(&r, NKEYS, node.keys.len() as u64)?;
+        rt.write_u64_at(&r, LEAF, u64::from(node.leaf))?;
+        for (i, &k) in node.keys.iter().enumerate() {
+            rt.write_u64_at(&r, KEYS + i as u32 * 8, k)?;
+        }
+        for (i, &c) in node.children.iter().enumerate() {
+            rt.write_u64_at(&r, CHILDREN + i as u32 * 8, c.raw())?;
+        }
+        Ok(())
+    }
+
+    fn alloc_node(&self, rt: &mut Runtime, pool: PoolId) -> Result<ObjectId, PmemError> {
+        if rt.config().failure_safety && rt.in_transaction() {
+            rt.tx_pmalloc_in(pool, NODE_BYTES as u64)
+        } else {
+            rt.pmalloc(pool, NODE_BYTES as u64)
+        }
+    }
+
+    /// Scans a node for `key`: `Ok(i)` if present, `Err(child index)` to
+    /// descend.
+    fn scan(rt: &mut Runtime, node: &Node, key: u64, rng: &mut StdRng) -> Result<usize, usize> {
+        for (i, &k) in node.keys.iter().enumerate() {
+            compare_branch(rt, rng);
+            if k == key {
+                return Ok(i);
+            }
+            if k > key {
+                return Err(i);
+            }
+        }
+        Err(node.keys.len())
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn contains(
+        &self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let mut cur = self.root(rt)?;
+        loop {
+            loop_branch(rt);
+            if cur.is_null() {
+                return Ok(false);
+            }
+            let node = self.read_node(rt, cur, None)?;
+            match Self::scan(rt, &node, key, rng) {
+                Ok(_) => return Ok(true),
+                Err(idx) => {
+                    if node.leaf {
+                        return Ok(false);
+                    }
+                    cur = node.children[idx];
+                }
+            }
+        }
+    }
+
+    /// Inserts `key` if absent; returns whether it was inserted (one
+    /// Table 5 operation, since BT only inserts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/allocation/transaction failures.
+    pub fn insert(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        if self.contains(rt, key, rng)? {
+            return Ok(false);
+        }
+        let alloc_pool = self.pools.pool_for(rt, key)?;
+        rt.tx_begin(alloc_pool)?;
+        let mut log = TxLogSet::new();
+
+        let mut root = self.root(rt)?;
+        if root.is_null() {
+            let leaf = self.alloc_node(rt, alloc_pool)?;
+            let node = Node { leaf: true, keys: vec![key], children: Vec::new() };
+            self.write_node(rt, None, leaf, &node)?;
+            rt.persist(leaf, NODE_BYTES as u64)?;
+            log.log(rt, self.root_holder, 8)?;
+            let h = rt.deref(self.root_holder, None)?;
+            rt.write_u64_at(&h, 0, leaf.raw())?;
+            rt.tx_end()?;
+            return Ok(true);
+        }
+
+        let root_node = self.read_node(rt, root, None)?;
+        if root_node.keys.len() == MAX_KEYS {
+            let new_root_oid = self.alloc_node(rt, alloc_pool)?;
+            let (sep, right) = self.split(rt, &mut log, root, &root_node, alloc_pool)?;
+            let new_root = Node {
+                leaf: false,
+                keys: vec![sep],
+                children: vec![root, right],
+            };
+            self.write_node(rt, None, new_root_oid, &new_root)?;
+            rt.persist(new_root_oid, NODE_BYTES as u64)?;
+            log.log(rt, self.root_holder, 8)?;
+            let h = rt.deref(self.root_holder, None)?;
+            rt.write_u64_at(&h, 0, new_root_oid.raw())?;
+            root = new_root_oid;
+        }
+
+        let mut cur = root;
+        loop {
+            loop_branch(rt);
+            let node = self.read_node(rt, cur, None)?;
+            let idx = match Self::scan(rt, &node, key, rng) {
+                Ok(_) => {
+                    // Key appeared via a split separator move; nothing to do.
+                    rt.tx_end()?;
+                    return Ok(false);
+                }
+                Err(i) => i,
+            };
+            if node.leaf {
+                let mut node = node;
+                node.keys.insert(idx, key);
+                self.write_node(rt, Some(&mut log), cur, &node)?;
+                rt.tx_end()?;
+                return Ok(true);
+            }
+            let child = node.children[idx];
+            let child_node = self.read_node(rt, child, None)?;
+            if child_node.keys.len() == MAX_KEYS {
+                let (sep, right) = self.split(rt, &mut log, child, &child_node, alloc_pool)?;
+                let mut parent = node;
+                parent.keys.insert(idx, sep);
+                parent.children.insert(idx + 1, right);
+                self.write_node(rt, Some(&mut log), cur, &parent)?;
+                compare_branch(rt, rng);
+                if key == sep {
+                    rt.tx_end()?;
+                    return Ok(false);
+                }
+                cur = if key < sep { child } else { right };
+            } else {
+                cur = child;
+            }
+        }
+    }
+
+    /// Splits a full node; returns `(promoted key, right sibling)`.
+    fn split(
+        &mut self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        oid: ObjectId,
+        node: &Node,
+        alloc_pool: PoolId,
+    ) -> Result<(u64, ObjectId), PmemError> {
+        debug_assert_eq!(node.keys.len(), MAX_KEYS);
+        let right_oid = self.alloc_node(rt, alloc_pool)?;
+        let mid = MAX_KEYS / 2; // promote keys[3]
+        let sep = node.keys[mid];
+        let left = Node {
+            leaf: node.leaf,
+            keys: node.keys[..mid].to_vec(),
+            children: if node.leaf {
+                Vec::new()
+            } else {
+                node.children[..=mid].to_vec()
+            },
+        };
+        let right = Node {
+            leaf: node.leaf,
+            keys: node.keys[mid + 1..].to_vec(),
+            children: if node.leaf {
+                Vec::new()
+            } else {
+                node.children[mid + 1..].to_vec()
+            },
+        };
+        self.write_node(rt, None, right_oid, &right)?;
+        rt.persist(right_oid, NODE_BYTES as u64)?;
+        self.write_node(rt, Some(log), oid, &left)?;
+        rt.exec(12);
+        Ok((sep, right_oid))
+    }
+
+    /// All keys in sorted order (test helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn to_sorted_vec(&self, rt: &mut Runtime) -> Result<Vec<u64>, PmemError> {
+        let mut out = Vec::new();
+        let root = self.root(rt)?;
+        if !root.is_null() {
+            self.walk(rt, root, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn walk(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        out: &mut Vec<u64>,
+    ) -> Result<(), PmemError> {
+        let node = self.read_node(rt, oid, None)?;
+        if node.leaf {
+            out.extend_from_slice(&node.keys);
+            return Ok(());
+        }
+        for i in 0..node.keys.len() {
+            self.walk(rt, node.children[i], out)?;
+            out.push(node.keys[i]);
+        }
+        self.walk(rt, node.children[node.keys.len()], out)?;
+        Ok(())
+    }
+
+    /// Verifies B-Tree invariants; returns the height (test helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invariant violation.
+    pub fn check_invariants(&self, rt: &mut Runtime) -> Result<u32, PmemError> {
+        let root = self.root(rt)?;
+        if root.is_null() {
+            return Ok(0);
+        }
+        self.check_subtree(rt, root, None, None)
+    }
+
+    fn check_subtree(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        lo: Option<u64>,
+        hi: Option<u64>,
+    ) -> Result<u32, PmemError> {
+        let node = self.read_node(rt, oid, None)?;
+        assert!(node.keys.len() <= MAX_KEYS);
+        assert!(node.keys.windows(2).all(|w| w[0] < w[1]), "sorted");
+        if let (Some(lo), Some(&k)) = (lo, node.keys.first()) {
+            assert!(k > lo);
+        }
+        if let (Some(hi), Some(&k)) = (hi, node.keys.last()) {
+            assert!(k < hi);
+        }
+        if node.leaf {
+            return Ok(1);
+        }
+        assert_eq!(node.children.len(), node.keys.len() + 1);
+        let mut heights = Vec::new();
+        for (i, &c) in node.children.iter().enumerate() {
+            let clo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
+            let chi = if i == node.keys.len() { hi } else { Some(node.keys[i]) };
+            heights.push(self.check_subtree(rt, c, clo, chi)?);
+        }
+        assert!(heights.windows(2).all(|w| w[0] == w[1]), "uniform depth");
+        Ok(heights[0] + 1)
+    }
+
+    /// The pool set (for pool-count reporting).
+    pub fn pools(&self) -> &PoolSet {
+        &self.pools
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poat_pmem::RuntimeConfig;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn setup(pattern: Pattern) -> (Runtime, PersistentBTree, StdRng) {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let t = PersistentBTree::create(&mut rt, pattern).unwrap();
+        (rt, t, StdRng::seed_from_u64(21))
+    }
+
+    #[test]
+    fn insert_and_search() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        for k in [9u64, 3, 7, 1, 5] {
+            assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+        }
+        assert!(!t.insert(&mut rt, 7, &mut rng).unwrap());
+        assert!(t.contains(&mut rt, 1, &mut rng).unwrap());
+        assert!(!t.contains(&mut rt, 2, &mut rng).unwrap());
+        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn sequential_inserts_split_correctly() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        for k in 0..300u64 {
+            assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+            if k % 40 == 0 {
+                t.check_invariants(&mut rt).unwrap();
+            }
+        }
+        assert!(t.check_invariants(&mut rt).unwrap() >= 3);
+        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_btreeset_reference() {
+        for pattern in [Pattern::Random, Pattern::Each] {
+            let (mut rt, mut t, mut rng) = setup(pattern);
+            let mut reference = BTreeSet::new();
+            for _ in 0..400 {
+                let k = rng.gen_range(0..1000u64);
+                let inserted = t.insert(&mut rt, k, &mut rng).unwrap();
+                assert_eq!(inserted, reference.insert(k), "{pattern} key {k}");
+            }
+            t.check_invariants(&mut rt).unwrap();
+            let want: Vec<u64> = reference.into_iter().collect();
+            assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), want, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn survives_crash() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::Random);
+        for k in 0..50u64 {
+            t.insert(&mut rt, k * 3, &mut rng).unwrap();
+        }
+        let mut rt2 = rt.crash_and_recover(17).unwrap();
+        t.check_invariants(&mut rt2).unwrap();
+        assert_eq!(
+            t.to_sorted_vec(&mut rt2).unwrap(),
+            (0..50).map(|k| k * 3).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! The persistent singly linked list (paper Figure 4 / workload LL).
+//!
+//! Each node is `{ value: u64, next: OID }`. The list head lives in the
+//! root object of the anchor pool, so the entire structure is reachable
+//! from `pool_root` after a restart. Under the EACH pattern every node
+//! sits in its own pool — the paper's worst case for both the last-value
+//! predictor (BASE) and the POLB (OPT), because a traversal changes pools
+//! at every hop.
+
+use poat_core::ObjectId;
+use poat_pmem::{PmemError, Runtime};
+use rand::rngs::StdRng;
+
+use crate::pattern::{Pattern, PoolSet};
+use crate::util::{compare_branch, loop_branch, TxLogSet};
+
+const VAL: u32 = 0;
+const NEXT: u32 = 8;
+/// Node payload size in bytes.
+pub const NODE_BYTES: u32 = 16;
+
+/// A persistent singly linked list of `u64` values.
+#[derive(Debug)]
+pub struct PersistentList {
+    root: ObjectId,
+    pools: PoolSet,
+}
+
+impl PersistentList {
+    /// Creates an empty list with pools laid out per `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation failures.
+    pub fn create(rt: &mut Runtime, pattern: Pattern) -> Result<Self, PmemError> {
+        let mut pools = PoolSet::create(rt, pattern, "ll", 1 << 20)?;
+        let root = rt.pool_root(pools.anchor(), 8)?;
+        rt.write_u64(root, ObjectId::NULL.raw())?;
+        rt.persist(root, 8)?;
+        // EACH anchor never holds nodes; silence the unused warning path.
+        let _ = &mut pools;
+        Ok(PersistentList { root, pools })
+    }
+
+    /// Searches for `value`; returns `(predecessor, node)` where the
+    /// predecessor is NULL when the node is the head (paper's `find`, with
+    /// the extra predecessor needed by `remove`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    #[allow(clippy::type_complexity)]
+    fn find_with_prev(
+        &self,
+        rt: &mut Runtime,
+        value: u64,
+        rng: &mut StdRng,
+    ) -> Result<Option<(ObjectId, ObjectId)>, PmemError> {
+        let root = rt.deref(self.root, None)?;
+        let (mut cur_raw, mut dep) = rt.read_u64_at(&root, 0)?;
+        let mut prev = ObjectId::NULL;
+        loop {
+            let cur = ObjectId::from_raw(cur_raw);
+            loop_branch(rt);
+            if cur.is_null() {
+                return Ok(None);
+            }
+            let node = rt.deref(cur, Some(dep))?;
+            let (v, _) = rt.read_u64_at(&node, VAL)?;
+            compare_branch(rt, rng);
+            if v == value {
+                return Ok(Some((prev, cur)));
+            }
+            let (next, ndep) = rt.read_u64_at(&node, NEXT)?;
+            prev = cur;
+            cur_raw = next;
+            dep = ndep;
+        }
+    }
+
+    /// Whether `value` is in the list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn contains(
+        &self,
+        rt: &mut Runtime,
+        value: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        Ok(self.find_with_prev(rt, value, rng)?.is_some())
+    }
+
+    /// Inserts `value` at the head (paper Figure 4 `insert`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/transaction failures.
+    pub fn insert(
+        &mut self,
+        rt: &mut Runtime,
+        value: u64,
+        _rng: &mut StdRng,
+    ) -> Result<ObjectId, PmemError> {
+        let pool = self.pools.pool_for(rt, value)?;
+        rt.tx_begin(pool)?;
+        let node = if rt.config().failure_safety {
+            rt.tx_pmalloc(NODE_BYTES as u64)?
+        } else {
+            rt.pmalloc(pool, NODE_BYTES as u64)?
+        };
+        let root = rt.deref(self.root, None)?;
+        let (head, _) = rt.read_u64_at(&root, 0)?;
+        let nref = rt.deref(node, None)?;
+        rt.write_u64_at(&nref, VAL, value)?;
+        rt.write_u64_at(&nref, NEXT, head)?;
+        rt.persist(node, NODE_BYTES as u64)?;
+        // The head update is the only in-place modification.
+        rt.tx_add_range(self.root, 8)?;
+        let root = rt.deref(self.root, None)?;
+        rt.write_u64_at(&root, 0, node.raw())?;
+        rt.tx_end()?;
+        Ok(node)
+    }
+
+    /// Removes `value` if present; returns whether a node was removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn remove(
+        &mut self,
+        rt: &mut Runtime,
+        value: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let Some((prev, victim)) = self.find_with_prev(rt, value, rng)? else {
+            return Ok(false);
+        };
+        let victim_pool = victim.pool().expect("live node has a pool");
+        rt.tx_begin(victim_pool)?;
+        let mut log = TxLogSet::new();
+        let vref = rt.deref(victim, None)?;
+        let (next, _) = rt.read_u64_at(&vref, NEXT)?;
+        if prev.is_null() {
+            log.log(rt, self.root, 8)?;
+            let root = rt.deref(self.root, None)?;
+            rt.write_u64_at(&root, 0, next)?;
+        } else {
+            log.log(rt, prev.add(NEXT), 8)?;
+            let pref = rt.deref(prev, None)?;
+            rt.write_u64_at(&pref, NEXT, next)?;
+        }
+        if rt.config().failure_safety {
+            rt.tx_pfree(victim)?;
+        } else {
+            rt.pfree(victim)?;
+        }
+        rt.tx_end()?;
+        Ok(true)
+    }
+
+    /// Runs one Table 5 operation: search `value`; remove it if found,
+    /// otherwise insert it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn op(&mut self, rt: &mut Runtime, value: u64, rng: &mut StdRng) -> Result<(), PmemError> {
+        if self.remove(rt, value, rng)? {
+            return Ok(());
+        }
+        self.insert(rt, value, rng)?;
+        Ok(())
+    }
+
+    /// Collects the values in list order (test/diagnostic helper; bypasses
+    /// the compute-emission helpers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn to_vec(&self, rt: &mut Runtime) -> Result<Vec<u64>, PmemError> {
+        let mut out = Vec::new();
+        let mut cur = ObjectId::from_raw(rt.read_u64(self.root)?);
+        while !cur.is_null() {
+            let node = rt.deref(cur, None)?;
+            let (v, _) = rt.read_u64_at(&node, VAL)?;
+            let (n, _) = rt.read_u64_at(&node, NEXT)?;
+            out.push(v);
+            cur = ObjectId::from_raw(n);
+        }
+        Ok(out)
+    }
+
+    /// The pool set (for pool-count reporting).
+    pub fn pools(&self) -> &PoolSet {
+        &self.pools
+    }
+
+    /// The root object holding the head reference.
+    pub fn root(&self) -> ObjectId {
+        self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poat_pmem::RuntimeConfig;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(pattern: Pattern) -> (Runtime, PersistentList, StdRng) {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let list = PersistentList::create(&mut rt, pattern).unwrap();
+        (rt, list, StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn insert_makes_values_visible() {
+        let (mut rt, mut list, mut rng) = setup(Pattern::All);
+        for v in [3, 1, 4, 1, 5] {
+            list.insert(&mut rt, v, &mut rng).unwrap();
+        }
+        assert_eq!(list.to_vec(&mut rt).unwrap(), vec![5, 1, 4, 1, 3]);
+    }
+
+    #[test]
+    fn remove_head_middle_tail() {
+        let (mut rt, mut list, mut rng) = setup(Pattern::All);
+        for v in 1..=5 {
+            list.insert(&mut rt, v, &mut rng).unwrap();
+        }
+        // List is 5,4,3,2,1.
+        assert!(list.remove(&mut rt, 5, &mut rng).unwrap(), "head");
+        assert!(list.remove(&mut rt, 3, &mut rng).unwrap(), "middle");
+        assert!(list.remove(&mut rt, 1, &mut rng).unwrap(), "tail");
+        assert!(!list.remove(&mut rt, 99, &mut rng).unwrap());
+        assert_eq!(list.to_vec(&mut rt).unwrap(), vec![4, 2]);
+    }
+
+    #[test]
+    fn matches_reference_model_under_each_pattern() {
+        let (mut rt, mut list, mut rng) = setup(Pattern::Each);
+        let mut reference: Vec<u64> = Vec::new();
+        for _ in 0..120 {
+            let v = rng.gen_range(0..40);
+            if let Some(pos) = reference.iter().position(|&x| x == v) {
+                reference.remove(pos);
+                assert!(list.remove(&mut rt, v, &mut rng).unwrap());
+            } else {
+                reference.insert(0, v);
+                list.insert(&mut rt, v, &mut rng).unwrap();
+            }
+        }
+        let mut got = list.to_vec(&mut rt).unwrap();
+        let mut want = reference.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(list.pools().pool_count() > 0);
+    }
+
+    #[test]
+    fn each_pattern_allocates_one_pool_per_insert() {
+        let (mut rt, mut list, mut rng) = setup(Pattern::Each);
+        for v in 0..10 {
+            list.insert(&mut rt, v, &mut rng).unwrap();
+        }
+        assert_eq!(list.pools().pool_count(), 10);
+    }
+
+    #[test]
+    fn survives_crash_after_commit() {
+        let (mut rt, mut list, mut rng) = setup(Pattern::Random);
+        for v in [10, 20, 30] {
+            list.insert(&mut rt, v, &mut rng).unwrap();
+        }
+        let mut rt2 = rt.crash_and_recover(7).unwrap();
+        let mut got = list.to_vec(&mut rt2).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Pool-usage patterns and architecture configurations (paper Tables 6–7).
+
+use poat_core::PoolId;
+use poat_pmem::{PmemError, Runtime, RuntimeConfig, TranslationMode};
+
+/// How a workload distributes its objects across pools (paper Table 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// All persistent data in one pool.
+    All,
+    /// Every structure (node/string) the program creates goes in its own,
+    /// newly created pool.
+    Each,
+    /// 32 pools; an allocation keyed `k` goes to pool `k % 32`.
+    Random,
+}
+
+impl Pattern {
+    /// All patterns, in the order the paper's figures present them.
+    pub const ALL: [Pattern; 3] = [Pattern::All, Pattern::Each, Pattern::Random];
+
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::All => "ALL",
+            Pattern::Each => "EACH",
+            Pattern::Random => "RANDOM",
+        }
+    }
+
+    /// Number of pools RANDOM uses (fixed by the paper).
+    pub const RANDOM_POOLS: u64 = 32;
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The four benchmark/architecture configurations (paper Table 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExpConfig {
+    /// Software translation; failure safety and durability on.
+    Base,
+    /// Hardware translation; failure safety and durability on.
+    Opt,
+    /// Software translation; no failure safety (no logging, no persists).
+    BaseNtx,
+    /// Hardware translation; no failure safety.
+    OptNtx,
+}
+
+impl ExpConfig {
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExpConfig::Base => "BASE",
+            ExpConfig::Opt => "OPT",
+            ExpConfig::BaseNtx => "BASE_NTX",
+            ExpConfig::OptNtx => "OPT_NTX",
+        }
+    }
+
+    /// Whether this configuration uses the hardware (`nvld`/`nvst`) path.
+    pub fn is_hardware(self) -> bool {
+        matches!(self, ExpConfig::Opt | ExpConfig::OptNtx)
+    }
+
+    /// Whether failure safety (logging + persists) is enabled.
+    pub fn failure_safety(self) -> bool {
+        matches!(self, ExpConfig::Base | ExpConfig::Opt)
+    }
+
+    /// Builds the runtime configuration for this experiment configuration.
+    pub fn runtime_config(self, aslr_seed: u64) -> RuntimeConfig {
+        RuntimeConfig {
+            aslr_seed,
+            mode: if self.is_hardware() {
+                TranslationMode::Hardware
+            } else {
+                TranslationMode::Software
+            },
+            failure_safety: self.failure_safety(),
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+impl std::fmt::Display for ExpConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Manages pool placement for one workload under a given pattern.
+///
+/// The *anchor* pool holds the workload's root object (the head/root
+/// reference) and is where per-operation transactions log by default; node
+/// allocations are routed per the pattern.
+#[derive(Debug)]
+pub struct PoolSet {
+    pattern: Pattern,
+    prefix: String,
+    anchor: PoolId,
+    fixed: Vec<PoolId>,
+    next_each: u64,
+    each_size: u64,
+}
+
+impl PoolSet {
+    /// Creates the pools a workload needs up front.
+    ///
+    /// `total_hint` sizes the ALL pool (and, divided across 32, the RANDOM
+    /// pools); EACH pools are created on demand, each just big enough for
+    /// one node plus its log area.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation failures.
+    pub fn create(
+        rt: &mut Runtime,
+        pattern: Pattern,
+        prefix: &str,
+        total_hint: u64,
+    ) -> Result<Self, PmemError> {
+        let mut fixed = Vec::new();
+        let anchor;
+        match pattern {
+            Pattern::All => {
+                anchor = rt.pool_create(&format!("{prefix}-all"), total_hint)?;
+                fixed.push(anchor);
+            }
+            Pattern::Random => {
+                let per_pool = (total_hint / Pattern::RANDOM_POOLS).max(64 << 10);
+                for i in 0..Pattern::RANDOM_POOLS {
+                    fixed.push(rt.pool_create(&format!("{prefix}-r{i}"), per_pool)?);
+                }
+                anchor = fixed[0];
+            }
+            Pattern::Each => {
+                anchor = rt.pool_create(&format!("{prefix}-anchor"), 16 << 10)?;
+            }
+        }
+        Ok(PoolSet {
+            pattern,
+            prefix: prefix.to_owned(),
+            anchor,
+            fixed,
+            next_each: 0,
+            each_size: 512,
+        })
+    }
+
+    /// The pattern this set implements.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// The pool holding the workload's root object.
+    pub fn anchor(&self) -> PoolId {
+        self.anchor
+    }
+
+    /// The pool a new structure keyed `key` should be allocated in. Under
+    /// EACH this creates a fresh pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation failures (EACH only).
+    pub fn pool_for(&mut self, rt: &mut Runtime, key: u64) -> Result<PoolId, PmemError> {
+        match self.pattern {
+            Pattern::All => Ok(self.fixed[0]),
+            Pattern::Random => {
+                Ok(self.fixed[(key % Pattern::RANDOM_POOLS) as usize])
+            }
+            Pattern::Each => {
+                let name = format!("{}-e{}", self.prefix, self.next_each);
+                self.next_each += 1;
+                rt.pool_create(&name, self.each_size)
+            }
+        }
+    }
+
+    /// Number of pools created so far (excluding the EACH anchor).
+    pub fn pool_count(&self) -> u64 {
+        match self.pattern {
+            Pattern::Each => self.next_each,
+            _ => self.fixed.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_uses_one_pool() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let mut ps = PoolSet::create(&mut rt, Pattern::All, "t", 1 << 20).unwrap();
+        let a = ps.pool_for(&mut rt, 1).unwrap();
+        let b = ps.pool_for(&mut rt, 999).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ps.pool_count(), 1);
+        assert_eq!(ps.anchor(), a);
+    }
+
+    #[test]
+    fn random_routes_by_key_mod_32() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let mut ps = PoolSet::create(&mut rt, Pattern::Random, "t", 4 << 20).unwrap();
+        assert_eq!(ps.pool_count(), 32);
+        let a = ps.pool_for(&mut rt, 5).unwrap();
+        let b = ps.pool_for(&mut rt, 5 + 32).unwrap();
+        let c = ps.pool_for(&mut rt, 6).unwrap();
+        assert_eq!(a, b, "same key class, same pool");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn each_creates_a_pool_per_allocation() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let mut ps = PoolSet::create(&mut rt, Pattern::Each, "t", 0).unwrap();
+        let a = ps.pool_for(&mut rt, 1).unwrap();
+        let b = ps.pool_for(&mut rt, 1).unwrap();
+        assert_ne!(a, b, "every allocation gets a fresh pool");
+        assert_eq!(ps.pool_count(), 2);
+        assert_ne!(ps.anchor(), a);
+    }
+
+    #[test]
+    fn exp_config_properties() {
+        assert!(ExpConfig::Opt.is_hardware());
+        assert!(!ExpConfig::Base.is_hardware());
+        assert!(ExpConfig::Base.failure_safety());
+        assert!(!ExpConfig::OptNtx.failure_safety());
+        let rc = ExpConfig::BaseNtx.runtime_config(7);
+        assert!(!rc.failure_safety);
+        assert_eq!(rc.aslr_seed, 7);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Pattern::Random.to_string(), "RANDOM");
+        assert_eq!(ExpConfig::OptNtx.to_string(), "OPT_NTX");
+    }
+}

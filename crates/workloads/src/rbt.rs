@@ -1,0 +1,681 @@
+//! RBT — the persistent red-black tree (paper Table 5).
+//!
+//! Node layout: `{ key, color, left, right, parent }` (40 bytes, all
+//! `u64`/OID words; parent pointers make the CLRS fix-up procedures
+//! implementable without a traversal stack). Each Table 5 operation
+//! searches a random key; if found the node is removed, otherwise a new
+//! node is inserted — both followed by red-black rebalancing, whose
+//! pointer ping-pong across nodes (and therefore pools, under EACH) is
+//! what drives this workload's high predictor miss rate in Table 2.
+
+use poat_core::ObjectId;
+use poat_pmem::{PmemError, Runtime};
+use rand::rngs::StdRng;
+
+use crate::pattern::{Pattern, PoolSet};
+use crate::util::{compare_branch, loop_branch, TxLogSet};
+
+const KEY: u32 = 0;
+const COLOR: u32 = 8;
+const LEFT: u32 = 16;
+const RIGHT: u32 = 24;
+const PARENT: u32 = 32;
+/// Node payload size in bytes.
+pub const NODE_BYTES: u32 = 40;
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+/// Volatile mirror of a node (one dereference reads the whole node, as a
+/// compiler keeps the translated pointer in a register).
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    key: u64,
+    color: u64,
+    left: ObjectId,
+    right: ObjectId,
+    parent: ObjectId,
+}
+
+/// The persistent red-black tree.
+#[derive(Debug)]
+pub struct PersistentRbt {
+    root_holder: ObjectId,
+    pools: PoolSet,
+}
+
+impl PersistentRbt {
+    /// Creates an empty tree with pools laid out per `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-creation failures.
+    pub fn create(rt: &mut Runtime, pattern: Pattern) -> Result<Self, PmemError> {
+        let pools = PoolSet::create(rt, pattern, "rbt", 2 << 20)?;
+        let root_holder = rt.pool_root(pools.anchor(), 8)?;
+        rt.write_u64(root_holder, ObjectId::NULL.raw())?;
+        rt.persist(root_holder, 8)?;
+        Ok(PersistentRbt { root_holder, pools })
+    }
+
+    fn read_node(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        dep: Option<u64>,
+    ) -> Result<(Node, u64), PmemError> {
+        let r = rt.deref(oid, dep)?;
+        let (key, _) = rt.read_u64_at(&r, KEY)?;
+        let (color, _) = rt.read_u64_at(&r, COLOR)?;
+        let (left, _) = rt.read_u64_at(&r, LEFT)?;
+        let (right, _) = rt.read_u64_at(&r, RIGHT)?;
+        let (parent, pdep) = rt.read_u64_at(&r, PARENT)?;
+        Ok((
+            Node {
+                key,
+                color,
+                left: ObjectId::from_raw(left),
+                right: ObjectId::from_raw(right),
+                parent: ObjectId::from_raw(parent),
+            },
+            pdep,
+        ))
+    }
+
+    fn get(&self, rt: &mut Runtime, oid: ObjectId, field: u32) -> Result<u64, PmemError> {
+        let r = rt.deref(oid, None)?;
+        Ok(rt.read_u64_at(&r, field)?.0)
+    }
+
+    fn color_of(&self, rt: &mut Runtime, oid: ObjectId) -> Result<u64, PmemError> {
+        if oid.is_null() {
+            Ok(BLACK)
+        } else {
+            self.get(rt, oid, COLOR)
+        }
+    }
+
+    /// Writes fields of one node under the current transaction, logging
+    /// the whole node once.
+    fn set(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        oid: ObjectId,
+        fields: &[(u32, u64)],
+    ) -> Result<(), PmemError> {
+        log.log(rt, oid, NODE_BYTES)?;
+        let r = rt.deref(oid, None)?;
+        for &(off, v) in fields {
+            rt.write_u64_at(&r, off, v)?;
+        }
+        Ok(())
+    }
+
+    fn root(&self, rt: &mut Runtime) -> Result<ObjectId, PmemError> {
+        Ok(ObjectId::from_raw(rt.read_u64(self.root_holder)?))
+    }
+
+    fn set_root(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        oid: ObjectId,
+    ) -> Result<(), PmemError> {
+        log.log(rt, self.root_holder, 8)?;
+        let r = rt.deref(self.root_holder, None)?;
+        rt.write_u64_at(&r, 0, oid.raw())?;
+        Ok(())
+    }
+
+    /// Replaces the link from `parent` (or the root holder) that points at
+    /// `child` with `with`.
+    fn replace_child(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        parent: ObjectId,
+        child: ObjectId,
+        with: ObjectId,
+    ) -> Result<(), PmemError> {
+        if parent.is_null() {
+            self.set_root(rt, log, with)?;
+        } else {
+            let pl = ObjectId::from_raw(self.get(rt, parent, LEFT)?);
+            let field = if pl == child { LEFT } else { RIGHT };
+            self.set(rt, log, parent, &[(field, with.raw())])?;
+        }
+        if !with.is_null() {
+            self.set(rt, log, with, &[(PARENT, parent.raw())])?;
+        }
+        Ok(())
+    }
+
+    fn rotate_left(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        x: ObjectId,
+    ) -> Result<(), PmemError> {
+        let y = ObjectId::from_raw(self.get(rt, x, RIGHT)?);
+        let y_left = ObjectId::from_raw(self.get(rt, y, LEFT)?);
+        let x_parent = ObjectId::from_raw(self.get(rt, x, PARENT)?);
+        self.set(rt, log, x, &[(RIGHT, y_left.raw())])?;
+        if !y_left.is_null() {
+            self.set(rt, log, y_left, &[(PARENT, x.raw())])?;
+        }
+        self.replace_child(rt, log, x_parent, x, y)?;
+        self.set(rt, log, y, &[(LEFT, x.raw())])?;
+        self.set(rt, log, x, &[(PARENT, y.raw())])?;
+        rt.exec(8);
+        Ok(())
+    }
+
+    fn rotate_right(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        x: ObjectId,
+    ) -> Result<(), PmemError> {
+        let y = ObjectId::from_raw(self.get(rt, x, LEFT)?);
+        let y_right = ObjectId::from_raw(self.get(rt, y, RIGHT)?);
+        let x_parent = ObjectId::from_raw(self.get(rt, x, PARENT)?);
+        self.set(rt, log, x, &[(LEFT, y_right.raw())])?;
+        if !y_right.is_null() {
+            self.set(rt, log, y_right, &[(PARENT, x.raw())])?;
+        }
+        self.replace_child(rt, log, x_parent, x, y)?;
+        self.set(rt, log, y, &[(RIGHT, x.raw())])?;
+        self.set(rt, log, x, &[(PARENT, y.raw())])?;
+        rt.exec(8);
+        Ok(())
+    }
+
+    /// Descends to `key`, returning the node if found, else the would-be
+    /// parent.
+    fn descend(
+        &self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<(Option<ObjectId>, ObjectId), PmemError> {
+        let mut cur = self.root(rt)?;
+        let mut parent = ObjectId::NULL;
+        let mut dep = None;
+        loop {
+            loop_branch(rt);
+            if cur.is_null() {
+                return Ok((None, parent));
+            }
+            let r = rt.deref(cur, dep)?;
+            let (k, _) = rt.read_u64_at(&r, KEY)?;
+            compare_branch(rt, rng);
+            if k == key {
+                return Ok((Some(cur), parent));
+            }
+            let side = if key < k { LEFT } else { RIGHT };
+            let (next, ndep) = rt.read_u64_at(&r, side)?;
+            parent = cur;
+            cur = ObjectId::from_raw(next);
+            dep = Some(ndep);
+        }
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn contains(
+        &self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        Ok(self.descend(rt, key, rng)?.0.is_some())
+    }
+
+    /// Inserts `key` if absent (with rebalancing); returns whether it was
+    /// inserted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn insert(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let (found, parent) = self.descend(rt, key, rng)?;
+        if found.is_some() {
+            return Ok(false);
+        }
+        let pool = self.pools.pool_for(rt, key)?;
+        rt.tx_begin(pool)?;
+        let mut log = TxLogSet::new();
+        let node = if rt.config().failure_safety {
+            rt.tx_pmalloc(NODE_BYTES as u64)?
+        } else {
+            rt.pmalloc(pool, NODE_BYTES as u64)?
+        };
+        let r = rt.deref(node, None)?;
+        rt.write_u64_at(&r, KEY, key)?;
+        rt.write_u64_at(&r, COLOR, RED)?;
+        rt.write_u64_at(&r, LEFT, 0)?;
+        rt.write_u64_at(&r, RIGHT, 0)?;
+        rt.write_u64_at(&r, PARENT, parent.raw())?;
+        rt.persist(node, NODE_BYTES as u64)?;
+        if parent.is_null() {
+            self.set_root(rt, &mut log, node)?;
+        } else {
+            let pk = self.get(rt, parent, KEY)?;
+            let side = if key < pk { LEFT } else { RIGHT };
+            self.set(rt, &mut log, parent, &[(side, node.raw())])?;
+        }
+        self.insert_fixup(rt, &mut log, node)?;
+        rt.tx_end()?;
+        Ok(true)
+    }
+
+    fn insert_fixup(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        mut z: ObjectId,
+    ) -> Result<(), PmemError> {
+        loop {
+            loop_branch(rt);
+            let parent = ObjectId::from_raw(self.get(rt, z, PARENT)?);
+            if parent.is_null() || self.color_of(rt, parent)? == BLACK {
+                break;
+            }
+            let grand = ObjectId::from_raw(self.get(rt, parent, PARENT)?);
+            debug_assert!(!grand.is_null(), "red parent implies grandparent");
+            let g_left = ObjectId::from_raw(self.get(rt, grand, LEFT)?);
+            if parent == g_left {
+                let uncle = ObjectId::from_raw(self.get(rt, grand, RIGHT)?);
+                if self.color_of(rt, uncle)? == RED {
+                    self.set(rt, log, parent, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, uncle, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, grand, &[(COLOR, RED)])?;
+                    z = grand;
+                } else {
+                    if z == ObjectId::from_raw(self.get(rt, parent, RIGHT)?) {
+                        z = parent;
+                        self.rotate_left(rt, log, z)?;
+                    }
+                    let parent = ObjectId::from_raw(self.get(rt, z, PARENT)?);
+                    let grand = ObjectId::from_raw(self.get(rt, parent, PARENT)?);
+                    self.set(rt, log, parent, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, grand, &[(COLOR, RED)])?;
+                    self.rotate_right(rt, log, grand)?;
+                }
+            } else {
+                let uncle = g_left;
+                if self.color_of(rt, uncle)? == RED {
+                    self.set(rt, log, parent, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, uncle, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, grand, &[(COLOR, RED)])?;
+                    z = grand;
+                } else {
+                    if z == ObjectId::from_raw(self.get(rt, parent, LEFT)?) {
+                        z = parent;
+                        self.rotate_right(rt, log, z)?;
+                    }
+                    let parent = ObjectId::from_raw(self.get(rt, z, PARENT)?);
+                    let grand = ObjectId::from_raw(self.get(rt, parent, PARENT)?);
+                    self.set(rt, log, parent, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, grand, &[(COLOR, RED)])?;
+                    self.rotate_left(rt, log, grand)?;
+                }
+            }
+        }
+        let root = self.root(rt)?;
+        if self.color_of(rt, root)? == RED {
+            self.set(rt, log, root, &[(COLOR, BLACK)])?;
+        }
+        Ok(())
+    }
+
+    /// Removes `key` if present (with rebalancing); returns whether a node
+    /// was removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn remove(
+        &mut self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<bool, PmemError> {
+        let (Some(z), _) = self.descend(rt, key, rng)? else {
+            return Ok(false);
+        };
+        let (zn, _) = self.read_node(rt, z, None)?;
+        let victim_pool = z.pool().expect("live node");
+        rt.tx_begin(victim_pool)?;
+        let mut log = TxLogSet::new();
+
+        // CLRS delete. y = node actually removed; x = its replacement
+        // subtree (may be NULL, with x_parent tracked explicitly).
+        let (y, y_orig_color, x, x_parent);
+        if zn.left.is_null() {
+            y = ObjectId::NULL; // z itself is removed; no successor node
+            y_orig_color = zn.color;
+            x = zn.right;
+            x_parent = zn.parent;
+            self.replace_child(rt, &mut log, zn.parent, z, zn.right)?;
+        } else if zn.right.is_null() {
+            y = ObjectId::NULL;
+            y_orig_color = zn.color;
+            x = zn.left;
+            x_parent = zn.parent;
+            self.replace_child(rt, &mut log, zn.parent, z, zn.left)?;
+        } else {
+            // y = minimum of the right subtree.
+            let mut m = zn.right;
+            loop {
+                loop_branch(rt);
+                let l = ObjectId::from_raw(self.get(rt, m, LEFT)?);
+                if l.is_null() {
+                    break;
+                }
+                m = l;
+            }
+            y = m;
+            let (yn, _) = self.read_node(rt, y, None)?;
+            y_orig_color = yn.color;
+            x = yn.right;
+            if yn.parent == z {
+                x_parent = y;
+            } else {
+                x_parent = yn.parent;
+                self.replace_child(rt, &mut log, yn.parent, y, yn.right)?;
+                self.set(rt, &mut log, y, &[(RIGHT, zn.right.raw())])?;
+                self.set(rt, &mut log, zn.right, &[(PARENT, y.raw())])?;
+            }
+            self.replace_child(rt, &mut log, zn.parent, z, y)?;
+            self.set(
+                rt,
+                &mut log,
+                y,
+                &[(LEFT, zn.left.raw()), (COLOR, zn.color)],
+            )?;
+            self.set(rt, &mut log, zn.left, &[(PARENT, y.raw())])?;
+        }
+
+        let _ = y;
+        if y_orig_color == BLACK {
+            self.delete_fixup(rt, &mut log, x, x_parent)?;
+        }
+        if rt.config().failure_safety {
+            rt.tx_pfree(z)?;
+        } else {
+            rt.pfree(z)?;
+        }
+        rt.tx_end()?;
+        Ok(true)
+    }
+
+    fn delete_fixup(
+        &self,
+        rt: &mut Runtime,
+        log: &mut TxLogSet,
+        mut x: ObjectId,
+        mut x_parent: ObjectId,
+    ) -> Result<(), PmemError> {
+        loop {
+            loop_branch(rt);
+            let root = self.root(rt)?;
+            if x == root || self.color_of(rt, x)? == RED {
+                break;
+            }
+            debug_assert!(!x_parent.is_null(), "non-root x has a parent");
+            let p_left = ObjectId::from_raw(self.get(rt, x_parent, LEFT)?);
+            if x == p_left {
+                let mut w = ObjectId::from_raw(self.get(rt, x_parent, RIGHT)?);
+                if self.color_of(rt, w)? == RED {
+                    self.set(rt, log, w, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, x_parent, &[(COLOR, RED)])?;
+                    self.rotate_left(rt, log, x_parent)?;
+                    w = ObjectId::from_raw(self.get(rt, x_parent, RIGHT)?);
+                }
+                let wl = ObjectId::from_raw(self.get(rt, w, LEFT)?);
+                let wr = ObjectId::from_raw(self.get(rt, w, RIGHT)?);
+                if self.color_of(rt, wl)? == BLACK && self.color_of(rt, wr)? == BLACK {
+                    self.set(rt, log, w, &[(COLOR, RED)])?;
+                    x = x_parent;
+                    x_parent = ObjectId::from_raw(self.get(rt, x, PARENT)?);
+                } else {
+                    if self.color_of(rt, wr)? == BLACK {
+                        self.set(rt, log, wl, &[(COLOR, BLACK)])?;
+                        self.set(rt, log, w, &[(COLOR, RED)])?;
+                        self.rotate_right(rt, log, w)?;
+                        w = ObjectId::from_raw(self.get(rt, x_parent, RIGHT)?);
+                    }
+                    let pc = self.color_of(rt, x_parent)?;
+                    self.set(rt, log, w, &[(COLOR, pc)])?;
+                    self.set(rt, log, x_parent, &[(COLOR, BLACK)])?;
+                    let wr = ObjectId::from_raw(self.get(rt, w, RIGHT)?);
+                    if !wr.is_null() {
+                        self.set(rt, log, wr, &[(COLOR, BLACK)])?;
+                    }
+                    self.rotate_left(rt, log, x_parent)?;
+                    break;
+                }
+            } else {
+                let mut w = ObjectId::from_raw(self.get(rt, x_parent, LEFT)?);
+                if self.color_of(rt, w)? == RED {
+                    self.set(rt, log, w, &[(COLOR, BLACK)])?;
+                    self.set(rt, log, x_parent, &[(COLOR, RED)])?;
+                    self.rotate_right(rt, log, x_parent)?;
+                    w = ObjectId::from_raw(self.get(rt, x_parent, LEFT)?);
+                }
+                let wl = ObjectId::from_raw(self.get(rt, w, LEFT)?);
+                let wr = ObjectId::from_raw(self.get(rt, w, RIGHT)?);
+                if self.color_of(rt, wl)? == BLACK && self.color_of(rt, wr)? == BLACK {
+                    self.set(rt, log, w, &[(COLOR, RED)])?;
+                    x = x_parent;
+                    x_parent = ObjectId::from_raw(self.get(rt, x, PARENT)?);
+                } else {
+                    if self.color_of(rt, wl)? == BLACK {
+                        self.set(rt, log, wr, &[(COLOR, BLACK)])?;
+                        self.set(rt, log, w, &[(COLOR, RED)])?;
+                        self.rotate_left(rt, log, w)?;
+                        w = ObjectId::from_raw(self.get(rt, x_parent, LEFT)?);
+                    }
+                    let pc = self.color_of(rt, x_parent)?;
+                    self.set(rt, log, w, &[(COLOR, pc)])?;
+                    self.set(rt, log, x_parent, &[(COLOR, BLACK)])?;
+                    let wl = ObjectId::from_raw(self.get(rt, w, LEFT)?);
+                    if !wl.is_null() {
+                        self.set(rt, log, wl, &[(COLOR, BLACK)])?;
+                    }
+                    self.rotate_right(rt, log, x_parent)?;
+                    break;
+                }
+            }
+        }
+        if !x.is_null() {
+            self.set(rt, log, x, &[(COLOR, BLACK)])?;
+        }
+        Ok(())
+    }
+
+    /// Runs one Table 5 operation: search; remove if found, else insert.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access/transaction failures.
+    pub fn op(&mut self, rt: &mut Runtime, key: u64, rng: &mut StdRng) -> Result<(), PmemError> {
+        if self.remove(rt, key, rng)? {
+            return Ok(());
+        }
+        self.insert(rt, key, rng)?;
+        Ok(())
+    }
+
+    /// In-order key traversal (test/diagnostic helper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    pub fn to_sorted_vec(&self, rt: &mut Runtime) -> Result<Vec<u64>, PmemError> {
+        let mut out = Vec::new();
+        let root = self.root(rt)?;
+        self.walk(rt, root, &mut out)?;
+        Ok(out)
+    }
+
+    fn walk(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        out: &mut Vec<u64>,
+    ) -> Result<(), PmemError> {
+        if oid.is_null() {
+            return Ok(());
+        }
+        let (n, _) = self.read_node(rt, oid, None)?;
+        self.walk(rt, n.left, out)?;
+        out.push(n.key);
+        self.walk(rt, n.right, out)?;
+        Ok(())
+    }
+
+    /// Verifies the red-black invariants, returning the black height.
+    ///
+    /// # Errors
+    ///
+    /// Propagates access failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated (test helper).
+    pub fn check_invariants(&self, rt: &mut Runtime) -> Result<u32, PmemError> {
+        let root = self.root(rt)?;
+        if root.is_null() {
+            return Ok(0);
+        }
+        assert_eq!(self.color_of(rt, root)?, BLACK, "root must be black");
+        self.check_subtree(rt, root, ObjectId::NULL, None, None)
+    }
+
+    fn check_subtree(
+        &self,
+        rt: &mut Runtime,
+        oid: ObjectId,
+        expect_parent: ObjectId,
+        lo: Option<u64>,
+        hi: Option<u64>,
+    ) -> Result<u32, PmemError> {
+        if oid.is_null() {
+            return Ok(1);
+        }
+        let (n, _) = self.read_node(rt, oid, None)?;
+        assert_eq!(n.parent, expect_parent, "parent pointer consistent");
+        if let Some(lo) = lo {
+            assert!(n.key > lo, "BST order (lo)");
+        }
+        if let Some(hi) = hi {
+            assert!(n.key < hi, "BST order (hi)");
+        }
+        if n.color == RED {
+            assert_eq!(self.color_of(rt, n.left)?, BLACK, "no red-red");
+            assert_eq!(self.color_of(rt, n.right)?, BLACK, "no red-red");
+        }
+        let bl = self.check_subtree(rt, n.left, oid, lo, Some(n.key))?;
+        let br = self.check_subtree(rt, n.right, oid, Some(n.key), hi)?;
+        assert_eq!(bl, br, "equal black heights");
+        Ok(bl + u32::from(n.color == BLACK))
+    }
+
+    /// The pool set (for pool-count reporting).
+    pub fn pools(&self) -> &PoolSet {
+        &self.pools
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poat_pmem::RuntimeConfig;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn setup(pattern: Pattern) -> (Runtime, PersistentRbt, StdRng) {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let t = PersistentRbt::create(&mut rt, pattern).unwrap();
+        (rt, t, StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        for k in 0..64 {
+            assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+            t.check_invariants(&mut rt).unwrap();
+        }
+        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), (0..64).collect::<Vec<_>>());
+        // A balanced 64-node RB tree has black height ≥ 3 (vs a 64-deep list).
+        assert!(t.check_invariants(&mut rt).unwrap() >= 3);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        assert!(t.insert(&mut rt, 7, &mut rng).unwrap());
+        assert!(!t.insert(&mut rt, 7, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn removals_preserve_invariants() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::All);
+        for k in 0..48 {
+            t.insert(&mut rt, k * 3, &mut rng).unwrap();
+        }
+        for k in [0, 45, 21, 141, 72, 3, 69] {
+            assert!(t.remove(&mut rt, k, &mut rng).unwrap(), "{k}");
+            t.check_invariants(&mut rt).unwrap();
+        }
+        assert!(!t.remove(&mut rt, 1, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn matches_btreeset_reference_with_invariants() {
+        for pattern in [Pattern::All, Pattern::Random] {
+            let (mut rt, mut t, mut rng) = setup(pattern);
+            let mut reference = BTreeSet::new();
+            for i in 0..500 {
+                let k = rng.gen_range(0..150u64);
+                if reference.contains(&k) {
+                    reference.remove(&k);
+                    assert!(t.remove(&mut rt, k, &mut rng).unwrap());
+                } else {
+                    reference.insert(k);
+                    assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+                }
+                if i % 50 == 0 {
+                    t.check_invariants(&mut rt).unwrap();
+                }
+            }
+            t.check_invariants(&mut rt).unwrap();
+            let want: Vec<u64> = reference.into_iter().collect();
+            assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), want, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn each_pattern_and_crash_recovery() {
+        let (mut rt, mut t, mut rng) = setup(Pattern::Each);
+        for k in [9, 2, 14, 6, 1] {
+            t.insert(&mut rt, k, &mut rng).unwrap();
+        }
+        assert_eq!(t.pools().pool_count(), 5);
+        let mut rt2 = rt.crash_and_recover(13).unwrap();
+        assert_eq!(t.to_sorted_vec(&mut rt2).unwrap(), vec![1, 2, 6, 9, 14]);
+        t.check_invariants(&mut rt2).unwrap();
+    }
+}

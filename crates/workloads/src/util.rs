@@ -1,0 +1,89 @@
+//! Shared helpers for the persistent workloads.
+
+use poat_pmem::{PmemError, Runtime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Probability that a data-dependent compare branch mispredicts. Loop and
+/// structural branches are assumed well-predicted (Pentium M predictor,
+/// Table 4); key compares against random data mispredict occasionally.
+pub const COMPARE_MISPREDICT_P: f64 = 0.10;
+
+/// Emits the compute of one key comparison: a couple of ALU ops plus a
+/// data-dependent branch.
+pub fn compare_branch(rt: &mut Runtime, rng: &mut StdRng) {
+    rt.exec(5);
+    rt.branch(rng.gen_bool(COMPARE_MISPREDICT_P));
+}
+
+/// Emits a well-predicted structural branch (loop back-edges, null checks).
+pub fn loop_branch(rt: &mut Runtime) {
+    rt.exec(3);
+    rt.branch(false);
+}
+
+/// Tracks which objects the current transaction has already snapshotted,
+/// so each node is `tx_add_range`d at most once per operation (the idiom
+/// NVML transactions use).
+#[derive(Debug, Default)]
+pub struct TxLogSet {
+    logged: Vec<u64>,
+}
+
+impl TxLogSet {
+    /// Creates an empty set (call per operation/transaction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots `[oid, oid+len)` into the undo log unless this object was
+    /// already logged in this transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `tx_add_range` failures.
+    pub fn log(
+        &mut self,
+        rt: &mut Runtime,
+        oid: poat_core::ObjectId,
+        len: u32,
+    ) -> Result<(), PmemError> {
+        if self.logged.contains(&oid.raw()) {
+            return Ok(());
+        }
+        rt.tx_add_range(oid, len)?;
+        self.logged.push(oid.raw());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poat_pmem::RuntimeConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compare_branch_emits_exec_and_branch() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        compare_branch(&mut rt, &mut rng);
+        let s = rt.trace().summary();
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.instructions, 6);
+    }
+
+    #[test]
+    fn tx_log_set_logs_once() {
+        let mut rt = Runtime::new(RuntimeConfig::default());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let oid = rt.pmalloc(pool, 16).unwrap();
+        rt.tx_begin(pool).unwrap();
+        let mut set = TxLogSet::new();
+        set.log(&mut rt, oid, 16).unwrap();
+        let clwbs_after_first = rt.trace().summary().clwbs;
+        set.log(&mut rt, oid, 16).unwrap();
+        assert_eq!(rt.trace().summary().clwbs, clwbs_after_first, "second log is a no-op");
+        rt.tx_end().unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: every persistent data structure is equivalent to
+//! its `std::collections` reference under arbitrary operation sequences,
+//! in both translation modes and under all pool patterns.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use poat_pmem::Runtime;
+use poat_workloads::bench::BPlusBench;
+use poat_workloads::bst::PersistentBst;
+use poat_workloads::list::PersistentList;
+use poat_workloads::rbt::PersistentRbt;
+use poat_workloads::{ExpConfig, Pattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn configs() -> impl Strategy<Value = (ExpConfig, Pattern)> {
+    (
+        prop_oneof![
+            Just(ExpConfig::Base),
+            Just(ExpConfig::Opt),
+            Just(ExpConfig::OptNtx)
+        ],
+        prop_oneof![Just(Pattern::All), Just(Pattern::Random), Just(Pattern::Each)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linked_list_is_a_multiset((cfg, pattern) in configs(),
+        keys in prop::collection::vec(0u64..30, 1..60),
+    ) {
+        let mut rt = Runtime::new(cfg.runtime_config(5));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = PersistentList::create(&mut rt, pattern).unwrap();
+        let mut reference: Vec<u64> = Vec::new();
+        for k in keys {
+            if let Some(pos) = reference.iter().position(|&x| x == k) {
+                reference.remove(pos);
+                prop_assert!(l.remove(&mut rt, k, &mut rng).unwrap());
+            } else {
+                reference.push(k);
+                l.insert(&mut rt, k, &mut rng).unwrap();
+            }
+        }
+        let mut got = l.to_vec(&mut rt).unwrap();
+        got.sort_unstable();
+        reference.sort_unstable();
+        prop_assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn bst_matches_btreeset((cfg, pattern) in configs(),
+        keys in prop::collection::vec(0u64..60, 1..80),
+    ) {
+        let mut rt = Runtime::new(cfg.runtime_config(6));
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut t = PersistentBst::create(&mut rt, pattern).unwrap();
+        let mut reference = BTreeSet::new();
+        for k in keys {
+            if reference.contains(&k) {
+                reference.remove(&k);
+                prop_assert!(t.remove(&mut rt, k, &mut rng).unwrap());
+            } else {
+                reference.insert(k);
+                prop_assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+            }
+        }
+        let want: Vec<u64> = reference.into_iter().collect();
+        prop_assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), want);
+    }
+
+    #[test]
+    fn rbt_matches_btreeset_and_keeps_invariants((cfg, pattern) in configs(),
+        keys in prop::collection::vec(0u64..60, 1..80),
+    ) {
+        let mut rt = Runtime::new(cfg.runtime_config(7));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = PersistentRbt::create(&mut rt, pattern).unwrap();
+        let mut reference = BTreeSet::new();
+        for k in keys {
+            if reference.contains(&k) {
+                reference.remove(&k);
+                prop_assert!(t.remove(&mut rt, k, &mut rng).unwrap());
+            } else {
+                reference.insert(k);
+                prop_assert!(t.insert(&mut rt, k, &mut rng).unwrap());
+            }
+        }
+        t.check_invariants(&mut rt).unwrap();
+        let want: Vec<u64> = reference.into_iter().collect();
+        prop_assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), want);
+    }
+
+    #[test]
+    fn bplus_matches_btreemap_with_crashes((cfg, pattern) in configs(),
+        keys in prop::collection::vec(0u64..80, 1..80),
+        crash_at in any::<prop::sample::Index>(),
+        crash_seed in any::<u64>(),
+    ) {
+        let mut rt = Runtime::new(cfg.runtime_config(8));
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut b = BPlusBench::create(&mut rt, pattern).unwrap();
+        let mut reference = BTreeMap::new();
+        let crash_point = crash_at.index(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            if reference.contains_key(k) {
+                reference.remove(k);
+            } else {
+                reference.insert(*k, *k);
+            }
+            b.op(&mut rt, *k, &mut rng).unwrap();
+            // Crash between operations once, mid-history (only meaningful
+            // when failure safety is on; NTX runs skip it).
+            if i == crash_point && cfg.failure_safety() {
+                rt = rt.crash_and_recover(crash_seed).unwrap();
+            }
+        }
+        b.tree().check_invariants(&mut rt).unwrap();
+        let want: Vec<(u64, u64)> = reference.into_iter().collect();
+        prop_assert_eq!(b.tree().to_sorted_vec(&mut rt).unwrap(), want);
+    }
+}

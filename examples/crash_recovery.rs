@@ -1,0 +1,86 @@
+//! Failure injection: interrupt transactions at arbitrary points under
+//! many crash seeds and demonstrate that the undo log always restores a
+//! consistent state — the failure-safety contract of paper §2.1.4.
+//!
+//! ```text
+//! cargo run --example crash_recovery
+//! ```
+
+use poat::pmem::{Runtime, RuntimeConfig};
+
+/// A toy "bank": two accounts whose sum must be invariant.
+struct Bank {
+    a: poat::core::ObjectId,
+    b: poat::core::ObjectId,
+    pool: poat::core::PoolId,
+}
+
+impl Bank {
+    fn create(rt: &mut Runtime) -> Result<Self, poat::pmem::PmemError> {
+        let pool = rt.pool_create("bank", 1 << 20)?;
+        let a = rt.pmalloc(pool, 8)?;
+        let b = rt.pmalloc(pool, 8)?;
+        rt.write_u64(a, 500)?;
+        rt.write_u64(b, 500)?;
+        rt.persist(a, 8)?;
+        rt.persist(b, 8)?;
+        Ok(Bank { a, b, pool })
+    }
+
+    /// Transfer with full failure safety.
+    fn transfer(&self, rt: &mut Runtime, amount: u64) -> Result<(), poat::pmem::PmemError> {
+        rt.tx_begin(self.pool)?;
+        rt.tx_add_range(self.a, 8)?;
+        rt.tx_add_range(self.b, 8)?;
+        let av = rt.read_u64(self.a)?;
+        let bv = rt.read_u64(self.b)?;
+        rt.write_u64(self.a, av - amount)?;
+        rt.write_u64(self.b, bv + amount)?;
+        rt.tx_end()?;
+        Ok(())
+    }
+
+    fn sum(&self, rt: &mut Runtime) -> Result<u64, poat::pmem::PmemError> {
+        Ok(rt.read_u64(self.a)? + rt.read_u64(self.b)?)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut survived_mid_tx = 0;
+    let mut rolled_back = 0;
+
+    for crash_seed in 0..200u64 {
+        // Committed prefix, then a transaction interrupted mid-flight.
+        let mut rt = Runtime::new(RuntimeConfig { aslr_seed: crash_seed, ..Default::default() });
+        let bank = Bank::create(&mut rt)?;
+        bank.transfer(&mut rt, 100)?; // committed
+
+        // Interrupted transfer: do the logging + first write, then crash
+        // before commit.
+        rt.tx_begin(bank.pool)?;
+        rt.tx_add_range(bank.a, 8)?;
+        rt.tx_add_range(bank.b, 8)?;
+        let av = rt.read_u64(bank.a)?;
+        rt.write_u64(bank.a, av - 250)?;
+        // (crash here: the matching credit never happens)
+
+        let mut rt = rt.crash_and_recover(crash_seed)?;
+        let sum = bank.sum(&mut rt)?;
+        assert_eq!(sum, 1000, "seed {crash_seed}: invariant broken: {sum}");
+
+        // The committed transfer must still be visible.
+        let a = rt.read_u64(bank.a)?;
+        assert_eq!(a, 400, "seed {crash_seed}: committed state lost");
+        rolled_back += 1;
+
+        // And the store remains fully usable.
+        bank.transfer(&mut rt, 50)?;
+        assert_eq!(bank.sum(&mut rt)?, 1000);
+        survived_mid_tx += 1;
+    }
+
+    println!("200 crash seeds: {rolled_back} uncommitted transfers rolled back,");
+    println!("                 {survived_mid_tx} recovered stores verified usable.");
+    println!("invariant (sum == 1000) held in every case.");
+    Ok(())
+}

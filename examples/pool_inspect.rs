@@ -1,0 +1,55 @@
+//! Pool inspection (the `pmempool`-style admin tool): build some state,
+//! interrupt a transaction, crash, and inspect the pools at every stage —
+//! including watching recovery clean the undo log.
+//!
+//! ```text
+//! cargo run --example pool_inspect
+//! ```
+
+use poat::pmem::{PoolMode, Runtime, RuntimeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = Runtime::new(RuntimeConfig::default());
+
+    let data = rt.pool_create("data", 64 << 10)?;
+    let config = rt.pool_create_with_mode("config", 16 << 10, PoolMode::ReadOnly)?;
+
+    // Populate the data pool.
+    let a = rt.pmalloc(data, 100)?;
+    let b = rt.pmalloc(data, 200)?;
+    let _c = rt.pmalloc(data, 300)?;
+    rt.pfree(b)?;
+    rt.write_u64(a, 1)?;
+    rt.persist(a, 8)?;
+
+    println!("=== after setup ===");
+    for rep in rt.inspect_all()? {
+        println!("{rep}\n");
+    }
+
+    // Read-only pools refuse writes.
+    match rt.pmalloc(config, 8) {
+        Err(e) => println!("allocation in read-only pool rejected: {e}\n"),
+        Ok(_) => unreachable!("read-only pool accepted a write"),
+    }
+
+    // Leave a transaction in flight and crash.
+    rt.tx_begin(data)?;
+    rt.tx_add_range(a, 8)?;
+    rt.write_u64(a, 999)?;
+    println!("=== mid-transaction (undo log active) ===");
+    println!("{}\n", rt.inspect_pool(data)?);
+
+    let mut rt = rt.crash_and_recover(42)?;
+    println!("=== after crash + recovery ===");
+    println!("{}\n", rt.inspect_pool(data)?);
+    println!(
+        "value rolled back to {} (committed state), recoveries = {}",
+        rt.read_u64(a)?,
+        rt.stats().recoveries
+    );
+    assert_eq!(rt.read_u64(a)?, 1);
+    let rep = rt.inspect_pool(data)?;
+    assert!(rep.is_consistent() && !rep.log_active);
+    Ok(())
+}

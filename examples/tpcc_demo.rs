@@ -1,0 +1,55 @@
+//! Run TPC-C over the persistent runtime and compare software vs hardware
+//! ObjectID translation end to end: dynamic instructions, simulated
+//! cycles on both core models, and the resulting speedup — a miniature of
+//! the paper's TPCC experiment (Figure 9).
+//!
+//! ```text
+//! cargo run --release --example tpcc_demo
+//! ```
+
+use poat::harness::{run_tpcc, simulate, Core, Scale};
+use poat::sim::SimResult;
+use poat::workloads::{ExpConfig, TpccPattern};
+use poat_core::TranslationConfig;
+
+fn main() {
+    println!("populating TPC-C (1 warehouse, scaled) and running transactions…\n");
+
+    for pattern in [TpccPattern::All, TpccPattern::Each] {
+        let base = run_tpcc(pattern, ExpConfig::Base, Scale::Quick);
+        let opt = run_tpcc(pattern, ExpConfig::Opt, Scale::Quick);
+
+        let pipelined = TranslationConfig::default();
+        let ino_base = simulate(&base, Core::InOrder, pipelined);
+        let ino_opt = simulate(&opt, Core::InOrder, pipelined);
+        let ooo_base = simulate(&base, Core::OutOfOrder, pipelined);
+        let ooo_opt = simulate(&opt, Core::OutOfOrder, pipelined);
+
+        let speed = |b: &SimResult, o: &SimResult| b.cycles as f64 / o.cycles as f64;
+        println!("{pattern}:");
+        println!(
+            "  dynamic instructions  BASE {:>12}   OPT {:>12}   (-{:.1}%)",
+            base.summary.instructions,
+            opt.summary.instructions,
+            (1.0 - opt.summary.instructions as f64 / base.summary.instructions as f64) * 100.0
+        );
+        println!(
+            "  in-order cycles       BASE {:>12}   OPT {:>12}   speedup {:.2}x",
+            ino_base.cycles,
+            ino_opt.cycles,
+            speed(&ino_base, &ino_opt)
+        );
+        println!(
+            "  out-of-order cycles   BASE {:>12}   OPT {:>12}   speedup {:.2}x",
+            ooo_base.cycles,
+            ooo_opt.cycles,
+            speed(&ooo_base, &ooo_opt)
+        );
+        println!(
+            "  POLB: {} lookups, {:.2}% miss\n",
+            ino_opt.translation.polb.lookups(),
+            ino_opt.translation.polb.miss_rate() * 100.0
+        );
+    }
+    println!("(paper, full scale: 1.10x/1.17x in-order, 1.12x out-of-order on TPCC_EACH)");
+}

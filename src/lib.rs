@@ -1,0 +1,43 @@
+//! # poat — Persistent Object Address Translation
+//!
+//! A full-system reproduction of *"Hardware Supported Persistent Object
+//! Address Translation"* (Wang, Sambasivam, Solihin, Tuck — MICRO'17).
+//!
+//! The paper proposes treating NVML-style ObjectIDs (`pool_id | offset`)
+//! as a hardware-translated address space: new `nvld`/`nvst` instructions
+//! translate ObjectIDs through a **Persistent Object Look-aside Buffer**
+//! (POLB) backed by a **Persistent Object Table** (POT), eliminating the
+//! software `oid_direct` translation that dominates persistent-object
+//! workloads.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — ObjectId types, POLB (Pipelined & Parallel), POT
+//! * [`nvm`] — simulated NVM device, persistence model, virtual memory
+//! * [`pmem`] — NVML-like runtime (pools, allocator, transactions, trace)
+//! * [`sim`] — cycle-level in-order and out-of-order cores + caches
+//! * [`workloads`] — the paper's six microbenchmarks and TPC-C
+//! * [`harness`] — experiment runners regenerating every table and figure
+//!   of the evaluation, plus four ablation studies
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use poat::pmem::{Runtime, RuntimeConfig};
+//!
+//! # fn main() -> Result<(), poat::pmem::PmemError> {
+//! let mut rt = Runtime::new(RuntimeConfig::default());
+//! let pool = rt.pool_create("data", 1 << 20)?;
+//! let oid = rt.pmalloc(pool, 16)?;
+//! rt.write_u64(oid, 42)?;
+//! assert_eq!(rt.read_u64(oid)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use poat_core as core;
+pub use poat_harness as harness;
+pub use poat_nvm as nvm;
+pub use poat_pmem as pmem;
+pub use poat_sim as sim;
+pub use poat_workloads as workloads;

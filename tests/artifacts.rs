@@ -1,0 +1,51 @@
+//! Guards the committed experiment artifacts: the recorded full-scale
+//! results file must stay parseable and structurally complete, so
+//! EXPERIMENTS.md's numbers always have a machine-readable counterpart.
+
+use std::path::Path;
+
+#[test]
+fn committed_results_json_is_complete() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results_full.json");
+    let data = std::fs::read_to_string(&path).expect("results_full.json present");
+    let v: serde_json::Value = serde_json::from_str(&data).expect("valid json");
+
+    for key in ["table2", "main", "fig10", "fig11", "fig12", "ablations"] {
+        assert!(v.get(key).is_some(), "missing artifact {key}");
+    }
+    let main = &v["main"];
+    for key in ["fig9a", "fig9b", "table8", "instrs"] {
+        assert!(main.get(key).is_some(), "missing main.{key}");
+    }
+    // 6 micro × 3 patterns + 2 TPCC rows.
+    assert_eq!(main["fig9a"].as_array().expect("array").len(), 20);
+    assert_eq!(v["table2"].as_array().expect("array").len(), 7, "6 benches + geomean");
+    assert_eq!(v["fig11"].as_array().expect("array").len(), 6);
+    assert_eq!(v["fig12"].as_array().expect("array").len(), 6);
+
+    // Headline shape invariants of the recorded run.
+    let random_pipelined: Vec<f64> = main["fig9a"]
+        .as_array()
+        .expect("array")
+        .iter()
+        .filter(|r| r["pattern"] == "RANDOM")
+        .map(|r| r["pipelined"].as_f64().expect("number"))
+        .collect();
+    assert_eq!(random_pipelined.len(), 6);
+    assert!(
+        random_pipelined.iter().all(|&s| s > 1.3),
+        "recorded RANDOM speedups degenerate: {random_pipelined:?}"
+    );
+}
+
+#[test]
+fn experiments_doc_mentions_every_artifact() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("EXPERIMENTS.md");
+    let doc = std::fs::read_to_string(&path).expect("EXPERIMENTS.md present");
+    for artifact in [
+        "Table 2", "Figure 9(a)", "Figure 9(b)", "Table 8", "Figure 10", "Figure 11",
+        "Table 9", "Figure 12", "Ablations",
+    ] {
+        assert!(doc.contains(artifact), "EXPERIMENTS.md missing {artifact}");
+    }
+}

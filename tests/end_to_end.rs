@@ -1,0 +1,112 @@
+//! Cross-crate integration: workload → runtime trace → timing models,
+//! asserting the causal chain the paper's evaluation rests on.
+
+use poat::harness::{run_micro, simulate, Core, Scale};
+use poat::sim::SimConfig;
+use poat::workloads::{ExpConfig, Micro, Pattern};
+use poat_core::{PolbDesign, TranslationConfig};
+use poat_sim::{simulate_inorder, simulate_ooo};
+
+#[test]
+fn opt_is_faster_than_base_on_random_for_every_bench() {
+    for bench in Micro::ALL {
+        let base = run_micro(bench, Pattern::Random, ExpConfig::Base, Scale::Quick);
+        let opt = run_micro(bench, Pattern::Random, ExpConfig::Opt, Scale::Quick);
+        let cfg = TranslationConfig::default();
+        let b = simulate(&base, Core::InOrder, cfg);
+        let o = simulate(&opt, Core::InOrder, cfg);
+        assert!(
+            o.cycles < b.cycles,
+            "{bench}: OPT {} !< BASE {}",
+            o.cycles,
+            b.cycles
+        );
+        assert!(
+            o.instructions < b.instructions,
+            "{bench}: hardware translation must remove instructions"
+        );
+    }
+}
+
+#[test]
+fn out_of_order_extracts_more_ilp_than_in_order() {
+    for bench in [Micro::Ll, Micro::Bst, Micro::Sps] {
+        let base = run_micro(bench, Pattern::Random, ExpConfig::Base, Scale::Quick);
+        let cfg = SimConfig::default();
+        let ino = simulate_inorder(&base.trace, &base.state, &cfg).unwrap();
+        let ooo = simulate_ooo(&base.trace, &base.state, &cfg).unwrap();
+        assert!(ooo.cycles < ino.cycles, "{bench}");
+        assert_eq!(ooo.instructions, ino.instructions, "{bench}: same program");
+    }
+}
+
+#[test]
+fn ooo_narrows_the_opt_base_gap() {
+    // The paper's key out-of-order observation (Fig 9b vs 9a): OoO hides
+    // some of the software-translation latency, so OPT helps it less.
+    let base = run_micro(Micro::Bst, Pattern::Random, ExpConfig::Base, Scale::Quick);
+    let opt = run_micro(Micro::Bst, Pattern::Random, ExpConfig::Opt, Scale::Quick);
+    let cfg = TranslationConfig::default();
+    let speedup_ino = simulate(&base, Core::InOrder, cfg).cycles as f64
+        / simulate(&opt, Core::InOrder, cfg).cycles as f64;
+    let speedup_ooo = simulate(&base, Core::OutOfOrder, cfg).cycles as f64
+        / simulate(&opt, Core::OutOfOrder, cfg).cycles as f64;
+    assert!(
+        speedup_ooo < speedup_ino,
+        "in-order {speedup_ino:.2}x vs out-of-order {speedup_ooo:.2}x"
+    );
+    assert!(speedup_ino > 1.2, "in-order speedup should be substantial");
+    assert!(speedup_ooo > 1.0, "OPT still wins on out-of-order");
+}
+
+#[test]
+fn ideal_translation_bounds_both_designs() {
+    for pattern in Pattern::ALL {
+        let opt = run_micro(Micro::Rbt, pattern, ExpConfig::Opt, Scale::Quick);
+        let pipe = simulate(&opt, Core::InOrder, TranslationConfig::default());
+        let par = simulate(
+            &opt,
+            Core::InOrder,
+            TranslationConfig::for_design(PolbDesign::Parallel),
+        );
+        let ideal = simulate(&opt, Core::InOrder, TranslationConfig::default().idealized());
+        assert!(ideal.cycles <= pipe.cycles, "{pattern}");
+        assert!(ideal.cycles <= par.cycles, "{pattern}");
+    }
+}
+
+#[test]
+fn each_pattern_stresses_the_polb_most() {
+    let mut rates = Vec::new();
+    for pattern in Pattern::ALL {
+        let opt = run_micro(Micro::Ll, pattern, ExpConfig::Opt, Scale::Quick);
+        let r = simulate(&opt, Core::InOrder, TranslationConfig::default());
+        rates.push((pattern, r.translation.polb.miss_rate()));
+    }
+    let get = |p: Pattern| rates.iter().find(|(q, _)| *q == p).unwrap().1;
+    assert!(get(Pattern::Each) > get(Pattern::Random), "{rates:?}");
+    assert!(get(Pattern::Each) > get(Pattern::All), "{rates:?}");
+    assert!(get(Pattern::All) < 0.01, "one pool fits one POLB entry");
+}
+
+#[test]
+fn base_runs_never_touch_translation_hardware() {
+    let base = run_micro(Micro::Bt, Pattern::Each, ExpConfig::Base, Scale::Quick);
+    let r = simulate(&base, Core::InOrder, TranslationConfig::default());
+    assert_eq!(r.translation.polb.lookups(), 0);
+    assert_eq!(r.translation.pot_walks, 0);
+    assert_eq!(r.translation.exceptions, 0);
+}
+
+#[test]
+fn traces_are_deterministic() {
+    let a = run_micro(Micro::Bpt, Pattern::Random, ExpConfig::Opt, Scale::Quick);
+    let b = run_micro(Micro::Bpt, Pattern::Random, ExpConfig::Opt, Scale::Quick);
+    assert_eq!(a.trace.len(), b.trace.len());
+    assert_eq!(a.summary, b.summary);
+    let cfg = TranslationConfig::default();
+    assert_eq!(
+        simulate(&a, Core::InOrder, cfg).cycles,
+        simulate(&b, Core::InOrder, cfg).cycles
+    );
+}

@@ -1,0 +1,187 @@
+//! Shape checks against the paper's headline claims, at smoke scale.
+//! Absolute numbers differ from the paper (our substrate is a simulator,
+//! not their testbed); these tests pin down the *qualitative* results the
+//! reproduction must preserve. EXPERIMENTS.md records the full-scale
+//! paper-vs-measured comparison.
+
+use poat::harness::experiments::{self, POLB_SIZES, POT_LATENCIES};
+use poat::harness::Scale;
+
+#[test]
+fn table2_software_translation_costs() {
+    let rows = experiments::table2(Scale::Quick);
+    let by = |b: &str| rows.iter().find(|r| r.bench == b).unwrap();
+    for r in &rows {
+        // ALL: the predictor nearly always hits → ~17 instructions.
+        assert!(
+            (16.0..19.0).contains(&r.insns_all),
+            "{}: ALL should cost ~17, got {:.1}",
+            r.bench,
+            r.insns_all
+        );
+        // EACH: the full look-up dominates.
+        assert!(
+            r.insns_each > 45.0,
+            "{}: EACH should be far above the hit cost, got {:.1}",
+            r.bench,
+            r.insns_each
+        );
+    }
+    // LL's pool-per-node traversal defeats the predictor hardest.
+    let ll = by("LL");
+    for r in &rows {
+        if r.bench != "LL" && r.bench != "GeoMean" {
+            assert!(ll.miss_each >= r.miss_each - 0.02, "{}", r.bench);
+        }
+    }
+}
+
+#[test]
+fn fig9_speedup_shapes() {
+    let main = experiments::main_matrix(Scale::Quick);
+    let get = |rows: &[experiments::SpeedupRow], b: &str, p: &str| {
+        rows.iter()
+            .find(|r| r.bench == b && r.pattern == p)
+            .unwrap_or_else(|| panic!("{b}/{p}"))
+            .clone()
+    };
+
+    for bench in ["LL", "BST", "RBT", "BT", "B+T", "SPS"] {
+        let all = get(&main.fig9a, bench, "ALL");
+        let random = get(&main.fig9a, bench, "RANDOM");
+        // RANDOM defeats the software predictor → larger hardware win.
+        assert!(random.pipelined > all.pipelined, "{bench}");
+        // Speedups exist everywhere and the ideal dot bounds the bars.
+        assert!(random.pipelined > 1.2, "{bench}: {:.2}", random.pipelined);
+        assert!(all.ideal >= all.pipelined - 0.02, "{bench}");
+        assert!(random.ideal >= random.pipelined - 0.02, "{bench}");
+
+        // Out-of-order hides latency: smaller speedup than in-order.
+        let ooo = get(&main.fig9b, bench, "RANDOM");
+        assert!(
+            ooo.pipelined < random.pipelined,
+            "{bench}: ooo {:.2} !< ino {:.2}",
+            ooo.pipelined,
+            random.pipelined
+        );
+        assert!(ooo.pipelined > 1.0, "{bench}: hardware still wins on OoO");
+    }
+
+    // TPCC: modest but real speedups; EACH > ALL.
+    let tp_all = get(&main.fig9a, "TPCC", "TPCC_ALL");
+    let tp_each = get(&main.fig9a, "TPCC", "TPCC_EACH");
+    assert!(tp_each.pipelined > tp_all.pipelined);
+    assert!(tp_all.pipelined > 0.95);
+
+    // The paper's §1 headline: large dynamic-instruction reduction.
+    let micro_random: Vec<f64> = main
+        .instrs
+        .iter()
+        .filter(|r| r.pattern == "RANDOM")
+        .map(|r| r.reduction)
+        .collect();
+    let mean = micro_random.iter().sum::<f64>() / micro_random.len() as f64;
+    assert!(
+        mean > 0.30,
+        "mean RANDOM instruction reduction {mean:.2} (paper: 0.439)"
+    );
+}
+
+#[test]
+fn table8_miss_rate_shapes() {
+    let main = experiments::main_matrix(Scale::Quick);
+    for r in &main.table8 {
+        if r.bench == "TPCC" {
+            continue;
+        }
+        // Per-page Parallel entries miss at least as much as per-pool
+        // Pipelined entries under EACH.
+        assert!(
+            r.par_each >= r.pipe_each - 0.02,
+            "{}: par {:.3} vs pipe {:.3}",
+            r.bench,
+            r.par_each,
+            r.pipe_each
+        );
+        // EACH (a pool per node) pressures the POLB more than ALL.
+        assert!(r.par_each >= r.par_all, "{}", r.bench);
+    }
+    let ll = main.table8.iter().find(|r| r.bench == "LL").unwrap();
+    for r in &main.table8 {
+        if r.bench != "LL" && r.bench != "TPCC" {
+            assert!(ll.pipe_each >= r.pipe_each, "LL has the worst EACH locality");
+        }
+    }
+}
+
+#[test]
+fn fig10_removing_durability_raises_speedups() {
+    let ntx = experiments::fig10(Scale::Quick);
+    let tx = experiments::main_matrix(Scale::Quick);
+    let mut higher = 0;
+    let mut total = 0;
+    for r in &ntx {
+        let with_tx = tx
+            .fig9a
+            .iter()
+            .find(|t| t.bench == r.bench && t.pattern == r.pattern)
+            .unwrap();
+        total += 1;
+        if r.pipelined > with_tx.pipelined {
+            higher += 1;
+        }
+    }
+    // Paper §6.2: "The speedup on both designs are higher than the prior
+    // case with persistence and atomicity support."
+    assert!(
+        higher * 3 >= total * 2,
+        "NTX should raise most speedups: {higher}/{total}"
+    );
+}
+
+#[test]
+fn fig11_polb_size_saturates() {
+    let rows = experiments::fig11(Scale::Quick);
+    assert_eq!(POLB_SIZES, [0, 1, 4, 32, 128]);
+    for r in &rows {
+        let n = r.pipelined.len();
+        // No POLB is the worst configuration.
+        assert!(
+            r.pipelined[0] <= r.pipelined[n - 1] + 0.02,
+            "{}: {:?}",
+            r.bench,
+            r.pipelined
+        );
+        // 32 entries suffice for 32 pools: within 2% of 128 entries.
+        let at32 = r.pipelined[3];
+        let at128 = r.pipelined[4];
+        assert!(
+            (at128 - at32).abs() / at128 < 0.02,
+            "{}: 32-entry POLB should saturate (32 pools): {at32:.2} vs {at128:.2}",
+            r.bench
+        );
+        // Miss rates shrink as the POLB grows.
+        assert!(r.pipe_miss[1] <= r.pipe_miss[0] + 1e-9, "{}", r.bench);
+        assert!(r.pipe_miss[3] <= r.pipe_miss[1], "{}", r.bench);
+    }
+}
+
+#[test]
+fn fig12_pot_walk_latency_hurts_high_miss_workloads_most() {
+    let rows = experiments::fig12(Scale::Quick);
+    assert_eq!(POT_LATENCIES.len(), 6);
+    let drop_of = |b: &str| {
+        let r = rows.iter().find(|r| r.bench == b).unwrap();
+        // Relative slowdown from ideal to a 500-cycle walk.
+        (r.speedups[0] - r.speedups[5]) / r.speedups[0]
+    };
+    // LL (worst POLB locality under EACH) must be the most sensitive.
+    let ll = drop_of("LL");
+    for b in ["BT", "B+T", "SPS"] {
+        assert!(
+            ll >= drop_of(b),
+            "LL drop {ll:.3} should exceed {b} drop {:.3}",
+            drop_of(b)
+        );
+    }
+}
