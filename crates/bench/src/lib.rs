@@ -11,3 +11,5 @@
 //!   POLB look-ups, POT walks, software `oid_direct`, cache accesses,
 //!   runtime allocation/transaction primitives, and core-model replay
 //!   throughput.
+
+#![warn(missing_docs)]

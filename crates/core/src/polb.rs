@@ -17,6 +17,7 @@
 use crate::addr::PAGE_BYTES;
 use crate::oid::{ObjectId, PoolId};
 use crate::stats::PolbStats;
+use poat_telemetry::Counter;
 
 /// Common interface over the two POLB designs.
 ///
@@ -60,21 +61,35 @@ struct Entry {
 }
 
 /// Shared fully-associative LRU machinery for both designs.
+///
+/// Besides the per-instance [`PolbStats`] consumed by the simulators, every
+/// event also feeds the process-wide `core.polb.*` telemetry counters
+/// (aggregated across all live POLB instances and both designs); the
+/// handles are resolved once here so the lookup path stays lock-free.
 #[derive(Clone, Debug)]
 struct Cam {
     entries: Vec<Entry>,
     capacity: usize,
     tick: u64,
     stats: PolbStats,
+    tele_hits: Counter,
+    tele_misses: Counter,
+    tele_fills: Counter,
+    tele_evictions: Counter,
 }
 
 impl Cam {
     fn new(capacity: usize) -> Self {
+        let registry = poat_telemetry::global();
         Cam {
             entries: Vec::with_capacity(capacity),
             capacity,
             tick: 0,
             stats: PolbStats::default(),
+            tele_hits: registry.counter("core.polb.hits"),
+            tele_misses: registry.counter("core.polb.misses"),
+            tele_fills: registry.counter("core.polb.fills"),
+            tele_evictions: registry.counter("core.polb.evictions"),
         }
     }
 
@@ -85,10 +100,12 @@ impl Cam {
             Some(e) => {
                 e.last_use = tick;
                 self.stats.hits += 1;
+                self.tele_hits.inc();
                 Some(e.data)
             }
             None => {
                 self.stats.misses += 1;
+                self.tele_misses.inc();
                 None
             }
         }
@@ -109,6 +126,7 @@ impl Cam {
             data,
             last_use: self.tick,
         };
+        self.tele_fills.inc();
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
         } else {
@@ -121,6 +139,7 @@ impl Cam {
                 .map(|(i, _)| i)
                 .expect("capacity > 0 implies entries non-empty at eviction");
             self.entries[victim] = entry;
+            self.tele_evictions.inc();
         }
     }
 

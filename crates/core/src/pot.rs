@@ -80,6 +80,9 @@ pub struct Pot {
     live: usize,
     walks: u64,
     total_probes: u64,
+    tele_walks: poat_telemetry::Counter,
+    tele_probe_len: poat_telemetry::Histogram,
+    tele_occupancy: poat_telemetry::Gauge,
 }
 
 impl Pot {
@@ -90,11 +93,15 @@ impl Pot {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "POT must have at least one entry");
+        let registry = poat_telemetry::global();
         Pot {
             slots: vec![Slot::Empty; entries],
             live: 0,
             walks: 0,
             total_probes: 0,
+            tele_walks: registry.counter("core.pot.walks"),
+            tele_probe_len: registry.histogram("core.pot.probe_len"),
+            tele_occupancy: registry.gauge("core.pot.occupancy"),
         }
     }
 
@@ -124,6 +131,7 @@ impl Pot {
                     let idx = first_free.unwrap_or(idx);
                     self.slots[idx] = Slot::Live { pool, base };
                     self.live += 1;
+                    self.tele_occupancy.set(self.live as u64);
                     return Ok(());
                 }
                 Slot::Tombstone => {
@@ -138,6 +146,7 @@ impl Pot {
         if let Some(idx) = first_free {
             self.slots[idx] = Slot::Live { pool, base };
             self.live += 1;
+            self.tele_occupancy.set(self.live as u64);
             return Ok(());
         }
         Err(PotError::Full)
@@ -152,31 +161,29 @@ impl Pot {
         self.walks += 1;
         let start = self.hash(pool);
         let n = self.slots.len();
+        let mut result = WalkResult {
+            base: None,
+            probes: n as u32,
+        };
         for i in 0..n {
             let idx = (start + i) % n;
             match self.slots[idx] {
                 Slot::Empty => {
-                    self.total_probes += i as u64 + 1;
-                    return WalkResult {
-                        base: None,
-                        probes: i as u32 + 1,
-                    };
+                    result.probes = i as u32 + 1;
+                    break;
                 }
                 Slot::Live { pool: p, base } if p == pool => {
-                    self.total_probes += i as u64 + 1;
-                    return WalkResult {
-                        base: Some(base),
-                        probes: i as u32 + 1,
-                    };
+                    result.base = Some(base);
+                    result.probes = i as u32 + 1;
+                    break;
                 }
                 _ => {}
             }
         }
-        self.total_probes += n as u64;
-        WalkResult {
-            base: None,
-            probes: n as u32,
-        }
+        self.total_probes += result.probes as u64;
+        self.tele_walks.inc();
+        self.tele_probe_len.record(result.probes as u64);
+        result
     }
 
     /// Looks up a pool without touching walk statistics (software view).
@@ -204,6 +211,7 @@ impl Pot {
                 Slot::Live { pool: p, base } if p == pool => {
                     self.slots[idx] = Slot::Tombstone;
                     self.live -= 1;
+                    self.tele_occupancy.set(self.live as u64);
                     return Some(base);
                 }
                 _ => {}

@@ -7,6 +7,8 @@ use serde::Serialize;
 use poat_core::{PolbDesign, TranslationConfig};
 use poat_workloads::{ExpConfig, Micro, Pattern, TpccPattern};
 
+use poat_sim::SimResult;
+
 use crate::report::{fx, geomean, pct, TextTable};
 use crate::runner::{
     default_workers, ideal, parallel, parallel_map, pipelined, run_micro, run_micro_seeded,
@@ -37,8 +39,13 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
     let mut rows = parallel_map(work, default_workers(), |bench| {
         let all = run_micro(bench, Pattern::All, ExpConfig::Base, scale);
         let each = run_micro(bench, Pattern::Each, ExpConfig::Base, scale);
+        let abbrev = bench.abbrev();
+        all.xlat
+            .publish(&[("artifact", "table2"), ("bench", abbrev), ("pattern", "ALL")]);
+        each.xlat
+            .publish(&[("artifact", "table2"), ("bench", abbrev), ("pattern", "EACH")]);
         Table2Row {
-            bench: bench.abbrev().to_owned(),
+            bench: abbrev.to_owned(),
             insns_all: all.xlat.mean_instructions(),
             insns_each: each.xlat.mean_instructions(),
             miss_each: each.xlat.predictor_miss_rate(),
@@ -154,23 +161,47 @@ struct Cell {
     par_missrate: f64,
 }
 
-fn eval_cell(base: &WorkloadRun, opt: &WorkloadRun) -> (u64, u64, u64, u64, u64, u64, u64, f64, f64)
-{
-    let ino_base = simulate(base, Core::InOrder, pipelined()).cycles;
-    let ooo_base = simulate(base, Core::OutOfOrder, pipelined()).cycles;
+fn eval_cell(
+    bench: &str,
+    pattern: &str,
+    base: &WorkloadRun,
+    opt: &WorkloadRun,
+) -> (u64, u64, u64, u64, u64, u64, u64, f64, f64) {
+    // Publish every simulation into the registry under the same labels the
+    // tables are keyed by: Table 8 / Figure 9 values and the metrics
+    // snapshot are two views of the same SimResults.
+    let publish = |r: &SimResult, config: &str, core: &str, design: &str| {
+        r.publish(&[
+            ("artifact", "main_matrix"),
+            ("bench", bench),
+            ("pattern", pattern),
+            ("config", config),
+            ("core", core),
+            ("design", design),
+        ]);
+    };
+    let r_ino_base = simulate(base, Core::InOrder, pipelined());
+    publish(&r_ino_base, "base", "inorder", "pipelined");
+    let r_ooo_base = simulate(base, Core::OutOfOrder, pipelined());
+    publish(&r_ooo_base, "base", "ooo", "pipelined");
     let r_pipe = simulate(opt, Core::InOrder, pipelined());
+    publish(&r_pipe, "opt", "inorder", "pipelined");
     let r_par = simulate(opt, Core::InOrder, parallel());
-    let ino_ideal = simulate(opt, Core::InOrder, ideal()).cycles;
-    let ooo_pipe = simulate(opt, Core::OutOfOrder, pipelined()).cycles;
-    let ooo_ideal = simulate(opt, Core::OutOfOrder, ideal()).cycles;
+    publish(&r_par, "opt", "inorder", "parallel");
+    let r_ino_ideal = simulate(opt, Core::InOrder, ideal());
+    publish(&r_ino_ideal, "opt", "inorder", "ideal");
+    let r_ooo_pipe = simulate(opt, Core::OutOfOrder, pipelined());
+    publish(&r_ooo_pipe, "opt", "ooo", "pipelined");
+    let r_ooo_ideal = simulate(opt, Core::OutOfOrder, ideal());
+    publish(&r_ooo_ideal, "opt", "ooo", "ideal");
     (
-        ino_base,
+        r_ino_base.cycles,
         r_pipe.cycles,
         r_par.cycles,
-        ino_ideal,
-        ooo_base,
-        ooo_pipe,
-        ooo_ideal,
+        r_ino_ideal.cycles,
+        r_ooo_base.cycles,
+        r_ooo_pipe.cycles,
+        r_ooo_ideal.cycles,
         r_pipe.translation.polb.miss_rate(),
         r_par.translation.polb.miss_rate(),
     )
@@ -212,7 +243,7 @@ pub fn main_matrix(scale: Scale) -> MainResults {
             ),
         };
         let (ino_base, ino_pipe, ino_par, ino_ideal, ooo_base, ooo_pipe, ooo_ideal, pmr, qmr) =
-            eval_cell(&base, &opt);
+            eval_cell(&bench, &pattern, &base, &opt);
         Cell {
             bench,
             pattern,
@@ -433,14 +464,26 @@ pub fn fig10(scale: Scale) -> Vec<Fig10Row> {
     parallel_map(work, default_workers(), |(bench, pattern)| {
         let base = run_micro(bench, pattern, ExpConfig::BaseNtx, scale);
         let opt = run_micro(bench, pattern, ExpConfig::OptNtx, scale);
-        let base_cycles = simulate(&base, Core::InOrder, pipelined()).cycles;
-        let pipe = simulate(&opt, Core::InOrder, pipelined()).cycles;
-        let par = simulate(&opt, Core::InOrder, parallel()).cycles;
+        let publish = |r: &SimResult, config: &str, design: &str| {
+            r.publish(&[
+                ("artifact", "fig10"),
+                ("bench", bench.abbrev()),
+                ("pattern", pattern.label()),
+                ("config", config),
+                ("design", design),
+            ]);
+        };
+        let r_base = simulate(&base, Core::InOrder, pipelined());
+        publish(&r_base, "base_ntx", "pipelined");
+        let r_pipe = simulate(&opt, Core::InOrder, pipelined());
+        publish(&r_pipe, "opt_ntx", "pipelined");
+        let r_par = simulate(&opt, Core::InOrder, parallel());
+        publish(&r_par, "opt_ntx", "parallel");
         Fig10Row {
             bench: bench.abbrev().to_owned(),
             pattern: pattern.label().to_owned(),
-            pipelined: base_cycles as f64 / pipe.max(1) as f64,
-            parallel: base_cycles as f64 / par.max(1) as f64,
+            pipelined: r_base.cycles as f64 / r_pipe.cycles.max(1) as f64,
+            parallel: r_base.cycles as f64 / r_par.cycles.max(1) as f64,
         }
     })
 }
@@ -514,6 +557,19 @@ pub fn fig11(scale: Scale) -> Vec<Fig11Row> {
                     ..TranslationConfig::for_design(design)
                 };
                 let r = simulate(&opt, Core::InOrder, cfg);
+                let size_label = size.to_string();
+                r.publish(&[
+                    ("artifact", "fig11"),
+                    ("bench", bench.abbrev()),
+                    ("polb_size", &size_label),
+                    (
+                        "design",
+                        match design {
+                            PolbDesign::Pipelined => "pipelined",
+                            PolbDesign::Parallel => "parallel",
+                        },
+                    ),
+                ]);
                 let speedup = base_cycles as f64 / r.cycles.max(1) as f64;
                 let miss = r.translation.polb.miss_rate();
                 match design {
@@ -610,6 +666,12 @@ pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
                     },
                 };
                 let r = simulate(&opt, Core::InOrder, cfg);
+                let lat_label = lat.map_or("ideal".to_owned(), |l| l.to_string());
+                r.publish(&[
+                    ("artifact", "fig12"),
+                    ("bench", bench.abbrev()),
+                    ("pot_latency", &lat_label),
+                ]);
                 base_cycles as f64 / r.cycles.max(1) as f64
             })
             .collect();

@@ -1,11 +1,15 @@
 //! `repro` — regenerate the MICRO'17 tables and figures.
 //!
 //! ```text
-//! repro <artifact> [--quick] [--json PATH] [--csv DIR]
+//! repro <artifact> [--quick] [--json PATH] [--csv DIR] [--metrics PATH]
 //!
 //! artifacts: table2 | fig9a | fig9b | table8 | instrs | fig10
 //!            | fig11 | table9 | fig12 | ablations | seeds | all
 //! ```
+//!
+//! `--metrics PATH` writes the full telemetry snapshot (every counter,
+//! gauge and histogram accumulated during the run, plus a run manifest)
+//! as versioned JSON — see `docs/METRICS.md` for the schema.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -21,9 +25,34 @@ use poat_harness::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
-         [--quick] [--json PATH] [--csv DIR]"
+         [--quick] [--json PATH] [--csv DIR] [--metrics PATH]"
     );
     std::process::exit(2);
+}
+
+/// Runs one artifact block, publishing its wall-clock and simulated
+/// instruction throughput as `harness.experiment.*{artifact=...}` gauges.
+fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let registry = poat_telemetry::global();
+    let instructions = registry.counter("harness.workload.instructions");
+    let before = instructions.get();
+    let t0 = Instant::now();
+    let out = f();
+    let elapsed = t0.elapsed();
+    let labels = [("artifact", name)];
+    registry
+        .gauge(&poat_telemetry::labeled("harness.experiment.wall_nanos", &labels))
+        .set(elapsed.as_nanos() as u64);
+    let delta = instructions.get().saturating_sub(before);
+    if delta > 0 && elapsed.as_secs_f64() > 0.0 {
+        registry
+            .gauge(&poat_telemetry::labeled(
+                "harness.experiment.instructions_per_sec",
+                &labels,
+            ))
+            .set((delta as f64 / elapsed.as_secs_f64()) as u64);
+    }
+    out
 }
 
 fn main() {
@@ -32,6 +61,7 @@ fn main() {
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_path: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
@@ -41,10 +71,13 @@ fn main() {
                 std::fs::create_dir_all(&d).expect("create csv output directory");
                 csv_dir = Some(d);
             }
+            "--metrics" => metrics_path = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
 
+    // Start from zeroed metrics so the snapshot describes exactly this run.
+    poat_telemetry::global().reset();
     let started = Instant::now();
     let mut json: BTreeMap<String, serde_json::Value> = BTreeMap::new();
 
@@ -53,7 +86,7 @@ fn main() {
 
     if wants("table2") {
         matched = true;
-        let rows = experiments::table2(scale);
+        let rows = timed("table2", || experiments::table2(scale));
         println!("{}", table2_text(&rows));
         if let Some(dir) = &csv_dir {
             csv::table2(dir, &rows).expect("write table2 csv");
@@ -62,7 +95,7 @@ fn main() {
     }
     if wants("fig9a") || wants("fig9b") || wants("table8") || wants("instrs") {
         matched = true;
-        let main = experiments::main_matrix(scale);
+        let main = timed("main_matrix", || experiments::main_matrix(scale));
         if wants("fig9a") {
             println!("{}", fig9a_text(&main.fig9a));
         }
@@ -82,7 +115,7 @@ fn main() {
     }
     if wants("fig10") {
         matched = true;
-        let rows = experiments::fig10(scale);
+        let rows = timed("fig10", || experiments::fig10(scale));
         println!("{}", fig10_text(&rows));
         if let Some(dir) = &csv_dir {
             csv::fig10(dir, &rows).expect("write fig10 csv");
@@ -91,7 +124,7 @@ fn main() {
     }
     if wants("fig11") || wants("table9") {
         matched = true;
-        let rows = experiments::fig11(scale);
+        let rows = timed("fig11", || experiments::fig11(scale));
         if wants("fig11") {
             println!("{}", fig11_text(&rows));
         }
@@ -105,7 +138,7 @@ fn main() {
     }
     if wants("fig12") {
         matched = true;
-        let rows = experiments::fig12(scale);
+        let rows = timed("fig12", || experiments::fig12(scale));
         println!("{}", fig12_text(&rows));
         if let Some(dir) = &csv_dir {
             csv::fig12(dir, &rows).expect("write fig12 csv");
@@ -114,13 +147,13 @@ fn main() {
     }
     if wants("seeds") {
         matched = true;
-        let rows = experiments::seeds(scale, 5);
+        let rows = timed("seeds", || experiments::seeds(scale, 5));
         println!("{}", experiments::seeds_text(&rows));
         json.insert("seeds".into(), serde_json::to_value(&rows).expect("serialize"));
     }
     if wants("ablations") {
         matched = true;
-        let r = ablations::all(scale);
+        let r = timed("ablations", || ablations::all(scale));
         println!("{}", ablations::all_text(&r));
         if let Some(dir) = &csv_dir {
             csv::ablations(dir, &r).expect("write ablation csvs");
@@ -131,7 +164,17 @@ fn main() {
         usage();
     }
 
+    let scale_label = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+    let manifest = poat_telemetry::RunManifest::collect(&artifact, scale_label, started);
+
     if let Some(path) = json_path {
+        json.insert(
+            "manifest".into(),
+            serde_json::to_value(&manifest).expect("serialize manifest"),
+        );
         let mut f = std::fs::File::create(&path).expect("create json output");
         f.write_all(
             serde_json::to_string_pretty(&json)
@@ -140,6 +183,11 @@ fn main() {
         )
         .expect("write json output");
         eprintln!("results written to {path}");
+    }
+    if let Some(path) = metrics_path {
+        let snapshot = poat_telemetry::global().snapshot(manifest.clone());
+        std::fs::write(&path, snapshot.to_json_string()).expect("write metrics snapshot");
+        eprintln!("metrics snapshot written to {path}");
     }
     eprintln!(
         "[{artifact} @ {scale:?}] completed in {:.1}s",

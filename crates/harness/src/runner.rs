@@ -125,17 +125,31 @@ pub fn run_micro_seeded(
     let mut cfg = config.runtime_config(seed);
     tweak(&mut cfg);
     let mut rt = Runtime::new(cfg);
+    let exec_span = poat_telemetry::global().span(poat_telemetry::PHASE_WORKLOAD_EXEC);
     let report = bench
         .run_ops(&mut rt, pattern, seed, scale.ops(bench))
         .unwrap_or_else(|e| panic!("{bench}/{pattern}/{config}: {e}"));
+    drop(exec_span);
     let trace = rt.take_trace();
-    WorkloadRun {
+    let run = WorkloadRun {
         summary: trace.summary(),
         state: rt.machine_state(),
         xlat: rt.xlat_stats(),
         pools: report.pools,
         trace,
-    }
+    };
+    publish_workload(&run);
+    run
+}
+
+/// Feeds a finished workload run into the aggregate `harness.workload.*`
+/// counters the harness uses for per-experiment throughput numbers.
+fn publish_workload(run: &WorkloadRun) {
+    let registry = poat_telemetry::global();
+    registry.counter("harness.workload.runs").inc();
+    registry
+        .counter("harness.workload.instructions")
+        .add(run.summary.instructions);
 }
 
 /// Runs TPC-C natively. Population traffic is excluded from the trace;
@@ -157,8 +171,10 @@ pub fn run_tpcc(pattern: TpccPattern, config: ExpConfig, scale: Scale) -> Worklo
     // Reset translation counters so Table 2-style stats cover the
     // measured phase only.
     let setup_xlat = rt.xlat_stats();
+    let exec_span = poat_telemetry::global().span(poat_telemetry::PHASE_WORKLOAD_EXEC);
     tpcc.run(&mut rt, scale.tpcc_transactions())
         .unwrap_or_else(|e| panic!("tpcc run {pattern}/{config}: {e}"));
+    drop(exec_span);
     let trace = rt.take_trace();
     let mut xlat = rt.xlat_stats();
     xlat.calls -= setup_xlat.calls;
@@ -166,13 +182,15 @@ pub fn run_tpcc(pattern: TpccPattern, config: ExpConfig, scale: Scale) -> Worklo
     xlat.predictor_hits -= setup_xlat.predictor_hits;
     xlat.predictor_misses -= setup_xlat.predictor_misses;
     xlat.probes -= setup_xlat.probes;
-    WorkloadRun {
+    let run = WorkloadRun {
         summary: trace.summary(),
         state: rt.machine_state(),
         xlat,
         pools: rt.open_pools() as u64,
         trace,
-    }
+    };
+    publish_workload(&run);
+    run
 }
 
 /// Which core model to replay on.
@@ -200,6 +218,7 @@ pub fn simulate(run: &WorkloadRun, core: Core, translation: TranslationConfig) -
 ///
 /// Panics if the combination is unsupported (Parallel on out-of-order).
 pub fn simulate_with(run: &WorkloadRun, core: Core, cfg: SimConfig) -> SimResult {
+    let _sim_span = poat_telemetry::global().span(poat_telemetry::PHASE_POLB_SIM);
     match core {
         Core::InOrder => simulate_inorder(&run.trace, &run.state, &cfg),
         Core::OutOfOrder => simulate_ooo(&run.trace, &run.state, &cfg),
@@ -233,21 +252,21 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
     let n = inputs.len();
-    let queue: crossbeam::queue::SegQueue<(usize, T)> = crossbeam::queue::SegQueue::new();
-    for item in inputs.into_iter().enumerate() {
-        queue.push(item);
-    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(inputs.into_iter().enumerate().collect());
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let results_mutex = Mutex::new(&mut results);
     let workers = max_workers.max(1).min(n.max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| {
-                while let Some((i, item)) = queue.pop() {
-                    let r = f(item);
-                    results_mutex.lock()[i] = Some(r);
-                }
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().pop_front();
+                let Some((i, item)) = next else { break };
+                let r = f(item);
+                results_mutex.lock().unwrap()[i] = Some(r);
             });
         }
     });

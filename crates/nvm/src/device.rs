@@ -44,6 +44,41 @@ pub struct DeviceStats {
     pub frames_allocated: u64,
 }
 
+/// Process-global telemetry handles for the `nvm.device.*` series,
+/// resolved once per device so the access paths stay lock-free. Counters
+/// aggregate across all live devices; see `docs/METRICS.md`.
+#[derive(Clone, Debug)]
+struct DeviceTelemetry {
+    reads: poat_telemetry::Counter,
+    writes: poat_telemetry::Counter,
+    bytes_read: poat_telemetry::Counter,
+    bytes_written: poat_telemetry::Counter,
+    clwbs: poat_telemetry::Counter,
+    fences: poat_telemetry::Counter,
+    crashes: poat_telemetry::Counter,
+    frames: poat_telemetry::Gauge,
+    read_bytes_hist: poat_telemetry::Histogram,
+    write_bytes_hist: poat_telemetry::Histogram,
+}
+
+impl DeviceTelemetry {
+    fn new() -> Self {
+        let r = poat_telemetry::global();
+        DeviceTelemetry {
+            reads: r.counter("nvm.device.reads"),
+            writes: r.counter("nvm.device.writes"),
+            bytes_read: r.counter("nvm.device.bytes_read"),
+            bytes_written: r.counter("nvm.device.bytes_written"),
+            clwbs: r.counter("nvm.device.clwbs"),
+            fences: r.counter("nvm.device.fences"),
+            crashes: r.counter("nvm.device.crashes"),
+            frames: r.gauge("nvm.device.frames_allocated"),
+            read_bytes_hist: r.histogram("nvm.device.read_bytes"),
+            write_bytes_hist: r.histogram("nvm.device.write_bytes"),
+        }
+    }
+}
+
 /// A simulated byte-addressable NVM device.
 ///
 /// Storage is sparse at page granularity: frames are materialized on first
@@ -80,6 +115,7 @@ pub struct NvmDevice {
     next_frame: u64,
     free_frames: Vec<u64>,
     stats: DeviceStats,
+    telemetry: DeviceTelemetry,
 }
 
 impl NvmDevice {
@@ -96,6 +132,7 @@ impl NvmDevice {
             next_frame: 0,
             free_frames: Vec::new(),
             stats: DeviceStats::default(),
+            telemetry: DeviceTelemetry::new(),
         }
     }
 
@@ -116,6 +153,7 @@ impl NvmDevice {
             return None;
         };
         self.stats.frames_allocated += 1;
+        self.telemetry.frames.set(self.stats.frames_allocated);
         Some(PhysAddr::new(frame * PAGE_BYTES))
     }
 
@@ -136,6 +174,7 @@ impl NvmDevice {
             self.pending_lines.remove(&l);
         }
         self.stats.frames_allocated = self.stats.frames_allocated.saturating_sub(1);
+        self.telemetry.frames.set(self.stats.frames_allocated);
         self.free_frames.push(n);
     }
 
@@ -160,6 +199,9 @@ impl NvmDevice {
             "read past end of device"
         );
         self.stats.bytes_read += buf.len() as u64;
+        self.telemetry.reads.inc();
+        self.telemetry.bytes_read.add(buf.len() as u64);
+        self.telemetry.read_bytes_hist.record(buf.len() as u64);
         let mut addr = pa.raw();
         let mut filled = 0;
         while filled < buf.len() {
@@ -186,6 +228,9 @@ impl NvmDevice {
             "write past end of device"
         );
         self.stats.bytes_written += data.len() as u64;
+        self.telemetry.writes.inc();
+        self.telemetry.bytes_written.add(data.len() as u64);
+        self.telemetry.write_bytes_hist.record(data.len() as u64);
         let mut addr = pa.raw();
         let mut written = 0;
         while written < data.len() {
@@ -225,6 +270,7 @@ impl NvmDevice {
     /// the next [`fence`](Self::fence).
     pub fn clwb(&mut self, pa: PhysAddr) {
         self.stats.clwbs += 1;
+        self.telemetry.clwbs.inc();
         let line = pa.raw() / CACHE_LINE_BYTES;
         let mut snap = [0u8; LINE];
         self.read_line(line, &mut snap);
@@ -254,6 +300,7 @@ impl NvmDevice {
     /// the previous fence is now durable.
     pub fn fence(&mut self) {
         self.stats.fences += 1;
+        self.telemetry.fences.inc();
         let pending = std::mem::take(&mut self.pending_lines);
         for (line, data) in pending {
             self.write_durable_line(line, &data);
@@ -286,6 +333,7 @@ impl NvmDevice {
     /// (cache eviction or in-flight write-back), decided by `seed`. After
     /// this call the device contents equal the post-recovery media state.
     pub fn crash(&mut self, seed: u64) {
+        self.telemetry.crashes.inc();
         let mut rng = StdRng::seed_from_u64(seed);
         // Unfenced clwb'ed lines: in-flight; may or may not complete.
         let pending = std::mem::take(&mut self.pending_lines);

@@ -48,6 +48,50 @@ impl XlatStats {
             self.predictor_misses as f64 / self.calls as f64
         }
     }
+
+    /// Publishes these counters into the global telemetry registry as the
+    /// labeled `pmem.xlat.*` series. The harness labels each workload run,
+    /// so the metrics snapshot carries the exact values Table 2 derives
+    /// its means and miss rates from (see `docs/METRICS.md`).
+    pub fn publish(&self, labels: &[(&str, &str)]) {
+        let registry = poat_telemetry::global();
+        let series = [
+            ("pmem.xlat.calls", self.calls),
+            ("pmem.xlat.predictor_hits", self.predictor_hits),
+            ("pmem.xlat.predictor_misses", self.predictor_misses),
+            ("pmem.xlat.instructions", self.instructions),
+            ("pmem.xlat.probes", self.probes),
+        ];
+        for (name, value) in series {
+            registry
+                .counter(&poat_telemetry::labeled(name, labels))
+                .add(value);
+        }
+    }
+}
+
+/// Process-global telemetry for the `pmem.oid_direct.*` series, resolved
+/// once per translator; see `docs/METRICS.md`.
+#[derive(Clone, Debug)]
+struct XlatTelemetry {
+    calls: poat_telemetry::Counter,
+    predictor_hits: poat_telemetry::Counter,
+    predictor_misses: poat_telemetry::Counter,
+    instructions: poat_telemetry::Counter,
+    probe_len: poat_telemetry::Histogram,
+}
+
+impl XlatTelemetry {
+    fn new() -> Self {
+        let r = poat_telemetry::global();
+        XlatTelemetry {
+            calls: r.counter("pmem.oid_direct.calls"),
+            predictor_hits: r.counter("pmem.oid_direct.predictor_hits"),
+            predictor_misses: r.counter("pmem.oid_direct.predictor_misses"),
+            instructions: r.counter("pmem.oid_direct.instructions"),
+            probe_len: r.histogram("pmem.oid_direct.probe_len"),
+        }
+    }
 }
 
 /// The software translation state: predictor globals + open-addressed map.
@@ -57,6 +101,7 @@ pub struct SoftTranslator {
     predictor: Option<(PoolId, VirtAddr)>,
     predictor_enabled: bool,
     stats: XlatStats,
+    telemetry: XlatTelemetry,
 }
 
 impl SoftTranslator {
@@ -83,6 +128,7 @@ impl SoftTranslator {
             predictor: None,
             predictor_enabled,
             stats: XlatStats::default(),
+            telemetry: XlatTelemetry::new(),
         }
     }
 
@@ -165,6 +211,7 @@ impl SoftTranslator {
     ) -> Option<(VirtAddr, OpId)> {
         let pool = oid.pool()?;
         self.stats.calls += 1;
+        self.telemetry.calls.inc();
         let mut insns = 0u64;
 
         // Prologue + validity check, then the two predictor-global loads.
@@ -181,10 +228,13 @@ impl SoftTranslator {
                 insns += costs::HIT_POST_EXEC as u64;
                 self.stats.predictor_hits += 1;
                 self.stats.instructions += insns;
+                self.telemetry.predictor_hits.inc();
+                self.telemetry.instructions.add(insns);
                 return Some((base.offset(oid.offset() as u64), g1));
             }
         }
         self.stats.predictor_misses += 1;
+        self.telemetry.predictor_misses.inc();
 
         // Full look-up: hash, probe chain, predictor update.
         trace.push(TraceOp::Exec { n: costs::MISS_HASH_EXEC });
@@ -194,6 +244,7 @@ impl SoftTranslator {
         let n = self.slots.len();
         let mut found = None;
         let mut last_probe_op = g1;
+        let probes_before = self.stats.probes;
         for i in 0..n {
             let idx = (start + i) % n;
             let entry_va = costs::XLAT_TABLE_VA.offset(idx as u64 * costs::XLAT_ENTRY_BYTES);
@@ -212,10 +263,13 @@ impl SoftTranslator {
             }
         }
 
+        self.telemetry.probe_len.record(self.stats.probes - probes_before);
+
         let base = match found {
             Some(b) => b,
             None => {
                 self.stats.instructions += insns;
+                self.telemetry.instructions.add(insns);
                 return None;
             }
         };
@@ -232,6 +286,7 @@ impl SoftTranslator {
             self.predictor = Some((pool, base));
         }
         self.stats.instructions += insns;
+        self.telemetry.instructions.add(insns);
         Some((base.offset(oid.offset() as u64), last_probe_op))
     }
 

@@ -53,6 +53,7 @@ pub fn simulate_inorder(
     state: &MachineState,
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
+    let _replay_span = poat_telemetry::global().span(poat_telemetry::PHASE_TRACE_REPLAY);
     let mut hier = MemoryHierarchy::new(&cfg.mem);
     let mut tlb = Tlb::new(cfg.mem.dtlb_entries);
     let mut xlate = TranslationUnit::new(cfg.translation, state);

@@ -65,6 +65,41 @@ impl SimResult {
             baseline.cycles as f64 / self.cycles as f64
         }
     }
+
+    /// Publishes this result into the global telemetry registry as the
+    /// labeled `sim.result.*` series (one set per label combination).
+    ///
+    /// The snapshot written by `repro --metrics` therefore carries the
+    /// *same* numbers the text tables and JSON artifacts are rendered
+    /// from — the registry is just another view of this struct, so the
+    /// two cannot diverge. Labels must be in a stable order; the harness
+    /// uses `artifact`, then workload identifiers, then `design`.
+    pub fn publish(&self, labels: &[(&str, &str)]) {
+        let registry = poat_telemetry::global();
+        let series = [
+            ("sim.result.cycles", self.cycles),
+            ("sim.result.instructions", self.instructions),
+            ("sim.result.polb_hits", self.translation.polb.hits),
+            ("sim.result.polb_misses", self.translation.polb.misses),
+            ("sim.result.pot_walks", self.translation.pot_walks),
+            ("sim.result.exceptions", self.translation.exceptions),
+            ("sim.result.translation_cycles", self.translation.translation_cycles),
+            ("sim.result.l1d_hits", self.cache.l1d.hits),
+            ("sim.result.l1d_misses", self.cache.l1d.misses),
+            ("sim.result.l2_hits", self.cache.l2.hits),
+            ("sim.result.l2_misses", self.cache.l2.misses),
+            ("sim.result.l3_hits", self.cache.l3.hits),
+            ("sim.result.l3_misses", self.cache.l3.misses),
+            ("sim.result.tlb_hits", self.tlb.hits),
+            ("sim.result.tlb_misses", self.tlb.misses),
+            ("sim.result.store_forwards", self.store_forwards),
+        ];
+        for (name, value) in series {
+            registry
+                .counter(&poat_telemetry::labeled(name, labels))
+                .add(value);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub struct TranslationUnit {
     pot: Pot,
     page_table: PageTable,
     stats: TranslationStats,
+    walk_timer: poat_telemetry::SpanTimer,
 }
 
 impl std::fmt::Debug for TranslationUnit {
@@ -62,6 +63,7 @@ impl TranslationUnit {
             pot: state.pot.clone(),
             page_table: state.page_table.clone(),
             stats: TranslationStats::default(),
+            walk_timer: poat_telemetry::global().span_timer(poat_telemetry::PHASE_POT_WALK),
         }
     }
 
@@ -82,6 +84,7 @@ impl TranslationUnit {
             return TranslateOutcome::Ok { extra_cycles: extra };
         }
         // POLB miss: hardware POT walk.
+        let _walk_span = self.walk_timer.start();
         self.stats.pot_walks += 1;
         let extra = self.cfg.hit_latency_cycles() + self.cfg.miss_penalty_cycles();
         self.stats.translation_cycles += extra;

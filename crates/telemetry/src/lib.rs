@@ -1,0 +1,596 @@
+//! # poat-telemetry
+//!
+//! The unified telemetry layer for the POAT reproduction. Every layer of
+//! the pipeline — NVM device model, POLB/POT hardware structures, the
+//! software `oid_direct` translator, the cycle-level simulators, and the
+//! experiment harness — publishes into one process-global [`Registry`] of
+//! named metrics, and one snapshot call serializes everything to the
+//! versioned JSON document described in `docs/METRICS.md`.
+//!
+//! Three metric kinds cover the pipeline:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (hits, misses, bytes).
+//! * [`Gauge`] — last-write-wins `u64` (occupancy, configured sizes).
+//! * [`Histogram`] — log2-bucketed distribution of `u64` samples
+//!   (POT probe lengths, span latencies).
+//!
+//! The hot path is lock-free: handles returned by the registry are
+//! `Arc`-shared atomics, so a POLB lookup inside the simulator inner loop
+//! costs one relaxed `fetch_add`. The registry mutex is touched only at
+//! registration and snapshot time.
+//!
+//! Phase timing uses span guards: [`Registry::span`] starts a wall-clock
+//! timer whose `Drop` records nanoseconds into `span.<phase>.nanos` and
+//! bumps `span.<phase>.count`. The canonical phase names used across the
+//! workspace are the `PHASE_*` constants.
+//!
+//! ## Naming convention
+//!
+//! Metric names are dot-separated `layer.component.quantity` paths, e.g.
+//! `core.polb.hits` or `nvm.device.bytes_written`. Per-experiment series
+//! add a `{key=value,...}` label suffix built with [`labeled`], e.g.
+//! `harness.experiment.polb_hits{artifact=table2,micro=ll,pattern=random}`.
+//! The full catalogue lives in `docs/METRICS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Version of the snapshot JSON schema (`schema_version` field).
+///
+/// Bump on any breaking change to the snapshot layout and document the
+/// migration in `docs/METRICS.md`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Canonical phase name: workload execution on the persistent runtime.
+pub const PHASE_WORKLOAD_EXEC: &str = "workload_exec";
+/// Canonical phase name: trace replay through a cycle-level core model.
+pub const PHASE_TRACE_REPLAY: &str = "trace_replay";
+/// Canonical phase name: POLB/translation-unit simulation of one config.
+pub const PHASE_POLB_SIM: &str = "polb_sim";
+/// Canonical phase name: POT hash-table walks (software or simulated).
+pub const PHASE_POT_WALK: &str = "pot_walk";
+
+/// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `i`
+/// (1..=64) holds samples with `i` significant bits.
+const HIST_BUCKETS: usize = 65;
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter. Cloning shares the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins value. Cloning shares the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed distribution of `u64` samples. Cloning shares cells.
+///
+/// Bucket boundaries are powers of two: a sample `v > 0` lands in the
+/// bucket whose lower bound is the largest power of two `<= v`; zero has
+/// its own bucket. This keeps recording allocation-free and O(1) while
+/// preserving order-of-magnitude shape, which is what probe-length and
+/// latency distributions need.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let count = b.load(Ordering::Relaxed);
+            if count > 0 {
+                let lower_bound = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                buckets.push(BucketCount { lower_bound, count });
+            }
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+            buckets,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A named collection of metrics.
+///
+/// Use [`global()`] for the process-wide registry every pipeline layer
+/// publishes into; construct standalone registries only in tests that
+/// need isolation.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric `{name}` already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    /// Returns the gauge `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric `{name}` already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    /// Returns the histogram `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric `{name}` already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// Starts a wall-clock span for `phase`; its guard records
+    /// `span.<phase>.nanos` (histogram) and `span.<phase>.count`
+    /// (counter) when dropped.
+    pub fn span(&self, phase: &str) -> Span {
+        self.span_timer(phase).start()
+    }
+
+    /// Resolves the metric handles for `phase` once, so hot code can
+    /// start spans repeatedly without touching the registry lock.
+    pub fn span_timer(&self, phase: &str) -> SpanTimer {
+        SpanTimer {
+            nanos: self.histogram(&format!("span.{phase}.nanos")),
+            count: self.counter(&format!("span.{phase}.count")),
+        }
+    }
+
+    /// Zeroes every registered metric, keeping registrations.
+    ///
+    /// The harness calls this at process start so a snapshot reflects one
+    /// run; tests use it for isolation.
+    pub fn reset(&self) {
+        let m = self.metrics.lock().unwrap();
+        for metric in m.values() {
+            match metric {
+                Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.0.store(0, Ordering::Relaxed),
+                Metric::Histogram(h) => {
+                    for b in &h.0.buckets {
+                        b.store(0, Ordering::Relaxed);
+                    }
+                    h.0.count.store(0, Ordering::Relaxed);
+                    h.0.sum.store(0, Ordering::Relaxed);
+                    h.0.max.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Captures the current value of every registered metric.
+    pub fn snapshot(&self, manifest: RunManifest) -> MetricsSnapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        MetricsSnapshot {
+            schema_version: SCHEMA_VERSION,
+            manifest,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-wide registry all pipeline layers publish into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Pre-resolved handles for one phase's span metrics; [`SpanTimer::start`]
+/// is lock-free, so timers can be cached inside simulator structures.
+#[derive(Clone, Debug)]
+pub struct SpanTimer {
+    nanos: Histogram,
+    count: Counter,
+}
+
+impl SpanTimer {
+    /// Starts a span; the returned guard records on drop.
+    pub fn start(&self) -> Span {
+        Span {
+            nanos: self.nanos.clone(),
+            count: self.count.clone(),
+            start: Instant::now(),
+        }
+    }
+}
+
+/// A live phase timer; dropping it records the elapsed wall-clock time.
+/// Obtain via [`Registry::span`].
+#[must_use = "a span records its duration when dropped; binding it to `_` drops immediately"]
+pub struct Span {
+    nanos: Histogram,
+    count: Counter,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.nanos.record(self.start.elapsed().as_nanos() as u64);
+        self.count.inc();
+    }
+}
+
+/// Builds a labeled series name: `name{k1=v1,k2=v2}`.
+///
+/// Labels are emitted in the given order; callers keep a stable order so
+/// the same series maps to the same key. Empty `labels` returns `name`
+/// unchanged.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot document
+// ---------------------------------------------------------------------------
+
+/// One non-empty log2 bucket of a [`HistogramSnapshot`].
+#[derive(Clone, Debug, Serialize)]
+pub struct BucketCount {
+    /// Inclusive lower bound of the bucket (0 or a power of two).
+    pub lower_bound: u64,
+    /// Samples that landed in this bucket.
+    pub count: u64,
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Debug, Serialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Non-empty log2 buckets, ascending by lower bound.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Provenance of a metrics snapshot: what ran, at what scale, from which
+/// source revision, and for how long.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunManifest {
+    /// The command or artifact selection that produced the run.
+    pub command: String,
+    /// Experiment scale ("quick" or "full").
+    pub scale: String,
+    /// Git revision of the source tree, or "unknown" outside a checkout.
+    pub git_revision: String,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl RunManifest {
+    /// A manifest for `command` at `scale`, with the git revision read
+    /// from the enclosing checkout and elapsed time measured from `start`.
+    pub fn collect(command: &str, scale: &str, start: Instant) -> Self {
+        RunManifest {
+            command: command.to_string(),
+            scale: scale.to_string(),
+            git_revision: git_revision().unwrap_or_else(|| "unknown".to_string()),
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Reads the current git revision by following `.git/HEAD` upward from
+/// the current directory — no `git` subprocess, works offline.
+pub fn git_revision() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git").join("HEAD");
+        if let Ok(contents) = std::fs::read_to_string(&head) {
+            let contents = contents.trim();
+            if let Some(refname) = contents.strip_prefix("ref: ") {
+                let ref_path = dir.join(".git").join(refname);
+                if let Ok(rev) = std::fs::read_to_string(ref_path) {
+                    return Some(rev.trim().to_string());
+                }
+                // Packed refs: scan .git/packed-refs for the ref name.
+                if let Ok(packed) = std::fs::read_to_string(dir.join(".git").join("packed-refs")) {
+                    for line in packed.lines() {
+                        if let Some((rev, name)) = line.split_once(' ') {
+                            if name.trim() == refname {
+                                return Some(rev.trim().to_string());
+                            }
+                        }
+                    }
+                }
+                return None;
+            }
+            return Some(contents.to_string());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The versioned, self-describing metrics document written by
+/// `repro --metrics <path>`. Field-by-field description: `docs/METRICS.md`.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Snapshot layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Run provenance.
+    pub manifest: RunManifest,
+    /// All counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges, by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// All histograms, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes to the pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("t.hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("t.hits").get(), 5, "same name shares the cell");
+        let g = r.gauge("t.size");
+        g.set(32);
+        g.set(128);
+        assert_eq!(r.gauge("t.size").get(), 128);
+    }
+
+    #[test]
+    fn histogram_log2_bucketing() {
+        let r = Registry::new();
+        let h = r.histogram("t.probes");
+        for v in [0, 1, 1, 2, 3, 700] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 707);
+        assert_eq!(h.max(), 700);
+        let snap = h.snapshot();
+        let bounds: Vec<u64> = snap.buckets.iter().map(|b| b.lower_bound).collect();
+        // 0 -> [0]; 1,1 -> [1]; 2,3 -> [2]; 700 -> [512].
+        assert_eq!(bounds, vec![0, 1, 2, 512]);
+        let counts: Vec<u64> = snap.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.counter("t.x");
+        r.gauge("t.x");
+    }
+
+    #[test]
+    fn spans_record_duration_and_count() {
+        let r = Registry::new();
+        {
+            let _span = r.span("unit_test");
+        }
+        {
+            let _span = r.span("unit_test");
+        }
+        assert_eq!(r.counter("span.unit_test.count").get(), 2);
+        assert_eq!(r.histogram("span.unit_test.nanos").count(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let r = Registry::new();
+        r.counter("t.c").add(9);
+        r.gauge("t.g").set(9);
+        r.histogram("t.h").record(9);
+        r.reset();
+        assert_eq!(r.counter("t.c").get(), 0);
+        assert_eq!(r.gauge("t.g").get(), 0);
+        assert_eq!(r.histogram("t.h").count(), 0);
+        assert_eq!(r.histogram("t.h").snapshot().buckets.len(), 0);
+    }
+
+    #[test]
+    fn labeled_series_names() {
+        assert_eq!(labeled("a.b", &[]), "a.b");
+        assert_eq!(
+            labeled("a.b", &[("artifact", "table2"), ("micro", "ll")]),
+            "a.b{artifact=table2,micro=ll}"
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes_with_schema_version() {
+        let r = Registry::new();
+        r.counter("t.hits").add(3);
+        r.histogram("t.lat").record(100);
+        let manifest = RunManifest {
+            command: "all".into(),
+            scale: "quick".into(),
+            git_revision: "deadbeef".into(),
+            elapsed_seconds: 1.5,
+        };
+        let snap = r.snapshot(manifest);
+        let json = snap.to_json_string();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["schema_version"].as_u64(), Some(1));
+        assert_eq!(v["manifest"]["scale"].as_str(), Some("quick"));
+        assert_eq!(v["counters"]["t.hits"].as_u64(), Some(3));
+        assert_eq!(v["histograms"]["t.lat"]["count"].as_u64(), Some(1));
+    }
+}

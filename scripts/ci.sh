@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, docs — fully offline.
+#
+# The workspace is hermetic: every external dependency is a vendored
+# stand-in under vendor/ and the lockfile is committed, so `--locked
+# --offline` must always succeed. A failure here means a path
+# dependency or the lockfile drifted, not that the network is down.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (workspace, offline)"
+cargo build --release --workspace --locked --offline
+
+echo "==> cargo test (workspace, offline)"
+cargo test --workspace --locked --offline -q
+
+echo "==> cargo doc (no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked --offline
+
+echo "==> ci.sh: all green"

@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub use poat_core as core;
 pub use poat_harness as harness;
 pub use poat_nvm as nvm;

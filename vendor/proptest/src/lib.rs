@@ -1,0 +1,425 @@
+//! # proptest (offline stand-in)
+//!
+//! A deterministic randomized-property-testing harness that is
+//! source-compatible with the slice of `proptest` this workspace uses:
+//! the [`proptest!`] macro, range / tuple / [`strategy::Just`] / [`prop_oneof!`] /
+//! `prop::collection::vec` / `any::<T>()` strategies, `prop_map`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case number and the
+//!   sampled inputs are reproducible (the RNG is seeded from the test
+//!   name), but inputs are not minimized.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * `prop_assert*` panics (like `assert*`) instead of returning `Err`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; this stand-in keeps it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving all sampling.
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Builds the RNG for a named test: the seed is a stable hash of the
+    /// test name, so failures reproduce across runs and machines.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let seed = test_name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        TestRng::seed_from_u64(seed)
+    }
+
+    /// Prints the failing case number if the test body panics, giving the
+    /// stand-in's no-shrinking failures a reproducible handle.
+    pub struct CaseReporter {
+        /// Test name (for the failure message).
+        pub test: &'static str,
+        /// Zero-based case index.
+        pub case: u32,
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest stand-in: `{}` failed at case {} (deterministic; re-run reproduces it)",
+                    self.test, self.case
+                );
+            }
+        }
+    }
+}
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+    trait ErasedStrategy<T> {
+        fn sample_erased(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ErasedStrategy<S::Value> for S {
+        fn sample_erased(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_erased(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// A union over the given (non-empty) alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `alts` is empty.
+        pub fn new(alts: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+            Union(alts)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            super::sample::Index(rng.gen())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Auxiliary sampled types.
+pub mod sample {
+    /// An index into a collection whose length is only known at use time
+    /// (`any::<Index>()` then `idx.index(len)`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Projects onto `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// Everything a property test needs, glob-importable.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module namespace (`prop::collection::vec`,
+    /// `prop::sample::Index`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+            for __case in 0..__config.cases {
+                let __reporter = $crate::test_runner::CaseReporter {
+                    test: stringify!($name),
+                    case: __case,
+                };
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::sample(&{ $strat }, &mut __rng),)+
+                );
+                { $body }
+                drop(__reporter);
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Boolean property assertion (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use crate::strategy::Strategy;
+        let s = 0u64..100;
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 1u32..10,
+            v in prop::collection::vec((0u8..4, any::<u64>()), 1..8),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&(a, _)| a < 4));
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn mapped_strategies(p in (1u32..50).prop_map(|n| n * 2)) {
+            prop_assert_eq!(p % 2, 0);
+            prop_assert_ne!(p, 0);
+        }
+    }
+}

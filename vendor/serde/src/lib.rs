@@ -1,0 +1,358 @@
+//! # serde (offline stand-in)
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the real `serde` cannot be downloaded. This crate is a
+//! minimal, API-compatible stand-in covering exactly what the POAT
+//! workspace uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs (named fields,
+//!   newtype/tuple) and field-less enums, via the sibling `serde_derive`
+//!   stand-in;
+//! * serialization into a self-describing tree ([`Content`]), which
+//!   `serde_json` (also vendored) renders as JSON and parses back.
+//!
+//! The real serde's visitor architecture is intentionally not reproduced:
+//! every type serializes by building a [`Content`] tree. That is slower
+//! and less general, but sufficient for experiment-result emission, and
+//! keeps the whole dependency closure auditable and offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the stand-in's data model.
+///
+/// `serde_json` re-exports this as its `Value` type, so the two layers
+/// share one representation (the real crates do the same in spirit:
+/// `serde_json::Value` is serde's self-describing form).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (struct fields keep declaration
+    /// order; `BTreeMap`s are sorted by key).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant converts).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::U64(n) => Some(*n as f64),
+            Content::I64(n) => Some(*n as f64),
+            Content::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer (or a
+    /// non-negative signed one).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(n) => Some(*n),
+            Content::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Content::Str(s) if s == other)
+    }
+}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Builds the serialized form of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a serialized tree.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch encountered.
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+// --- Serialize impls for primitives and std containers -----------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                c.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| format!("expected {}, got {c:?}", stringify!($t)))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::I64(n) => <$t>::try_from(*n).ok(),
+                    Content::U64(n) => <$t>::try_from(*n).ok(),
+                    _ => None,
+                }
+                .ok_or_else(|| format!("expected {}, got {c:?}", stringify!($t)))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_f64().ok_or_else(|| format!("expected f64, got {c:?}"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, got {c:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, got {c:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_array()
+            .ok_or_else(|| format!("expected array, got {c:?}"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<&str, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| ((*k).to_owned(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        Ok(c.clone())
+    }
+}
+
+/// Helper used by derived `Deserialize` impls: fetches a struct field,
+/// treating a missing key as `null` (so `Option` fields tolerate absence).
+///
+/// # Errors
+///
+/// Errs when `content` is not a map.
+pub fn field<'c>(content: &'c Content, name: &str) -> Result<&'c Content, String> {
+    match content {
+        Content::Map(_) => Ok(content.get(name).unwrap_or(&NULL)),
+        other => Err(format!("expected map with field `{name}`, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(7u64.to_content(), Content::U64(7));
+        assert_eq!(u64::from_content(&Content::U64(7)), Ok(7));
+        assert_eq!((-3i64).to_content(), Content::I64(-3));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("x".to_owned().to_content(), Content::Str("x".into()));
+        assert_eq!(Option::<u64>::None.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn content_accessors() {
+        let v = Content::Map(vec![
+            ("a".into(), Content::Seq(vec![Content::F64(1.5)])),
+            ("b".into(), Content::Str("RANDOM".into())),
+        ]);
+        assert_eq!(v["a"][0].as_f64(), Some(1.5));
+        assert!(v["b"] == "RANDOM");
+        assert!(v.get("c").is_none());
+        assert!(v["missing"].is_null());
+    }
+}

@@ -1,0 +1,283 @@
+//! # serde_derive (offline stand-in)
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in. Instead of `syn`/`quote` (unavailable in
+//! this hermetic build), the derive input is parsed directly from the
+//! `proc_macro::TokenStream` and the generated impl is rendered as a
+//! source string.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (serialized as a map in field order),
+//! * newtype structs (serialized as the inner value),
+//! * tuple structs with ≥ 2 fields (serialized as a sequence),
+//! * enums whose variants all carry no data (serialized as the variant
+//!   name, matching serde's externally-tagged unit-variant form).
+//!
+//! Generic types and `#[serde(...)]` attributes are rejected loudly
+//! rather than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input declared.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(A, …)` — number of unnamed fields.
+    Tuple(usize),
+    /// `enum E { V1, V2 }` — variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips one attribute (`#` `[…]` or `#` `!` `[…]`) if present.
+fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '#' {
+            let mut j = *i + 1;
+            if let Some(TokenTree::Punct(b)) = tokens.get(j) {
+                if b.as_char() == '!' {
+                    j += 1;
+                }
+            }
+            if matches!(tokens.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                *i = j + 1;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while skip_attr(body, &mut i) {}
+        if i >= body.len() {
+            break;
+        }
+        skip_vis(body, &mut i);
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!("serde stand-in derive: expected field name, got {:?}", body[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde stand-in derive: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        i += 1;
+        // Consume the type: skip to the next comma that is not inside
+        // angle brackets (`<…>` are punctuation, not token groups).
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(body: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while skip_attr(body, &mut i) {}
+        if i >= body.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &body[i] else {
+            panic!("serde stand-in derive: expected variant name, got {:?}", body[i]);
+        };
+        variants.push(name.to_string());
+        i += 1;
+        match body.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde stand-in derive: enum variant `{}` carries data; only unit variants are supported",
+                variants.last().unwrap()
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: `Variant = 3` — skip to the next comma.
+                while i < body.len()
+                    && !matches!(&body[i], TokenTree::Punct(q) if q.as_char() == ',')
+                {
+                    i += 1;
+                }
+                if i < body.len() {
+                    i += 1;
+                }
+            }
+            Some(other) => panic!("serde stand-in derive: unexpected token {other:?} in enum body"),
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while skip_attr(&tokens, &mut i) {}
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde stand-in derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("serde stand-in derive: `{name}` has no body (unit structs are unsupported)");
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(&body_tokens)),
+        ("struct", Delimiter::Parenthesis) => {
+            // Count unnamed fields: commas at angle depth 0, plus one.
+            let mut angle_depth = 0i32;
+            let mut fields = 1;
+            let mut saw_any = false;
+            for t in &body_tokens {
+                saw_any = true;
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => fields += 1,
+                    _ => {}
+                }
+            }
+            assert!(saw_any, "serde stand-in derive: empty tuple struct `{name}`");
+            Shape::Tuple(fields)
+        }
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(&body_tokens)),
+        _ => panic!("serde stand-in derive: unsupported shape for `{name}`"),
+    };
+    Input { name, shape }
+}
+
+/// Derives `serde::Serialize` (stand-in data-model form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Content::Str(\"{v}\".to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (stand-in data-model form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_content(::serde::field(content, \"{f}\")?)?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(content)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_content(\
+                             seq.get({i}).ok_or_else(|| \"sequence too short\".to_string())?\
+                         )?"
+                    )
+                })
+                .collect();
+            format!(
+                "let seq = content.as_array().ok_or_else(|| \"expected sequence\".to_string())?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match content.as_str() {{\n\
+                     Some(s) => match s {{ {}, other => Err(format!(\"unknown {name} variant {{other}}\")) }},\n\
+                     None => Err(\"expected string for enum\".to_string()),\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> Result<Self, String> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
