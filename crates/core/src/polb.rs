@@ -17,6 +17,7 @@
 use crate::addr::PAGE_BYTES;
 use crate::oid::{ObjectId, PoolId};
 use crate::stats::PolbStats;
+use poat_telemetry::events::{self, EventKind};
 use poat_telemetry::Counter;
 
 /// Common interface over the two POLB designs.
@@ -58,6 +59,20 @@ struct Entry {
     tag: u64,
     data: u64,
     last_use: u64,
+}
+
+/// What a [`Cam::fill`] did, so the design wrappers can emit the matching
+/// trace events (they know the pool id; the CAM only knows tags).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FillOutcome {
+    /// Capacity 0: the fill was dropped.
+    Ignored,
+    /// An existing entry was refreshed in place.
+    Updated,
+    /// A new entry was installed in a free slot.
+    Inserted,
+    /// A new entry displaced the LRU victim with this tag.
+    Evicted(u64),
 }
 
 /// Shared fully-associative LRU machinery for both designs.
@@ -111,15 +126,15 @@ impl Cam {
         }
     }
 
-    fn fill(&mut self, tag: u64, data: u64) {
+    fn fill(&mut self, tag: u64, data: u64) -> FillOutcome {
         if self.capacity == 0 {
-            return;
+            return FillOutcome::Ignored;
         }
         self.tick += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.tag == tag) {
             e.data = data;
             e.last_use = self.tick;
-            return;
+            return FillOutcome::Updated;
         }
         let entry = Entry {
             tag,
@@ -129,6 +144,7 @@ impl Cam {
         self.tele_fills.inc();
         if self.entries.len() < self.capacity {
             self.entries.push(entry);
+            FillOutcome::Inserted
         } else {
             // Evict the true-LRU victim.
             let victim = self
@@ -138,8 +154,10 @@ impl Cam {
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
                 .expect("capacity > 0 implies entries non-empty at eviction");
+            let victim_tag = self.entries[victim].tag;
             self.entries[victim] = entry;
             self.tele_evictions.inc();
+            FillOutcome::Evicted(victim_tag)
         }
     }
 
@@ -149,6 +167,30 @@ impl Cam {
 
     fn clear(&mut self) {
         self.entries.clear();
+    }
+}
+
+/// Records a POLB hit/miss trace event (no-op while tracing is disabled).
+#[inline]
+fn emit_lookup(hit: bool, pool: u32) {
+    events::emit(
+        if hit { EventKind::PolbHit } else { EventKind::PolbMiss },
+        pool,
+        0,
+    );
+}
+
+/// Records fill/evict trace events for a [`Cam::fill`] outcome;
+/// `victim_pool` recovers the evicted entry's pool id from its tag.
+#[inline]
+fn emit_fill(outcome: FillOutcome, pool: u32, victim_pool: impl Fn(u64) -> u32) {
+    match outcome {
+        FillOutcome::Ignored | FillOutcome::Updated => {}
+        FillOutcome::Inserted => events::emit(EventKind::PolbFill, pool, 0),
+        FillOutcome::Evicted(tag) => {
+            events::emit(EventKind::PolbFill, pool, 0);
+            events::emit(EventKind::PolbEvict, victim_pool(tag), 0);
+        }
     }
 }
 
@@ -184,13 +226,17 @@ impl PipelinedPolb {
 
 impl TranslationBuffer for PipelinedPolb {
     fn translate(&mut self, oid: ObjectId) -> Option<u64> {
-        self.cam
-            .lookup(oid.pool_raw() as u64)
-            .map(|base| base + oid.offset() as u64)
+        let hit = self.cam.lookup(oid.pool_raw() as u64);
+        emit_lookup(hit.is_some(), oid.pool_raw());
+        hit.map(|base| base + oid.offset() as u64)
     }
 
     fn fill(&mut self, oid: ObjectId, base: u64) {
-        self.cam.fill(oid.pool_raw() as u64, base);
+        // Pipelined tags *are* pool ids, so the evicted tag names the
+        // victim pool directly.
+        emit_fill(self.cam.fill(oid.pool_raw() as u64, base), oid.pool_raw(), |tag| {
+            tag as u32
+        });
     }
 
     fn invalidate_pool(&mut self, pool: PoolId) {
@@ -244,14 +290,17 @@ impl ParallelPolb {
 
 impl TranslationBuffer for ParallelPolb {
     fn translate(&mut self, oid: ObjectId) -> Option<u64> {
-        self.cam
-            .lookup(oid.page_tag())
-            .map(|frame| frame + (oid.offset() as u64 % PAGE_BYTES))
+        let hit = self.cam.lookup(oid.page_tag());
+        emit_lookup(hit.is_some(), oid.pool_raw());
+        hit.map(|frame| frame + (oid.offset() as u64 % PAGE_BYTES))
     }
 
     fn fill(&mut self, oid: ObjectId, base: u64) {
         debug_assert_eq!(base % PAGE_BYTES, 0, "Parallel POLB data is a frame base");
-        self.cam.fill(oid.page_tag(), base);
+        // Page tags carry the victim's pool id in their upper 32 bits.
+        emit_fill(self.cam.fill(oid.page_tag(), base), oid.pool_raw(), |tag| {
+            (tag >> 20) as u32
+        });
     }
 
     fn invalidate_pool(&mut self, pool: PoolId) {

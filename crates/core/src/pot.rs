@@ -183,6 +183,13 @@ impl Pot {
         self.total_probes += result.probes as u64;
         self.tele_walks.inc();
         self.tele_probe_len.record(result.probes as u64);
+        // Close the PotWalkBegin the translation unit opened (no-op while
+        // event tracing is disabled); the probe count rides in `arg`.
+        poat_telemetry::events::emit(
+            poat_telemetry::events::EventKind::PotWalkEnd,
+            pool.raw(),
+            result.probes,
+        );
         result
     }
 

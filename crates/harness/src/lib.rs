@@ -34,5 +34,6 @@ pub mod csv;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod timeline;
 
 pub use runner::{run_micro, run_tpcc, simulate, Core, Scale, WorkloadRun};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <artifact> [--quick] [--json PATH] [--csv DIR] [--metrics PATH]
+//!                  [--trace PATH] [--trace-sample N] [--timeline DIR]
 //!
 //! artifacts: table2 | fig9a | fig9b | table8 | instrs | fig10
 //!            | fig11 | table9 | fig12 | ablations | seeds | all
@@ -9,25 +10,101 @@
 //!
 //! `--metrics PATH` writes the full telemetry snapshot (every counter,
 //! gauge and histogram accumulated during the run, plus a run manifest)
-//! as versioned JSON — see `docs/METRICS.md` for the schema.
+//! as versioned JSON — see `docs/METRICS.md` for the schema. `--trace`
+//! and `--timeline` enable event-level tracing — see `docs/TRACING.md`.
 
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::time::Instant;
 
-use poat_harness::{ablations, csv};
+use poat_harness::{ablations, csv, timeline};
 use poat_harness::experiments::{
     self, fig10_text, fig11_text, fig12_text, fig9a_text, fig9b_text, instrs_text, table2_text,
     table8_text, table9_text,
 };
+use poat_harness::report::TextTable;
 use poat_harness::Scale;
+use poat_telemetry::events;
+
+const USAGE: &str = "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
+[--quick] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR]";
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
-         [--quick] [--json PATH] [--csv DIR] [--metrics PATH]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
+}
+
+fn help() -> ! {
+    println!(
+        "{USAGE}\n\n\
+         Regenerates the paper's tables and figures (docs/EXPERIMENTS.md).\n\n\
+         artifacts:\n  \
+         table2     oid_direct instruction counts & predictor miss rate\n  \
+         fig9a      in-order OPT/BASE speedups (Pipelined, Parallel, ideal)\n  \
+         fig9b      out-of-order speedups (Pipelined, ideal)\n  \
+         table8     POLB miss rates\n  \
+         instrs     dynamic-instruction reduction\n  \
+         fig10      _NTX speedups (durability overhead removed)\n  \
+         fig11      POLB-size sensitivity\n  \
+         table9     POLB miss rates across sizes\n  \
+         fig12      POT-walk-penalty sensitivity\n  \
+         ablations  design-choice studies\n  \
+         seeds      seed-sensitivity study\n  \
+         all        everything above\n\n\
+         options:\n  \
+         --quick            ~10x smaller workloads (smoke-test scale)\n  \
+         --json PATH        write every artifact's rows as JSON\n  \
+         --csv DIR          write per-artifact CSV files into DIR\n  \
+         --metrics PATH     write the telemetry snapshot (docs/METRICS.md)\n  \
+         --trace PATH       record translation events; write a Chrome Trace\n                     \
+         Format JSON (load in Perfetto; docs/TRACING.md)\n  \
+         --trace-sample N   trace every Nth access only (default: all)\n  \
+         --timeline DIR     per-workload windowed timelines as CSV into DIR\n  \
+         -h, --help         this help"
+    );
+    std::process::exit(0);
+}
+
+/// The value following `flag`, or a targeted error (exit 2).
+fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("error: missing value for {flag}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+/// Renders the phase-latency percentile table from the metrics registry
+/// (the `span.<phase>.nanos` histograms; estimates — see docs/METRICS.md).
+fn phase_latency_text(snapshot: &poat_telemetry::MetricsSnapshot) -> String {
+    let mut t = TextTable::new(
+        "Phase latency percentiles (ns, log2-bucket estimates)",
+        &["Phase", "Count", "Mean", "p50", "p90", "p99", "Max"],
+    );
+    let mut any = false;
+    for (name, h) in &snapshot.histograms {
+        let Some(phase) = name.strip_prefix("span.").and_then(|n| n.strip_suffix(".nanos"))
+        else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        any = true;
+        t.row(vec![
+            phase.to_string(),
+            h.count.to_string(),
+            format!("{:.0}", h.mean),
+            h.p50.to_string(),
+            h.p90.to_string(),
+            h.p99.to_string(),
+            h.max.to_string(),
+        ]);
+    }
+    if any {
+        t.render()
+    } else {
+        String::new()
+    }
 }
 
 /// Runs one artifact block, publishing its wall-clock and simulated
@@ -58,22 +135,58 @@ fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(artifact) = args.next() else { usage() };
+    if matches!(artifact.as_str(), "-h" | "--help" | "help") {
+        help();
+    }
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_sample: u64 = 1;
+    let mut timeline_dir: Option<std::path::PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "-h" | "--help" => help(),
             "--quick" => scale = Scale::Quick,
-            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--json" => json_path = Some(value_of("--json", &mut args)),
             "--csv" => {
-                let d = std::path::PathBuf::from(args.next().unwrap_or_else(|| usage()));
+                let d = std::path::PathBuf::from(value_of("--csv", &mut args));
                 std::fs::create_dir_all(&d).expect("create csv output directory");
                 csv_dir = Some(d);
             }
-            "--metrics" => metrics_path = Some(args.next().unwrap_or_else(|| usage())),
-            _ => usage(),
+            "--metrics" => metrics_path = Some(value_of("--metrics", &mut args)),
+            "--trace" => trace_path = Some(value_of("--trace", &mut args)),
+            "--trace-sample" => {
+                let v = value_of("--trace-sample", &mut args);
+                trace_sample = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --trace-sample expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--timeline" => {
+                let d = std::path::PathBuf::from(value_of("--timeline", &mut args));
+                std::fs::create_dir_all(&d).expect("create timeline output directory");
+                timeline_dir = Some(d);
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
         }
+    }
+
+    if trace_path.is_some() || timeline_dir.is_some() {
+        let rec = events::install(1 << 20, trace_sample);
+        // Auto-dump the flight-recorder tail next to the trace (or into
+        // the timeline directory) if a translation fault fires.
+        let flight = match (&trace_path, &timeline_dir) {
+            (Some(p), _) => std::path::PathBuf::from(format!("{p}.flight.json")),
+            (None, Some(d)) => d.join("flight.json"),
+            (None, None) => unreachable!("guarded by the enclosing if"),
+        };
+        rec.set_flight_path(flight);
+        events::set_enabled(true);
     }
 
     // Start from zeroed metrics so the snapshot describes exactly this run.
@@ -164,11 +277,36 @@ fn main() {
         usage();
     }
 
+    // The Chrome trace snapshots the artifact run's events; it must be
+    // written before the timeline pass, which clears the ring per run.
+    if let Some(path) = &trace_path {
+        let rec = events::installed().expect("recorder installed above");
+        let evs = rec.events();
+        std::fs::write(path, poat_telemetry::timeline::chrome_trace_json(&evs))
+            .expect("write chrome trace");
+        eprintln!(
+            "trace written to {path} ({} events, 1-in-{} sampling) — open in Perfetto",
+            evs.len(),
+            rec.sample()
+        );
+    }
+    if let Some(dir) = &timeline_dir {
+        let rows = timed("timeline", || timeline::collect(scale));
+        println!("{}", timeline::text(&rows));
+        timeline::write_csvs(dir, &rows).expect("write timeline csvs");
+        eprintln!("timelines written to {}", dir.display());
+    }
+
     let scale_label = match scale {
         Scale::Full => "full",
         Scale::Quick => "quick",
     };
     let manifest = poat_telemetry::RunManifest::collect(&artifact, scale_label, started);
+    let snapshot = poat_telemetry::global().snapshot(manifest.clone());
+    let phases = phase_latency_text(&snapshot);
+    if !phases.is_empty() {
+        println!("{phases}");
+    }
 
     if let Some(path) = json_path {
         json.insert(
@@ -185,7 +323,6 @@ fn main() {
         eprintln!("results written to {path}");
     }
     if let Some(path) = metrics_path {
-        let snapshot = poat_telemetry::global().snapshot(manifest.clone());
         std::fs::write(&path, snapshot.to_json_string()).expect("write metrics snapshot");
         eprintln!("metrics snapshot written to {path}");
     }

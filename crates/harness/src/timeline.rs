@@ -1,0 +1,236 @@
+//! Per-workload timeline collection (`repro <artifact> --timeline DIR`).
+//!
+//! A dedicated single-run-at-a-time pass over the microbenchmarks: for
+//! each bench it captures the event trace of (a) the BASE run's software
+//! translation (events are emitted at trace-generation time), (b) an
+//! in-order replay of the OPT run under the *Pipelined* POLB, and (c) the
+//! same replay under the *Parallel* POLB — clearing the shared ring
+//! buffer between stages so every timeline is attributable to exactly
+//! one run. The windowed rows land in `timeline_<bench>_<design>.csv`
+//! and a summary table in the text report (see `docs/TRACING.md`).
+
+use std::path::Path;
+
+use poat_telemetry::events::{self, TraceDesign};
+use poat_telemetry::timeline::{windows, windows_csv, TimelineWindow};
+use poat_workloads::{ExpConfig, Micro, Pattern};
+
+use crate::report::{pct, TextTable};
+use crate::runner::{self, Core, Scale};
+
+/// The windowed event timeline of one (bench, design) pair.
+#[derive(Clone, Debug)]
+pub struct WorkloadTimeline {
+    /// The microbenchmark.
+    pub bench: Micro,
+    /// The translation design whose events were captured.
+    pub design: TraceDesign,
+    /// Window width, in instructions (trace positions for Software).
+    pub window: u64,
+    /// Per-window aggregates, ascending by start instruction.
+    pub windows: Vec<TimelineWindow>,
+}
+
+impl WorkloadTimeline {
+    fn sum(&self, f: impl Fn(&TimelineWindow) -> u64) -> u64 {
+        self.windows.iter().map(f).sum()
+    }
+
+    /// Whole-run miss rate: POLB misses per lookup for the hardware
+    /// designs, predictor misses per call for Software.
+    pub fn miss_rate(&self) -> f64 {
+        let (miss, total) = if self.design == TraceDesign::Software {
+            let m = self.sum(|w| w.soft_misses);
+            (m, m + self.sum(|w| w.soft_hits))
+        } else {
+            let m = self.sum(|w| w.polb_misses);
+            (m, m + self.sum(|w| w.polb_hits))
+        };
+        if total == 0 {
+            0.0
+        } else {
+            miss as f64 / total as f64
+        }
+    }
+
+    /// Whole-run mean POT-walk probe count (0 for Software).
+    pub fn mean_probes(&self) -> f64 {
+        let walks = self.sum(|w| w.pot_walks);
+        if walks == 0 {
+            0.0
+        } else {
+            self.sum(|w| w.walk_probes) as f64 / walks as f64
+        }
+    }
+}
+
+/// Picks a window width giving a readable number of rows (~64) for a run
+/// of `len` instructions: a power of two, at least 1024.
+fn window_for(len: u64) -> u64 {
+    (len / 64).max(1).next_power_of_two().max(1024)
+}
+
+/// Drains the installed recorder into per-window rows and clears it.
+fn drain(window: u64) -> Vec<TimelineWindow> {
+    let Some(rec) = events::installed() else {
+        return Vec::new();
+    };
+    let evs = rec.events();
+    rec.clear();
+    windows(&evs, window)
+}
+
+/// Runs the timeline pass: every microbenchmark under the Random access
+/// pattern, three designs each.
+///
+/// Requires an installed, enabled event recorder
+/// ([`poat_telemetry::events::install`]); returns an empty vec otherwise.
+/// Runs serially — per-run attribution needs the ring to itself.
+pub fn collect(scale: Scale) -> Vec<WorkloadTimeline> {
+    if events::installed().is_none() || !events::is_enabled() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for bench in Micro::ALL {
+        // BASE: oid_direct emits Software events while the workload runs.
+        if let Some(rec) = events::installed() {
+            rec.clear();
+        }
+        let base = runner::run_micro(bench, Pattern::Random, ExpConfig::Base, scale);
+        let w = window_for(base.trace.ops().len() as u64);
+        out.push(WorkloadTimeline {
+            bench,
+            design: TraceDesign::Software,
+            window: w,
+            windows: drain(w),
+        });
+
+        // OPT: the hardware designs emit during the in-order replay; any
+        // events from trace generation itself are discarded first.
+        let opt = runner::run_micro(bench, Pattern::Random, ExpConfig::Opt, scale);
+        if let Some(rec) = events::installed() {
+            rec.clear();
+        }
+        let w = window_for(opt.summary.instructions);
+        runner::simulate(&opt, Core::InOrder, runner::pipelined());
+        out.push(WorkloadTimeline {
+            bench,
+            design: TraceDesign::Pipelined,
+            window: w,
+            windows: drain(w),
+        });
+        runner::simulate(&opt, Core::InOrder, runner::parallel());
+        out.push(WorkloadTimeline {
+            bench,
+            design: TraceDesign::Parallel,
+            window: w,
+            windows: drain(w),
+        });
+    }
+    out
+}
+
+/// Filename-safe bench slug: lowercase, alphanumerics only ("B+T" → "bt").
+fn bench_slug(bench: Micro) -> String {
+    bench
+        .abbrev()
+        .chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Writes one `timeline_<bench>_<design>.csv` per collected timeline.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation/writes.
+pub fn write_csvs(dir: &Path, rows: &[WorkloadTimeline]) -> std::io::Result<()> {
+    for t in rows {
+        let name = format!("timeline_{}_{}.csv", bench_slug(t.bench), t.design.name());
+        std::fs::write(dir.join(name), windows_csv(&t.windows))?;
+    }
+    Ok(())
+}
+
+/// Renders the per-workload timeline summary table.
+pub fn text(rows: &[WorkloadTimeline]) -> String {
+    let mut t = TextTable::new(
+        "Timeline (per-workload event-trace summary, Random pattern)",
+        &[
+            "Bench", "Design", "Window", "Rows", "Accesses", "MissRate", "Walks", "MeanProbes",
+            "Faults",
+        ],
+    );
+    for wt in rows {
+        t.row(vec![
+            wt.bench.abbrev().to_string(),
+            wt.design.name().to_string(),
+            wt.window.to_string(),
+            wt.windows.len().to_string(),
+            wt.sum(|w| w.accesses).to_string(),
+            pct(wt.miss_rate()),
+            wt.sum(|w| w.pot_walks).to_string(),
+            format!("{:.2}", wt.mean_probes()),
+            wt.sum(|w| w.faults).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_for_is_power_of_two_and_floored() {
+        assert_eq!(window_for(0), 1024);
+        assert_eq!(window_for(100), 1024);
+        assert_eq!(window_for(1 << 20), 1 << 14);
+        assert!(window_for(u64::MAX / 128).is_power_of_two());
+    }
+
+    #[test]
+    fn collect_without_recorder_is_empty() {
+        // The recorder is process-global; only assert the uninstalled
+        // case when no other test has installed it.
+        if events::installed().is_none() {
+            assert!(collect(Scale::Quick).is_empty());
+        }
+    }
+
+    #[test]
+    fn collect_covers_all_designs_when_tracing() {
+        events::install(1 << 16, 1);
+        events::set_enabled(true);
+        let rows = collect(Scale::Quick);
+        assert_eq!(rows.len(), Micro::ALL.len() * 3);
+        for design in [
+            TraceDesign::Software,
+            TraceDesign::Pipelined,
+            TraceDesign::Parallel,
+        ] {
+            let with_events = rows
+                .iter()
+                .filter(|r| r.design == design && !r.windows.is_empty())
+                .count();
+            assert!(with_events > 0, "no {} timeline has events", design.name());
+        }
+        // Hardware timelines must witness actual POT walks.
+        assert!(rows
+            .iter()
+            .filter(|r| r.design != TraceDesign::Software)
+            .any(|r| r.sum(|w| w.pot_walks) > 0));
+        let dir = std::env::temp_dir().join("poat_timeline_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_csvs(&dir, &rows).unwrap();
+        let one = dir.join("timeline_ll_pipelined.csv");
+        let body = std::fs::read_to_string(one).unwrap();
+        assert!(body.starts_with("design,start_instr"));
+        std::fs::remove_dir_all(&dir).ok();
+        events::set_enabled(false);
+        let rendered = text(&rows);
+        assert!(rendered.contains("## Timeline"));
+        assert!(rendered.contains("pipelined"));
+    }
+}

@@ -11,6 +11,7 @@
 //! to the cache model.
 
 use poat_core::{ObjectId, PoolId, VirtAddr};
+use poat_telemetry::events::{self, EventKind, TraceDesign};
 
 use crate::costs;
 use crate::trace::{OpId, Trace, TraceOp};
@@ -212,6 +213,10 @@ impl SoftTranslator {
         let pool = oid.pool()?;
         self.stats.calls += 1;
         self.telemetry.calls.inc();
+        // Software translation runs at trace-generation time, before any
+        // cycle model exists; the trace position stands in for both clocks.
+        let at = trace.ops().len() as u64;
+        events::begin_access(EventKind::SoftCall, TraceDesign::Software, at, at, pool.raw());
         let mut insns = 0u64;
 
         // Prologue + validity check, then the two predictor-global loads.
@@ -230,6 +235,7 @@ impl SoftTranslator {
                 self.stats.instructions += insns;
                 self.telemetry.predictor_hits.inc();
                 self.telemetry.instructions.add(insns);
+                events::emit(EventKind::SoftPredictorHit, pool.raw(), 0);
                 return Some((base.offset(oid.offset() as u64), g1));
             }
         }
@@ -263,13 +269,16 @@ impl SoftTranslator {
             }
         }
 
-        self.telemetry.probe_len.record(self.stats.probes - probes_before);
+        let probes = self.stats.probes - probes_before;
+        self.telemetry.probe_len.record(probes);
+        events::emit(EventKind::SoftPredictorMiss, pool.raw(), probes as u32);
 
         let base = match found {
             Some(b) => b,
             None => {
                 self.stats.instructions += insns;
                 self.telemetry.instructions.add(insns);
+                events::emit(EventKind::Fault, pool.raw(), probes as u32);
                 return None;
             }
         };

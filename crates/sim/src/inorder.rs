@@ -25,6 +25,7 @@
 use poat_core::VirtAddr;
 use poat_nvm::PageTable;
 use poat_pmem::{MachineState, Trace, TraceOp};
+use poat_telemetry::events::{self, EventKind, TraceDesign};
 
 use crate::cache::MemoryHierarchy;
 use crate::config::SimConfig;
@@ -61,6 +62,11 @@ pub fn simulate_inorder(
     let l1 = cfg.mem.l1d.latency;
     let hit_extra = cfg.translation.hit_latency_cycles();
     let parallel_design = matches!(cfg.translation.design, poat_core::PolbDesign::Parallel);
+    let tdesign = if parallel_design {
+        TraceDesign::Parallel
+    } else {
+        TraceDesign::Pipelined
+    };
 
     let ops = trace.ops();
     // Completion (value-ready) time of each op, for load-to-use stalls.
@@ -94,6 +100,7 @@ pub fn simulate_inorder(
                 }
                 let mut value_latency = l1;
                 if let TraceOp::NvLoad { oid, .. } = *op {
+                    events::begin_access(EventKind::NvLoad, tdesign, instructions, cycles, oid.pool_raw());
                     let extra = match xlate.translate(oid, va) {
                         TranslateOutcome::Ok { extra_cycles }
                         | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -122,6 +129,7 @@ pub fn simulate_inorder(
                     cycles = cycles.max(complete[d as usize]);
                 }
                 if let TraceOp::NvStore { oid, .. } = *op {
+                    events::begin_access(EventKind::NvStore, tdesign, instructions, cycles, oid.pool_raw());
                     let extra = match xlate.translate(oid, va) {
                         TranslateOutcome::Ok { extra_cycles }
                         | TranslateOutcome::Fault { extra_cycles } => extra_cycles,

@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 
 use poat_core::PolbDesign;
 use poat_pmem::{MachineState, Trace, TraceOp};
+use poat_telemetry::events::{self, EventKind, TraceDesign};
 
 use crate::cache::MemoryHierarchy;
 use crate::config::SimConfig;
@@ -147,6 +148,7 @@ pub fn simulate_ooo(
                 start + t + cfg.mem.l1d.latency
             }
             TraceOp::NvLoad { oid, va, .. } => {
+                events::begin_access(EventKind::NvLoad, TraceDesign::Pipelined, instructions, start, oid.pool_raw());
                 let extra = match xlate.translate(oid, va) {
                     TranslateOutcome::Ok { extra_cycles }
                     | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -169,6 +171,7 @@ pub fn simulate_ooo(
                 }
             }
             TraceOp::NvStore { oid, va, .. } => {
+                events::begin_access(EventKind::NvStore, TraceDesign::Pipelined, instructions, start, oid.pool_raw());
                 let extra = match xlate.translate(oid, va) {
                     TranslateOutcome::Ok { extra_cycles }
                     | TranslateOutcome::Fault { extra_cycles } => extra_cycles,

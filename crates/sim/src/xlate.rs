@@ -9,6 +9,7 @@ use poat_core::polb::{ParallelPolb, PipelinedPolb, TranslationBuffer};
 use poat_core::{ObjectId, PolbDesign, Pot, TranslationConfig, TranslationStats, VirtAddr};
 use poat_nvm::PageTable;
 use poat_pmem::MachineState;
+use poat_telemetry::events::{self, EventKind};
 
 /// Outcome of translating one ObjectID.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,12 +89,20 @@ impl TranslationUnit {
         self.stats.pot_walks += 1;
         let extra = self.cfg.hit_latency_cycles() + self.cfg.miss_penalty_cycles();
         self.stats.translation_cycles += extra;
+        // The walk discovers faults too, so the begin event precedes the
+        // pool validity check; `Pot::walk` emits the matching end event,
+        // stamped after the modeled walk latency has elapsed.
+        events::emit(EventKind::PotWalkBegin, oid.pool_raw(), 0);
+        events::advance_cycle(extra);
         let Some(pool) = oid.pool() else {
             self.stats.exceptions += 1;
+            events::emit(EventKind::Fault, oid.pool_raw(), 0);
             return TranslateOutcome::Fault { extra_cycles: extra };
         };
-        let Some(base) = self.pot.lookup(pool) else {
+        let walk = self.pot.walk(pool);
+        let Some(base) = walk.base else {
             self.stats.exceptions += 1;
+            events::emit(EventKind::Fault, oid.pool_raw(), walk.probes);
             return TranslateOutcome::Fault { extra_cycles: extra };
         };
         match self.cfg.design {
@@ -102,12 +111,9 @@ impl TranslationUnit {
                 // The POT yields a virtual base; the page-table walk (whose
                 // latency is folded into `pot_page_walk_cycles`) yields the
                 // frame for the *accessed page*.
-                let frame = self
-                    .page_table
-                    .frame_of(va)
-                    .map(|f| f.raw())
-                    .unwrap_or(va.page_base().raw());
-                self.polb.fill(oid, frame);
+                let frame = self.page_table.frame_of(va).map(|f| f.raw());
+                events::emit(EventKind::PageWalk, oid.pool_raw(), frame.is_some() as u32);
+                self.polb.fill(oid, frame.unwrap_or(va.page_base().raw()));
             }
         }
         TranslateOutcome::Ok { extra_cycles: extra }

@@ -32,8 +32,17 @@
 //! `harness.experiment.polb_hits{artifact=table2,micro=ll,pattern=random}`.
 //! The full catalogue lives in `docs/METRICS.md`.
 
+//!
+//! Beyond aggregates, the [`events`] module records *per-event* timelines
+//! (a lock-free flight-recorder ring buffer threaded through the POLB/POT
+//! pipeline) and [`timeline`] exports them as Chrome Trace Format JSON or
+//! windowed CSV time series — see `docs/TRACING.md`.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod events;
+pub mod timeline;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -170,6 +179,13 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0..=1.0`) of the recorded samples,
+    /// interpolated within the containing log2 bucket — see
+    /// [`HistogramSnapshot::percentile`] for the estimation contract.
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.snapshot().percentile(q)
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
         for (i, b) in self.0.buckets.iter().enumerate() {
@@ -179,14 +195,48 @@ impl Histogram {
                 buckets.push(BucketCount { lower_bound, count });
             }
         }
+        let count = self.count();
+        let max = self.max();
         HistogramSnapshot {
-            count: self.count(),
+            count,
             sum: self.sum(),
-            max: self.max(),
+            max,
             mean: self.mean(),
+            p50: percentile_from(&buckets, count, max, 0.50),
+            p90: percentile_from(&buckets, count, max, 0.90),
+            p99: percentile_from(&buckets, count, max, 0.99),
             buckets,
         }
     }
+}
+
+/// Estimates a quantile from log2 bucket counts: find the bucket holding
+/// the target rank, then interpolate linearly at the rank's midpoint
+/// within the bucket's `[lower, 2·lower)` range. The estimate is clamped
+/// to the observed maximum, so single-bucket distributions stay sane.
+fn percentile_from(buckets: &[BucketCount], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for b in buckets {
+        if seen + b.count >= rank {
+            if b.lower_bound == 0 {
+                return 0;
+            }
+            // The bucket spans [lower, 2·lower), but no sample exceeds the
+            // observed max; interpolating toward the effective upper edge
+            // makes the top rank land on max for single-bucket tails.
+            let lower = b.lower_bound as f64;
+            let upper = (2.0 * lower).min(max as f64 + 1.0);
+            let frac = (rank - seen) as f64 / b.count as f64;
+            let est = lower + (upper - lower) * frac;
+            return (est.round() as u64).clamp(b.lower_bound, max);
+        }
+        seen += b.count;
+    }
+    max
 }
 
 #[derive(Clone, Debug)]
@@ -409,8 +459,28 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Arithmetic mean (0.0 when empty).
     pub mean: f64,
+    /// Estimated median (see [`HistogramSnapshot::percentile`]).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
     /// Non-empty log2 buckets, ascending by lower bound.
     pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`0.0..=1.0`) of the snapshot.
+    ///
+    /// Log2 buckets only bound each sample to `[2^k, 2^{k+1})`, so this is
+    /// an *estimate*: the target rank is located in its bucket and
+    /// interpolated linearly within the bucket's range, clamped to the
+    /// observed maximum. The error is at most one octave — adequate for
+    /// tail-latency reporting, which is what the paper's walk-latency
+    /// distributions need.
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_from(&self.buckets, self.count, self.max, q)
+    }
 }
 
 /// Provenance of a metrics snapshot: what ran, at what scale, from which
@@ -529,6 +599,54 @@ mod tests {
         assert_eq!(bounds, vec![0, 1, 2, 512]);
         let counts: Vec<u64> = snap.buckets.iter().map(|b| b.count).collect();
         assert_eq!(counts, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn percentiles_estimate_within_a_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("t.lat");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Exact answers are 50/90/99; log2 estimates must stay within the
+        // containing octave ([32,64), [64,128), [64,128)).
+        let snap = h.snapshot();
+        assert!((32..64).contains(&snap.p50), "p50 estimate {}", snap.p50);
+        assert!((64..=100).contains(&snap.p90), "p90 estimate {}", snap.p90);
+        assert!((64..=100).contains(&snap.p99), "p99 estimate {}", snap.p99);
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99, "monotone");
+        assert_eq!(snap.percentile(0.5), snap.p50);
+        assert!(snap.percentile(1.0) <= 100);
+    }
+
+    #[test]
+    fn percentiles_degenerate_cases() {
+        let r = Registry::new();
+        let empty = r.histogram("t.empty");
+        assert_eq!(empty.percentile(0.99), 0);
+        let zeros = r.histogram("t.zeros");
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0);
+        let single = r.histogram("t.single");
+        single.record(37);
+        let s = single.snapshot();
+        assert_eq!((s.p50, s.p90, s.p99), (37, 37, 37), "clamped to max");
+    }
+
+    #[test]
+    fn snapshot_json_carries_percentiles() {
+        let r = Registry::new();
+        r.histogram("t.lat").record(1000);
+        let manifest = RunManifest {
+            command: "x".into(),
+            scale: "quick".into(),
+            git_revision: "deadbeef".into(),
+            elapsed_seconds: 0.0,
+        };
+        let json = r.snapshot(manifest).to_json_string();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["histograms"]["t.lat"]["p99"].as_u64(), Some(1000));
     }
 
     #[test]

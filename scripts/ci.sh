@@ -11,10 +11,23 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release (workspace, offline)"
 cargo build --release --workspace --locked --offline
 
+echo "==> cargo build --examples (offline)"
+cargo build --release --examples --locked --offline
+
 echo "==> cargo test (workspace, offline)"
 cargo test --workspace --locked --offline -q
 
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked --offline
+
+echo "==> repro --trace smoke (offline)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release -p poat-harness --bin repro --locked --offline -- \
+  fig9a --quick --trace "$trace_dir/trace.json" >/dev/null
+test -s "$trace_dir/trace.json"
+grep -q '"traceEvents"' "$trace_dir/trace.json"
+grep -q '"polb_miss"' "$trace_dir/trace.json"
+grep -q '"pot_walk"' "$trace_dir/trace.json"
 
 echo "==> ci.sh: all green"

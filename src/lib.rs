@@ -19,6 +19,8 @@
 //! * [`workloads`] — the paper's six microbenchmarks and TPC-C
 //! * [`harness`] — experiment runners regenerating every table and figure
 //!   of the evaluation, plus four ablation studies
+//! * [`telemetry`] — metrics registry and the event-level tracing
+//!   subsystem (`docs/TRACING.md`)
 //!
 //! ## Quickstart
 //!
@@ -42,4 +44,5 @@ pub use poat_harness as harness;
 pub use poat_nvm as nvm;
 pub use poat_pmem as pmem;
 pub use poat_sim as sim;
+pub use poat_telemetry as telemetry;
 pub use poat_workloads as workloads;

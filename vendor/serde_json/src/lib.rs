@@ -302,12 +302,30 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this
-                    // is always on a char boundary).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid utf-8".into()))?;
-                    let c = rest.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 scalar. Validate only a
+                    // 4-byte window, not the whole remaining input — the
+                    // latter is O(n) per char and made large-document
+                    // parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        // The window may end mid-way through the *next*
+                        // char; the valid prefix still holds the first.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => return Err(Error("invalid utf-8".into())),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
