@@ -1,0 +1,301 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! `analyzer.toml`: per-rule severity overrides and allowlists.
+//!
+//! The analyzer is dependency-free, so this module implements the tiny
+//! TOML subset the config actually uses:
+//!
+//! ```toml
+//! # Comments and blank lines are ignored.
+//! [rules.magic-latency]
+//! level = "warn"                       # "allow" | "warn" | "deny"
+//! allow = [
+//!     "crates/sim/src/legacy.rs",      # whole file
+//!     "crates/sim/src/xlate.rs:42",    # one specific finding
+//! ]
+//!
+//! [rules.unsafe-without-safety]
+//! level = "deny"
+//! ```
+//!
+//! Anything outside this shape (nested tables, multi-line strings,
+//! datetimes, …) is rejected with a line-numbered error rather than
+//! silently misread.
+
+use crate::diag::Severity;
+use std::collections::BTreeMap;
+
+/// Configuration for one rule.
+#[derive(Clone, Debug, Default)]
+pub struct RuleConfig {
+    /// Severity override (`None` keeps the rule's default).
+    pub level: Option<Severity>,
+    /// Allowlisted locations: either `path` (whole file) or
+    /// `path:line` (one finding).
+    pub allow: Vec<String>,
+}
+
+/// Parsed `analyzer.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Per-rule sections, keyed by rule id.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parses config text. Returns a line-numbered message on malformed
+    /// input.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut current: Option<String> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let rule = section
+                    .strip_prefix("rules.")
+                    .ok_or_else(|| format!("line {lineno}: unknown section [{section}] (only [rules.<id>] is supported)"))?;
+                if rule.is_empty()
+                    || !rule
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                {
+                    return Err(format!("line {lineno}: invalid rule id `{rule}`"));
+                }
+                cfg.rules.entry(rule.to_string()).or_default();
+                current = Some(rule.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {lineno}: expected `key = value` or `[rules.<id>]`"
+                ));
+            };
+            let rule = current.as_ref().ok_or_else(|| {
+                format!(
+                    "line {lineno}: `{}` outside any [rules.<id>] section",
+                    key.trim()
+                )
+            })?;
+            let entry = cfg
+                .rules
+                .get_mut(rule)
+                .expect("invariant: section inserted when current was set");
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            match key {
+                "level" => {
+                    let s = parse_string(&value)
+                        .ok_or_else(|| format!("line {lineno}: level must be a quoted string"))?;
+                    entry.level = Some(Severity::parse(&s).ok_or_else(|| {
+                        format!("line {lineno}: unknown level `{s}` (use allow/warn/deny)")
+                    })?);
+                }
+                "allow" => {
+                    // Array of strings, possibly spanning lines until `]`.
+                    while !value.contains(']') {
+                        let Some((_, next)) = lines.next() else {
+                            return Err(format!("line {lineno}: unterminated `allow = [` array"));
+                        };
+                        value.push(' ');
+                        value.push_str(strip_comment(next).trim());
+                    }
+                    let inner = value
+                        .trim()
+                        .strip_prefix('[')
+                        .and_then(|s| s.strip_suffix(']'))
+                        .ok_or_else(|| {
+                            format!("line {lineno}: allow must be an array of strings")
+                        })?;
+                    for item in split_array(inner) {
+                        let s = parse_string(item.trim()).ok_or_else(|| {
+                            format!("line {lineno}: allow entries must be quoted strings")
+                        })?;
+                        entry.allow.push(s);
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` (only level/allow)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether a finding at `file` / `file:line` is allowlisted for
+    /// `rule`.
+    pub fn is_allowed(&self, rule: &str, file: &str, line: u32) -> bool {
+        let Some(rc) = self.rules.get(rule) else {
+            return false;
+        };
+        let key = format!("{file}:{line}");
+        rc.allow.iter().any(|a| a == file || *a == key)
+    }
+
+    /// Severity override for `rule`, if configured.
+    pub fn level(&self, rule: &str) -> Option<Severity> {
+        self.rules.get(rule).and_then(|rc| rc.level)
+    }
+
+    /// Renders the config back to TOML — used by `--write-baseline`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (rule, rc) in &self.rules {
+            out.push_str(&format!("[rules.{rule}]\n"));
+            if let Some(level) = rc.level {
+                let name = match level {
+                    Severity::Note => "allow",
+                    Severity::Warning => "warn",
+                    Severity::Error => "deny",
+                };
+                out.push_str(&format!("level = \"{name}\"\n"));
+            }
+            if !rc.allow.is_empty() {
+                out.push_str("allow = [\n");
+                for a in &rc.allow {
+                    out.push_str(&format!("    \"{a}\",\n"));
+                }
+                out.push_str("]\n");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Removes a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parses a double-quoted TOML string (basic escapes only).
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // unescaped quote inside — malformed
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Splits array contents on commas outside quotes; tolerates a trailing
+/// comma.
+fn split_array(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    let tail = inner[start..].trim();
+    if !tail.is_empty() {
+        items.push(tail);
+    }
+    items.into_iter().filter(|s| !s.trim().is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_levels_and_allowlists() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[rules.magic-latency]
+level = "warn"     # inline comment
+allow = [
+    "crates/sim/src/legacy.rs",
+    "crates/sim/src/xlate.rs:42",
+]
+
+[rules.unsafe-without-safety]
+level = "deny"
+allow = ["a.rs:1"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.level("magic-latency"), Some(Severity::Warning));
+        assert_eq!(cfg.level("unsafe-without-safety"), Some(Severity::Error));
+        assert!(cfg.is_allowed("magic-latency", "crates/sim/src/legacy.rs", 7));
+        assert!(cfg.is_allowed("magic-latency", "crates/sim/src/xlate.rs", 42));
+        assert!(!cfg.is_allowed("magic-latency", "crates/sim/src/xlate.rs", 43));
+        assert!(!cfg.is_allowed("unsafe-without-safety", "crates/sim/src/legacy.rs", 7));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let text = r#"
+[rules.magic-latency]
+level = "warn"
+allow = ["a.rs", "b.rs:3"]
+"#;
+        let cfg = Config::parse(text).unwrap();
+        let cfg2 = Config::parse(&cfg.render()).unwrap();
+        assert_eq!(cfg2.level("magic-latency"), Some(Severity::Warning));
+        assert!(cfg2.is_allowed("magic-latency", "a.rs", 9));
+        assert!(cfg2.is_allowed("magic-latency", "b.rs", 3));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Config::parse("[other.section]").is_err());
+        assert!(Config::parse("level = \"warn\"").is_err());
+        assert!(Config::parse("[rules.x]\nlevel = warn").is_err());
+        assert!(Config::parse("[rules.x]\nlevel = \"loud\"").is_err());
+        assert!(Config::parse("[rules.x]\nallow = [\"a.rs\"").is_err());
+        assert!(Config::parse("[rules.x]\nfrobnicate = 3").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[rules.x]\nallow = [\"a#b.rs\"]\n").unwrap();
+        assert!(cfg.is_allowed("x", "a#b.rs", 1));
+    }
+}

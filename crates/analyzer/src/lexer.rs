@@ -1,0 +1,497 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! A minimal Rust lexer: good enough to walk token streams for rule
+//! checks, deliberately far short of a parser.
+//!
+//! The lexer understands exactly what the rules need and nothing more:
+//!
+//! * identifiers and keywords (one token kind — rules match on text),
+//! * integer and float literals (with the integer's numeric value),
+//! * string / raw-string / byte-string / char literals,
+//! * single-character punctuation (multi-character operators arrive as
+//!   consecutive tokens, e.g. `+=` is `+` then `=`),
+//! * comments, which are *not* tokens but are retained on the side with
+//!   their line spans (rule R2 needs to find `// SAFETY:` comments, and
+//!   rule R6 looks for the SPDX header).
+//!
+//! Lifetimes (`'a`) are recognized so they are not confused with char
+//! literals, and emitted as [`TokKind::Lifetime`] tokens.
+//!
+//! Every token carries its 1-indexed source line for diagnostics.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`cycles`, `unsafe`, `fn`, ...).
+    Ident,
+    /// An integer literal; its parsed value is in [`Tok::int_value`].
+    Int,
+    /// A float literal.
+    Float,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); the
+    /// token text is the *unquoted* content for plain strings and the
+    /// raw content for raw strings (escapes are not processed).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `!`, `{`, `+`, ...).
+    Punct(char),
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (see [`TokKind::Str`] for the string convention).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+    /// Parsed value for integer literals (`None` on overflow).
+    pub int_value: Option<u128>,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment retained alongside the token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text, including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-indexed first line of the comment.
+    pub line_start: u32,
+    /// 1-indexed last line of the comment.
+    pub line_end: u32,
+}
+
+/// Lexer output: tokens plus the comment side-channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unrecognized bytes are skipped, and an
+/// unterminated string or comment simply consumes the rest of the file.
+/// The goal is robustness on arbitrary checked-in sources, not
+/// validation — `rustc` owns rejecting malformed code.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, int_value: Option<u128>) {
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            int_value,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), c.to_string(), line, None);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line_start: line,
+            line_end: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let end = self.line;
+        self.out.comments.push(Comment {
+            text,
+            line_start: start,
+            line_end: end,
+        });
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1, c2) {
+            (Some('r'), Some('"' | '#'), _)
+                if c1 == Some('"') || c2 == Some('"') || c2 == Some('#') =>
+            {
+                self.bump();
+                self.raw_string(line);
+                return;
+            }
+            (Some('b'), Some('r'), Some('"' | '#')) => {
+                self.bump();
+                self.bump();
+                self.raw_string(line);
+                return;
+            }
+            (Some('b'), Some('"'), _) => {
+                self.bump();
+                self.string(line);
+                return;
+            }
+            (Some('b'), Some('\''), _) => {
+                self.bump();
+                self.char_or_lifetime();
+                return;
+            }
+            _ => {}
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, None);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut is_float = false;
+        // Integer part (handles 0x / 0o / 0b digits too, since hex digits
+        // are alphanumeric).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: only when followed by a digit (so `1..n` and
+        // tuple access `x.0` stay punctuation + int).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if is_float
+            || text.contains(['e', 'E']) && !text.starts_with("0x") && !text.starts_with("0X")
+        {
+            // `1e3` floats (but not hex digits that happen to contain e).
+            let float_exp = !text.starts_with("0x") && text.contains(['e', 'E']);
+            if is_float || float_exp {
+                self.push(TokKind::Float, text, line, None);
+                return;
+            }
+        }
+        let value = parse_int(&text);
+        self.push(TokKind::Int, text, line, value);
+    }
+
+    fn string(&mut self, line: u32) {
+        // Opening quote.
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the escape verbatim; rules only inspect plain
+                    // content prefixes.
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line, None);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        // At `#…"` or `"`. Count hashes.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: lex the identifier.
+            self.ident_or_prefixed_literal();
+            return;
+        }
+        self.bump();
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Check for the closing hash run.
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line, None);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // At `'`. Distinguish `'a'` (char) from `'a` (lifetime).
+        self.bump();
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                let mut text = String::from("\\");
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokKind::Char, text, line, None);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Char, c.to_string(), line, None);
+            }
+            _ => {
+                // Lifetime: consume the identifier.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line, None);
+            }
+        }
+    }
+}
+
+/// Parses a Rust integer literal (underscores, 0x/0o/0b radix prefixes,
+/// and type suffixes like `u64` / `usize`).
+fn parse_int(text: &str) -> Option<u128> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (16, h)
+    } else if let Some(o) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        (8, o)
+    } else if let Some(b) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        (2, b)
+    } else {
+        (10, t.as_str())
+    };
+    // Strip a trailing type suffix (first char that is not a digit of the
+    // radix starts the suffix).
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).tokens.iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let l = lex("let x = 30u64 + 0x1F;");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "30u64", "+", "0x1F", ";"]);
+        assert_eq!(l.tokens[3].int_value, Some(30));
+        assert_eq!(l.tokens[5].int_value, Some(31));
+    }
+
+    #[test]
+    fn comments_are_retained_not_tokenized() {
+        let l = lex("// SAFETY: fine\nunsafe {}\n/* block\nspans */ x");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("SAFETY:"));
+        assert_eq!(l.comments[0].line_start, 1);
+        assert_eq!(l.comments[1].line_start, 3);
+        assert_eq!(l.comments[1].line_end, 4);
+        assert!(l.tokens[0].is_ident("unsafe"));
+        assert_eq!(l.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn strings_and_chars_and_lifetimes() {
+        let l = lex(r##"f("a.b.c", 'x', b'\n', 'static, r"raw", r#"ra"w"#)"##);
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["a.b.c", "raw", "ra\"w"]);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let l = lex(r#"x("a\"b") y"#);
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Str));
+        assert!(l.tokens.last().unwrap().is_ident("y"));
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_tuple_access() {
+        let l = lex("1.5 0..n x.0 1e3");
+        assert_eq!(l.tokens[0].kind, TokKind::Float);
+        assert_eq!(l.tokens[1].int_value, Some(0));
+        assert!(l.tokens[2].is_punct('.'));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Float && t.text == "1e3"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ token");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens.len(), 1);
+        assert!(l.tokens[0].is_ident("token"));
+    }
+
+    #[test]
+    fn unsafe_in_string_is_not_an_ident() {
+        let l = lex(r#"let s = "unsafe { }";"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(kinds(r#""unsafe""#), vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn multi_char_operators_arrive_as_consecutive_puncts() {
+        let l = lex("cycles += 30;");
+        assert!(l.tokens[0].is_ident("cycles"));
+        assert!(l.tokens[1].is_punct('+'));
+        assert!(l.tokens[2].is_punct('='));
+        assert_eq!(l.tokens[3].int_value, Some(30));
+    }
+}

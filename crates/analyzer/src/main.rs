@@ -1,0 +1,179 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! `poat-analyze`: the CLI for the POAT static-analysis pass.
+//!
+//! ```text
+//! poat-analyze [--root DIR] [--config PATH] [--json] [--deny-warnings]
+//!              [--write-baseline PATH] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (errors always; warnings only
+//! under `--deny-warnings`), `2` usage or I/O error.
+
+use poat_analyzer::{all_rules, Config, Severity, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    deny_warnings: bool,
+    write_baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+const USAGE: &str = "usage: poat-analyze [--root DIR] [--config PATH] [--json] \
+[--deny-warnings] [--write-baseline PATH] [--list-rules]\n\n\
+Static-analysis gate for the POAT workspace; see docs/ANALYZER.md.\n\
+  --root DIR             workspace root to analyze (default: .)\n\
+  --config PATH          analyzer.toml (default: <root>/analyzer.toml if present)\n\
+  --json                 emit findings as JSON\n\
+  --deny-warnings        exit non-zero on warnings, not just errors\n\
+  --write-baseline PATH  append current findings to the allowlists and write PATH\n\
+  --list-rules           print the rule catalogue and exit\n";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        deny_warnings: false,
+        write_baseline: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?))
+            }
+            "--json" => args.json = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(
+                    it.next().ok_or("--write-baseline needs a value")?,
+                ))
+            }
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("poat-analyze: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rules = all_rules();
+    if args.list_rules {
+        for r in &rules {
+            println!(
+                "{:<24} {:<8} {}",
+                r.id(),
+                r.default_severity().to_string(),
+                r.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = args.config.clone().or_else(|| {
+        let p = args.root.join("analyzer.toml");
+        p.is_file().then_some(p)
+    });
+    let mut config = Config::default();
+    if let Some(path) = &config_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("poat-analyze: read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        config = match Config::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("poat-analyze: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+    }
+
+    let ws = match Workspace::load(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("poat-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = poat_analyzer::run(&ws, &rules, &config);
+
+    if let Some(path) = &args.write_baseline {
+        let mut baseline = config.clone();
+        for d in &diags {
+            baseline
+                .rules
+                .entry(d.rule.to_string())
+                .or_default()
+                .allow
+                .push(d.location_key());
+        }
+        for rc in baseline.rules.values_mut() {
+            rc.allow.sort();
+            rc.allow.dedup();
+        }
+        if let Err(e) = std::fs::write(path, baseline.render()) {
+            eprintln!("poat-analyze: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "poat-analyze: baselined {} finding(s) into {}",
+            diags.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        print!("{}", poat_analyzer::diag::render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+    }
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    if !args.json {
+        let scanned = ws.files.len();
+        if errors + warnings == 0 {
+            eprintln!("poat-analyze: {scanned} files clean");
+        } else {
+            eprintln!(
+                "poat-analyze: {errors} error(s), {warnings} warning(s) across {scanned} files"
+            );
+        }
+    }
+    if errors > 0 || (args.deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,982 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! The six repo-specific rules.
+//!
+//! Each rule is a token-stream walker over the [`Workspace`]; see
+//! `docs/ANALYZER.md` for the paper rationale behind every rule and
+//! the conventions (e.g. `invariant:`-prefixed `expect` messages) they
+//! recognize.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::{SourceFile, Workspace};
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A single analysis rule.
+pub trait Rule {
+    /// Stable rule id, used in diagnostics and `analyzer.toml`.
+    fn id(&self) -> &'static str;
+    /// Default severity when `analyzer.toml` does not override it.
+    fn default_severity(&self) -> Severity;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Appends findings for the whole workspace.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// The full rule set, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(MagicLatency),
+        Box::new(UnsafeWithoutSafety),
+        Box::new(UnwrapInHotPath),
+        Box::new(TelemetryDrift),
+        Box::new(NoPrintlnInLibs),
+        Box::new(DocAttrHygiene),
+    ]
+}
+
+fn diag(
+    rule: &'static str,
+    sev: Severity,
+    file: &SourceFile,
+    line: u32,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: sev,
+        file: file.path.clone(),
+        line,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R1: magic-latency
+// ---------------------------------------------------------------------------
+
+/// R1: bare numeric literals in cycle/instruction cost positions.
+///
+/// The paper's cost model (17/97-instruction software path, 30/60-cycle
+/// POT-walk penalties) lives in `crates/pmem/src/costs.rs` and the
+/// config defaults in `*/config.rs`; everywhere else in `sim`, `core`
+/// and `pmem`, a literal `> 1` flowing into a cost-named position means
+/// the model has been bypassed.
+pub struct MagicLatency;
+
+/// Whether an identifier names a cost/latency-like quantity.
+fn costy_ident(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("cycle")
+        || lower.contains("latency")
+        || lower.contains("penalty")
+        || lower.contains("cost")
+        || lower.contains("instr")
+        || lower.ends_with("_lat")
+}
+
+fn int_type_ident(name: &str) -> bool {
+    matches!(
+        name,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+    )
+}
+
+impl Rule for MagicLatency {
+    fn id(&self) -> &'static str {
+        "magic-latency"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "bare numeric literal in a cycle/instruction cost position; use crates/pmem/src/costs.rs or the config"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.rust_files() {
+            let in_scope = ["crates/sim/src/", "crates/core/src/", "crates/pmem/src/"]
+                .iter()
+                .any(|p| f.path.starts_with(p));
+            let exempt = f.path.ends_with("/costs.rs") || f.path.ends_with("/config.rs");
+            if !in_scope || exempt {
+                continue;
+            }
+            let toks = &f.lexed.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || f.in_test(t.line) {
+                    continue;
+                }
+                // Pattern A: advance_cycle(<literal>) — charging
+                // hand-written extra cycles instead of model-derived
+                // ones.
+                if t.text == "advance_cycle" {
+                    if let (Some(p), Some(arg)) = (toks.get(i + 1), toks.get(i + 2)) {
+                        if p.is_punct('(') && arg.kind == TokKind::Int {
+                            if magic_value(arg) {
+                                out.push(diag(
+                                    self.id(),
+                                    self.default_severity(),
+                                    f,
+                                    arg.line,
+                                    format!(
+                                        "bare literal `{}` passed to advance_cycle(); derive the cost from crates/pmem/src/costs.rs or the SimConfig",
+                                        arg.text
+                                    ),
+                                ));
+                            }
+                            continue;
+                        }
+                    }
+                }
+                if !costy_ident(&t.text) {
+                    continue;
+                }
+                // Pattern B: `<cost ident> = <literal>` or
+                // `<cost ident> += <literal>`.
+                let rhs = match (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)) {
+                    (Some(eq), Some(v), _)
+                        if eq.is_punct('=')
+                            && !matches!(toks.get(i + 2), Some(n) if n.is_punct('=')) =>
+                    {
+                        // Exclude `==` (the token after `=` being `=`)
+                        // and `<=`/`>=`/`!=` (those have the other
+                        // punct *before* `=`, so `eq` would not
+                        // directly follow the ident).
+                        if v.kind == TokKind::Int {
+                            Some(v)
+                        } else {
+                            None
+                        }
+                    }
+                    (Some(plus), Some(eq), Some(v))
+                        if plus.is_punct('+') && eq.is_punct('=') && v.kind == TokKind::Int =>
+                    {
+                        Some(v)
+                    }
+                    _ => None,
+                };
+                // Pattern C: struct-literal / const positions —
+                // `<cost ident>: <literal>` and
+                // `<cost ident>: <int type> = <literal>`.
+                let rhs = rhs.or_else(|| match (toks.get(i + 1), toks.get(i + 2)) {
+                    (Some(c), Some(v))
+                        if c.is_punct(':')
+                            && !matches!(toks.get(i + 2), Some(n) if n.is_punct(':'))
+                            && v.kind == TokKind::Int =>
+                    {
+                        Some(v)
+                    }
+                    (Some(c), Some(ty))
+                        if c.is_punct(':')
+                            && ty.kind == TokKind::Ident
+                            && int_type_ident(&ty.text) =>
+                    {
+                        match (toks.get(i + 3), toks.get(i + 4)) {
+                            (Some(eq), Some(v)) if eq.is_punct('=') && v.kind == TokKind::Int => {
+                                Some(v)
+                            }
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                });
+                if let Some(v) = rhs {
+                    if magic_value(v) {
+                        out.push(diag(
+                            self.id(),
+                            self.default_severity(),
+                            f,
+                            v.line,
+                            format!(
+                                "bare literal `{}` assigned to cost-like `{}`; hoist it into crates/pmem/src/costs.rs or the config",
+                                v.text, t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `0` and `1` are structural (reset, unit step); anything larger in a
+/// cost position is a modeling decision that belongs in the cost model.
+fn magic_value(t: &Tok) -> bool {
+    t.int_value.map(|v| v > 1).unwrap_or(true)
+}
+
+// ---------------------------------------------------------------------------
+// R2: unsafe-without-safety
+// ---------------------------------------------------------------------------
+
+/// R2: every `unsafe` keyword must be preceded by a `// SAFETY:`
+/// comment within the three lines above it (or on the same line).
+pub struct UnsafeWithoutSafety;
+
+impl Rule for UnsafeWithoutSafety {
+    fn id(&self) -> &'static str {
+        "unsafe-without-safety"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "`unsafe` block/fn/impl without a preceding `// SAFETY:` comment"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.rust_files() {
+            for t in &f.lexed.tokens {
+                if !t.is_ident("unsafe") {
+                    continue;
+                }
+                let lo = t.line.saturating_sub(3);
+                let justified = f.lexed.comments.iter().any(|c| {
+                    c.line_end >= lo && c.line_end <= t.line && c.text.contains("SAFETY:")
+                });
+                if !justified {
+                    out.push(diag(
+                        self.id(),
+                        self.default_severity(),
+                        f,
+                        t.line,
+                        "`unsafe` without a `// SAFETY:` comment justifying soundness".into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R3: unwrap-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// R3: `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!`
+/// forbidden in hot-path library code. An `expect` whose message starts
+/// with `invariant: ` is exempt — it documents a structural invariant
+/// rather than papering over an error path. Test regions are exempt.
+pub struct UnwrapInHotPath;
+
+/// The hot-path scope: the whole simulator plus the POLB/POT hardware
+/// models and the software-translation path.
+fn hot_path(path: &str) -> bool {
+    path.starts_with("crates/sim/src/")
+        || path == "crates/core/src/polb.rs"
+        || path == "crates/core/src/pot.rs"
+        || path == "crates/pmem/src/translate.rs"
+}
+
+impl Rule for UnwrapInHotPath {
+    fn id(&self) -> &'static str {
+        "unwrap-in-hot-path"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "unwrap()/expect()/panic! in hot-path library code (sim, core::polb, core::pot, pmem::translate)"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.rust_files() {
+            if !hot_path(&f.path) {
+                continue;
+            }
+            let toks = &f.lexed.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || f.in_test(t.line) {
+                    continue;
+                }
+                let preceded_by_dot = i > 0 && toks[i - 1].is_punct('.');
+                let followed_by_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                let followed_by_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                match t.text.as_str() {
+                    "unwrap" if preceded_by_dot && followed_by_paren => {
+                        out.push(diag(
+                            self.id(),
+                            self.default_severity(),
+                            f,
+                            t.line,
+                            "`.unwrap()` on a hot path; return a typed error or use `.expect(\"invariant: …\")`"
+                                .into(),
+                        ));
+                    }
+                    "expect" if preceded_by_dot && followed_by_paren => {
+                        let msg = toks.get(i + 2);
+                        let documented = msg.is_some_and(|m| {
+                            m.kind == TokKind::Str && m.text.starts_with("invariant:")
+                        });
+                        if !documented {
+                            out.push(diag(
+                                self.id(),
+                                self.default_severity(),
+                                f,
+                                t.line,
+                                "`.expect()` on a hot path without an `invariant: …` message documenting why it cannot fail"
+                                    .into(),
+                            ));
+                        }
+                    }
+                    "panic" | "todo" | "unimplemented" if followed_by_bang => {
+                        out.push(diag(
+                            self.id(),
+                            self.default_severity(),
+                            f,
+                            t.line,
+                            format!(
+                                "`{}!` in hot-path library code; return a typed error instead",
+                                t.text
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4: telemetry-drift
+// ---------------------------------------------------------------------------
+
+/// R4: telemetry declarations, emission sites, and `docs/METRICS.md`
+/// must agree.
+///
+/// Three checks:
+/// 1. every `EventKind` variant declared in
+///    `crates/telemetry/src/events.rs` is emitted somewhere outside the
+///    telemetry crate (dead variants are modeling debt);
+/// 2. every metric name in `docs/METRICS.md` exists in code;
+/// 3. every metric name in code is documented in `docs/METRICS.md`.
+///
+/// "Metric name in code" means a string literal of shape
+/// `seg.seg.seg…` (≥ 3 lowercase segments) in non-test library code,
+/// plus the `span.<phase>.nanos`/`.count` pairs synthesized from the
+/// `PHASE_*` constants. Docs names may use `<placeholder>` segments,
+/// which match any single segment.
+pub struct TelemetryDrift;
+
+const EVENTS_PATH: &str = "crates/telemetry/src/events.rs";
+const METRICS_DOC: &str = "docs/METRICS.md";
+
+impl Rule for TelemetryDrift {
+    fn id(&self) -> &'static str {
+        "telemetry-drift"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "EventKind variants without emission sites, or docs/METRICS.md out of sync with the code"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        self.check_event_kinds(ws, out);
+        self.check_metric_names(ws, out);
+    }
+}
+
+impl TelemetryDrift {
+    fn check_event_kinds(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(events) = ws.file(EVENTS_PATH) else {
+            return;
+        };
+        let variants = parse_enum_variants(events, "EventKind");
+        for (variant, decl_line) in &variants {
+            let emitted = ws.rust_files().any(|f| {
+                !f.path.starts_with("crates/telemetry/src/")
+                    && f.lexed
+                        .tokens
+                        .iter()
+                        .any(|t| t.is_ident(variant) && !f.in_test(t.line))
+            });
+            if !emitted {
+                out.push(diag(
+                    self.id(),
+                    self.default_severity(),
+                    events,
+                    *decl_line,
+                    format!(
+                        "EventKind::{variant} has no emission site outside the telemetry crate; emit it or remove the variant"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn check_metric_names(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(doc) = ws.file(METRICS_DOC) else {
+            return;
+        };
+        // Code side: metric-shaped string literals in non-test library
+        // code, with their first occurrence location.
+        let mut code: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        for f in ws.rust_files() {
+            for t in &f.lexed.tokens {
+                if t.kind == TokKind::Str && !f.in_test(t.line) && metric_shape(&t.text) {
+                    code.entry(t.text.clone())
+                        .or_insert_with(|| (f.path.clone(), t.line));
+                }
+            }
+        }
+        // Span metrics are built with format!("span.{phase}.nanos"),
+        // so synthesize them from the PHASE_* constants.
+        if let Some(lib) = ws.file("crates/telemetry/src/lib.rs") {
+            let toks = &lib.lexed.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind == TokKind::Ident && t.text.starts_with("PHASE_") && !lib.in_test(t.line)
+                {
+                    // `pub const PHASE_X: &str = "phase";` — find the
+                    // string within the next few tokens.
+                    if let Some(s) = toks[i + 1..]
+                        .iter()
+                        .take(6)
+                        .find(|n| n.kind == TokKind::Str)
+                    {
+                        for suffix in ["nanos", "count"] {
+                            code.entry(format!("span.{}.{}", s.text, suffix))
+                                .or_insert_with(|| (lib.path.clone(), t.line));
+                        }
+                    }
+                }
+            }
+        }
+        // Docs side: backticked names outside fenced code blocks.
+        let docs = doc_metric_names(&doc.text);
+        // Direction 1: every docs name exists in code.
+        for (name, line) in &docs {
+            let matched = code.keys().any(|c| doc_name_matches(name, c));
+            if !matched {
+                out.push(diag(
+                    self.id(),
+                    self.default_severity(),
+                    doc,
+                    *line,
+                    format!(
+                        "`{name}` is documented in docs/METRICS.md but never emitted by the code"
+                    ),
+                ));
+            }
+        }
+        // Direction 2: every code name is documented.
+        for (name, (path, line)) in &code {
+            let documented = docs.iter().any(|(d, _)| doc_name_matches(d, name));
+            if !documented {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    severity: self.default_severity(),
+                    file: path.clone(),
+                    line: *line,
+                    message: format!(
+                        "metric `{name}` is emitted here but missing from docs/METRICS.md"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Parses the unit variants of `enum <name>` from a file's token
+/// stream. Returns `(variant, line)` pairs. Handles doc comments
+/// (not tokens), attributes, and explicit discriminants (`= N`).
+fn parse_enum_variants(f: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    let toks = &f.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            // Find the `{`.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            j += 1;
+            let mut depth = 1usize;
+            let mut expect_variant = true;
+            while j < toks.len() && depth > 0 {
+                let t = &toks[j];
+                if t.is_punct('{') || t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') {
+                    depth -= 1;
+                } else if depth == 1 {
+                    if t.is_punct('#') {
+                        // Skip the attribute `[…]`.
+                        let mut adepth = 0usize;
+                        j += 1;
+                        while j < toks.len() {
+                            if toks[j].is_punct('[') {
+                                adepth += 1;
+                            } else if toks[j].is_punct(']') {
+                                adepth -= 1;
+                                if adepth == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    } else if expect_variant && t.kind == TokKind::Ident {
+                        out.push((t.text.clone(), t.line));
+                        expect_variant = false;
+                    } else if t.is_punct(',') {
+                        expect_variant = true;
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether a string literal looks like a metric name: at least three
+/// dot-separated segments of `[a-z0-9_]+`.
+fn metric_shape(s: &str) -> bool {
+    let segs: Vec<&str> = s.split('.').collect();
+    segs.len() >= 3
+        && segs.iter().all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Extracts metric names from `docs/METRICS.md`: inline backticked
+/// spans outside fenced code blocks, with `{…}` label suffixes
+/// stripped. Names containing `*` or other non-name characters are
+/// ignored (prose globs); `<placeholder>` segments are kept for
+/// wildcard matching.
+fn doc_metric_names(text: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut in_fence = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(start) = rest.find('`') {
+            let after = &rest[start + 1..];
+            let Some(len) = after.find('`') else {
+                break;
+            };
+            let span = &after[..len];
+            rest = &after[len + 1..];
+            // Strip a `{…}` label suffix (both `{…}` and `{k=v,…}`).
+            let name = match span.find('{') {
+                Some(b) if span.ends_with('}') => &span[..b],
+                Some(_) => continue, // unbalanced braces — prose
+                None => span,
+            };
+            if doc_name_shape(name) && seen.insert(name.to_string()) {
+                out.push((name.to_string(), idx as u32 + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Docs-side name shape: ≥ 3 segments, each `[a-z0-9_]+` or a
+/// `<placeholder>`.
+fn doc_name_shape(s: &str) -> bool {
+    let segs: Vec<&str> = s.split('.').collect();
+    segs.len() >= 3
+        && segs.iter().all(|seg| {
+            (seg.starts_with('<') && seg.ends_with('>') && seg.len() > 2)
+                || (!seg.is_empty()
+                    && seg
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+        })
+}
+
+/// Whether a docs name (possibly with `<placeholder>` segments) matches
+/// a concrete code name.
+fn doc_name_matches(doc: &str, code: &str) -> bool {
+    let d: Vec<&str> = doc.split('.').collect();
+    let c: Vec<&str> = code.split('.').collect();
+    d.len() == c.len()
+        && d.iter()
+            .zip(&c)
+            .all(|(ds, cs)| (ds.starts_with('<') && ds.ends_with('>')) || ds == cs)
+}
+
+// ---------------------------------------------------------------------------
+// R5: no-println-in-libs
+// ---------------------------------------------------------------------------
+
+/// R5: library code must not print; output goes through the telemetry
+/// registry or the harness report layer. Binary roots (`main.rs`,
+/// `src/bin/`) and test regions are exempt.
+pub struct NoPrintlnInLibs;
+
+impl Rule for NoPrintlnInLibs {
+    fn id(&self) -> &'static str {
+        "no-println-in-libs"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "println!/eprintln!/dbg! in library code; route output through telemetry or the report layer"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.rust_files() {
+            let is_bin = f.path.ends_with("/main.rs") || f.path.contains("/src/bin/");
+            if is_bin {
+                continue;
+            }
+            let toks = &f.lexed.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || f.in_test(t.line) {
+                    continue;
+                }
+                let is_print_macro = matches!(
+                    t.text.as_str(),
+                    "println" | "print" | "eprintln" | "eprint" | "dbg"
+                );
+                if is_print_macro && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    out.push(diag(
+                        self.id(),
+                        self.default_severity(),
+                        f,
+                        t.line,
+                        format!(
+                            "`{}!` in library code; use the telemetry registry or return the text to the caller",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R6: doc-attr-hygiene
+// ---------------------------------------------------------------------------
+
+/// R6: crate hygiene. Every `lib.rs` crate root carries
+/// `#![warn(missing_docs)]` (or stricter), and every crate root —
+/// `lib.rs` and `main.rs` alike — starts with an SPDX license header
+/// within its first five lines.
+pub struct DocAttrHygiene;
+
+fn is_crate_root(path: &str) -> Option<bool> {
+    // Returns Some(is_lib) for crate roots, None otherwise.
+    let lib =
+        path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"));
+    let bin =
+        (path.starts_with("crates/") && path.ends_with("/src/main.rs")) || path == "src/main.rs";
+    if lib {
+        Some(true)
+    } else if bin {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+impl Rule for DocAttrHygiene {
+    fn id(&self) -> &'static str {
+        "doc-attr-hygiene"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "crate root missing #![warn(missing_docs)] or the SPDX license header"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.rust_files() {
+            let Some(is_lib) = is_crate_root(&f.path) else {
+                continue;
+            };
+            let has_spdx = f
+                .lexed
+                .comments
+                .iter()
+                .any(|c| c.line_start <= 5 && c.text.contains("SPDX-License-Identifier:"));
+            if !has_spdx {
+                out.push(diag(
+                    self.id(),
+                    self.default_severity(),
+                    f,
+                    1,
+                    "crate root missing an `// SPDX-License-Identifier:` header in its first 5 lines"
+                        .into(),
+                ));
+            }
+            if is_lib && !has_missing_docs_lint(f) {
+                out.push(diag(
+                    self.id(),
+                    self.default_severity(),
+                    f,
+                    1,
+                    "library crate root missing `#![warn(missing_docs)]` (or deny/forbid)".into(),
+                ));
+            }
+        }
+    }
+}
+
+/// Scans for an inner attribute `#![warn|deny|forbid(… missing_docs …)]`.
+fn has_missing_docs_lint(f: &SourceFile) -> bool {
+    let toks = &f.lexed.tokens;
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('!') && toks[i + 2].is_punct('[') {
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            let mut level_ok = false;
+            let mut has_lint = false;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                } else if matches!(toks[j].text.as_str(), "warn" | "deny" | "forbid") {
+                    level_ok = true;
+                } else if toks[j].is_ident("missing_docs") {
+                    has_lint = true;
+                }
+                j += 1;
+            }
+            if level_ok && has_lint {
+                return true;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_rule(rule: &dyn Rule, sources: Vec<(&str, &str)>) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(
+            sources
+                .into_iter()
+                .map(|(p, t)| (p.to_string(), t.to_string()))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        rule.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn magic_latency_flags_cost_assignments() {
+        let d = run_rule(
+            &MagicLatency,
+            vec![(
+                "crates/sim/src/bad.rs",
+                "fn f(x: &mut S) { x.miss_penalty = 30; x.cycles += 1; cost_of(); }\n",
+            )],
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("miss_penalty"));
+    }
+
+    #[test]
+    fn magic_latency_exempts_costs_config_and_tests() {
+        let d = run_rule(
+            &MagicLatency,
+            vec![
+                ("crates/pmem/src/costs.rs", "pub const MISS: u64 = 97;\n"),
+                (
+                    "crates/sim/src/config.rs",
+                    "fn d() -> u32 { let hit_latency: u32 = 2; hit_latency }\n",
+                ),
+                (
+                    "crates/sim/src/ok.rs",
+                    "#[cfg(test)]\nmod tests {\n fn t() { let c = C { miss_penalty: 30 }; }\n}\n",
+                ),
+                (
+                    "crates/harness/src/out_of_scope.rs",
+                    "fn f() { let pot_latency = 300; }\n",
+                ),
+            ],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn magic_latency_ignores_comparisons() {
+        let d = run_rule(
+            &MagicLatency,
+            vec![(
+                "crates/sim/src/cmp.rs",
+                "fn f(c: u64) -> bool { c == 30 || latency_of() <= 60 }\n",
+            )],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = run_rule(
+            &UnsafeWithoutSafety,
+            vec![("crates/x/src/a.rs", "fn f() { unsafe { g() } }\n")],
+        );
+        assert_eq!(bad.len(), 1);
+        let good = run_rule(
+            &UnsafeWithoutSafety,
+            vec![(
+                "crates/x/src/a.rs",
+                "fn f() {\n    // SAFETY: g has no preconditions here.\n    unsafe { g() }\n}\n",
+            )],
+        );
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn unwrap_rules_and_invariant_exemption() {
+        let d = run_rule(
+            &UnwrapInHotPath,
+            vec![(
+                "crates/sim/src/hot.rs",
+                "fn f(x: Option<u32>) -> u32 {\n\
+                     let a = x.unwrap();\n\
+                     let b = x.expect(\"oops\");\n\
+                     let c = x.expect(\"invariant: set in new()\");\n\
+                     let d = x.unwrap_or(0);\n\
+                     a + b + c + d\n\
+                 }\n#[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); panic!(); } }\n",
+            )],
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("unwrap"));
+        assert!(d[1].message.contains("expect"));
+    }
+
+    #[test]
+    fn unwrap_out_of_scope_files_ignored() {
+        let d = run_rule(
+            &UnwrapInHotPath,
+            vec![(
+                "crates/harness/src/lib.rs",
+                "fn f(x: Option<u32>) { x.unwrap(); }\n",
+            )],
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn println_in_lib_flagged_main_exempt() {
+        let d = run_rule(
+            &NoPrintlnInLibs,
+            vec![
+                ("crates/x/src/lib.rs", "fn f() { println!(\"hi\"); }\n"),
+                ("crates/x/src/main.rs", "fn main() { println!(\"hi\"); }\n"),
+            ],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].file, "crates/x/src/lib.rs");
+    }
+
+    #[test]
+    fn doc_attr_hygiene_checks_roots_only() {
+        let d = run_rule(
+            &DocAttrHygiene,
+            vec![
+                (
+                    "crates/x/src/lib.rs",
+                    "// SPDX-License-Identifier: MIT OR Apache-2.0\n#![warn(missing_docs)]\n//! Docs.\n",
+                ),
+                ("crates/y/src/lib.rs", "//! No header, no lint.\n"),
+                ("crates/y/src/other.rs", "fn not_a_root() {}\n"),
+                ("crates/x/src/main.rs", "// SPDX-License-Identifier: MIT OR Apache-2.0\nfn main() {}\n"),
+            ],
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.file == "crates/y/src/lib.rs"));
+    }
+
+    #[test]
+    fn enum_variant_parsing() {
+        let f = SourceFile::new(
+            "crates/telemetry/src/events.rs".into(),
+            "/// Doc.\npub enum EventKind {\n    /// a\n    NvLoad = 0,\n    #[allow(dead_code)]\n    PolbHit,\n    Fault,\n}\n"
+                .into(),
+        );
+        let v = parse_enum_variants(&f, "EventKind");
+        let names: Vec<&str> = v.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["NvLoad", "PolbHit", "Fault"]);
+    }
+
+    #[test]
+    fn telemetry_drift_event_emission() {
+        let events = "pub enum EventKind { NvLoad, PolbHit }\n";
+        let d = run_rule(
+            &TelemetryDrift,
+            vec![
+                ("crates/telemetry/src/events.rs", events),
+                (
+                    "crates/sim/src/x.rs",
+                    "fn f() { emit(EventKind::NvLoad); }\n",
+                ),
+            ],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("PolbHit"));
+    }
+
+    #[test]
+    fn telemetry_drift_docs_both_directions() {
+        let d = run_rule(
+            &TelemetryDrift,
+            vec![
+                (
+                    "crates/core/src/x.rs",
+                    "fn f(r: &R) { r.counter(\"core.polb.hits\").inc(); r.counter(\"core.polb.ghost\").inc(); }\n",
+                ),
+                (
+                    "docs/METRICS.md",
+                    "# Metrics\n\n| `core.polb.hits` | counter |\n| `core.polb.phantom` | counter |\n\n```\nnot.scanned.here\n```\n",
+                ),
+            ],
+        );
+        let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(msgs.iter().any(|m| m.contains("core.polb.phantom")));
+        assert!(msgs.iter().any(|m| m.contains("core.polb.ghost")));
+    }
+
+    #[test]
+    fn telemetry_drift_placeholder_matching() {
+        assert!(doc_name_matches(
+            "span.<phase>.nanos",
+            "span.pot_walk.nanos"
+        ));
+        assert!(!doc_name_matches(
+            "span.<phase>.nanos",
+            "span.pot_walk.count"
+        ));
+        assert!(!doc_name_matches("a.b.c", "a.b.c.d"));
+        assert!(metric_shape("core.polb.hits"));
+        assert!(!metric_shape("core.polb"));
+        assert!(!metric_shape("a.B.c"));
+        assert!(!metric_shape("span..nanos"));
+    }
+}

@@ -1,0 +1,38 @@
+// Seeded-violation fixture. NOT compiled into any crate: the golden
+// test feeds this file to the analyzer under the pseudo-path
+// `crates/sim/src/seeded.rs` and asserts the exact (rule, line)
+// findings listed in tests/golden.rs. Keep edits in sync with it.
+
+pub fn charge(state: &mut State) {
+    state.miss_penalty = 30;
+    state.cycles += 60;
+    state.pot_walk_latency = model_derived();
+}
+
+pub fn poke(ptr: *mut u64) {
+    unsafe { *ptr = 1 };
+}
+
+// SAFETY: a decoy comment for the *next* fn; must not justify line 13.
+pub fn poke_ok(ptr: *mut u64) {
+    let slot = lookup(ptr).unwrap();
+    let next = follow(slot).expect("present");
+    let fine = follow(slot).expect("invariant: inserted by charge() above");
+    fine
+}
+
+pub fn debug_dump(state: &State) {
+    println!("state = {state:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region() {
+        let v: Option<u32> = None;
+        v.unwrap();
+        panic!("fine in tests");
+        let latency = 300;
+        println!("also fine in tests");
+    }
+}

@@ -47,7 +47,8 @@ fn bench_translation_structures(c: &mut Criterion) {
     // POT hardware walk at paper size (16384 entries, 1000 pools mapped).
     let mut pot = Pot::new(16384);
     for i in 1..=1000u32 {
-        pot.insert(pool(i), VirtAddr::new((i as u64) << 32)).unwrap();
+        pot.insert(pool(i), VirtAddr::new((i as u64) << 32))
+            .unwrap();
     }
     g.throughput(Throughput::Elements(1000));
     g.bench_function("pot_walk", |b| {
@@ -129,7 +130,9 @@ fn bench_simulators(c: &mut Criterion) {
     // A representative OPT trace (BST, RANDOM pattern).
     let seed = 42;
     let mut rt = Runtime::new(ExpConfig::Opt.runtime_config(seed));
-    Micro::Bst.run_ops(&mut rt, Pattern::Random, seed, 500).unwrap();
+    Micro::Bst
+        .run_ops(&mut rt, Pattern::Random, seed, 500)
+        .unwrap();
     let trace = rt.take_trace();
     let state = rt.machine_state();
     let cfg = SimConfig::default();

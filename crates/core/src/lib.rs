@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat-core — the hardware translation layer
 //!
 //! This crate models the primary contribution of *"Hardware Supported

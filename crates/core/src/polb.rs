@@ -153,7 +153,7 @@ impl Cam {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
-                .expect("capacity > 0 implies entries non-empty at eviction");
+                .expect("invariant: capacity > 0 implies entries non-empty at eviction");
             let victim_tag = self.entries[victim].tag;
             self.entries[victim] = entry;
             self.tele_evictions.inc();
@@ -174,7 +174,11 @@ impl Cam {
 #[inline]
 fn emit_lookup(hit: bool, pool: u32) {
     events::emit(
-        if hit { EventKind::PolbHit } else { EventKind::PolbMiss },
+        if hit {
+            EventKind::PolbHit
+        } else {
+            EventKind::PolbMiss
+        },
         pool,
         0,
     );
@@ -234,9 +238,11 @@ impl TranslationBuffer for PipelinedPolb {
     fn fill(&mut self, oid: ObjectId, base: u64) {
         // Pipelined tags *are* pool ids, so the evicted tag names the
         // victim pool directly.
-        emit_fill(self.cam.fill(oid.pool_raw() as u64, base), oid.pool_raw(), |tag| {
-            tag as u32
-        });
+        emit_fill(
+            self.cam.fill(oid.pool_raw() as u64, base),
+            oid.pool_raw(),
+            |tag| tag as u32,
+        );
     }
 
     fn invalidate_pool(&mut self, pool: PoolId) {
@@ -356,7 +362,10 @@ mod tests {
         assert!(polb.translate(ObjectId::new(pool(1), 0)).is_some());
         polb.fill(ObjectId::new(pool(3), 0), 0x3000);
         assert!(polb.translate(ObjectId::new(pool(1), 4)).is_some());
-        assert!(polb.translate(ObjectId::new(pool(2), 4)).is_none(), "evicted");
+        assert!(
+            polb.translate(ObjectId::new(pool(2), 4)).is_none(),
+            "evicted"
+        );
         assert!(polb.translate(ObjectId::new(pool(3), 4)).is_some());
     }
 

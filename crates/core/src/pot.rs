@@ -313,10 +313,14 @@ mod tests {
     fn fills_to_capacity_then_full() {
         let mut pot = Pot::new(8);
         for i in 1..=8 {
-            pot.insert(pool(i), VirtAddr::new(i as u64 * 0x1000)).unwrap();
+            pot.insert(pool(i), VirtAddr::new(i as u64 * 0x1000))
+                .unwrap();
         }
         assert_eq!(pot.len(), 8);
-        assert_eq!(pot.insert(pool(9), VirtAddr::new(0x9000)), Err(PotError::Full));
+        assert_eq!(
+            pot.insert(pool(9), VirtAddr::new(0x9000)),
+            Err(PotError::Full)
+        );
         // Every mapping still resolvable despite collisions.
         for i in 1..=8 {
             assert_eq!(pot.lookup(pool(i)), Some(VirtAddr::new(i as u64 * 0x1000)));
@@ -333,7 +337,11 @@ mod tests {
         assert_eq!(pot.remove(pool(2)), Some(VirtAddr::new(2)));
         assert_eq!(pot.lookup(pool(2)), None);
         for i in [1u32, 3, 4] {
-            assert_eq!(pot.lookup(pool(i)), Some(VirtAddr::new(i as u64)), "pool {i}");
+            assert_eq!(
+                pot.lookup(pool(i)),
+                Some(VirtAddr::new(i as u64)),
+                "pool {i}"
+            );
         }
         // Tombstone is reusable.
         pot.insert(pool(7), VirtAddr::new(7)).unwrap();

@@ -23,8 +23,8 @@ use poat_workloads::{ExpConfig, Micro, Pattern};
 
 use crate::report::{fx, pct, TextTable};
 use crate::runner::{
-    default_workers, parallel_map, pipelined, run_micro, run_micro_custom, simulate,
-    simulate_with, Core, Scale,
+    default_workers, parallel_map, pipelined, run_micro, run_micro_custom, simulate, simulate_with,
+    Core, Scale,
 };
 
 /// Predictor ablation: BASE with and without the last-value predictor.
@@ -210,8 +210,11 @@ pub fn pot_occupancy() -> Vec<PotOccupancyRow> {
             let mut pot = Pot::new(entries);
             let n = (entries as f64 * occ) as u32;
             for i in 1..=n {
-                pot.insert(PoolId::new(i).expect("non-zero"), VirtAddr::new((i as u64) << 24))
-                    .expect("under capacity");
+                pot.insert(
+                    PoolId::new(i).expect("non-zero"),
+                    VirtAddr::new((i as u64) << 24),
+                )
+                .expect("under capacity");
             }
             let mut max_probes = 0;
             for i in 1..=n {

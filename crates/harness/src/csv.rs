@@ -100,7 +100,12 @@ pub fn fig10(dir: &Path, rows: &[Fig10Row]) -> std::io::Result<()> {
         "fig10.csv",
         "bench,pattern,pipelined,parallel",
         rows.iter()
-            .map(|r| format!("{},{},{:.4},{:.4}", r.bench, r.pattern, r.pipelined, r.parallel))
+            .map(|r| {
+                format!(
+                    "{},{},{:.4},{:.4}",
+                    r.bench, r.pattern, r.pipelined, r.parallel
+                )
+            })
             .collect(),
     )
 }
@@ -124,7 +129,12 @@ pub fn fig11(dir: &Path, rows: &[Fig11Row]) -> std::io::Result<()> {
         }
     }
     write(dir, "fig11.csv", "bench,design,polb_entries,speedup", speed)?;
-    write(dir, "table9.csv", "bench,design,polb_entries,miss_rate", miss)
+    write(
+        dir,
+        "table9.csv",
+        "bench,design,polb_entries,miss_rate",
+        miss,
+    )
 }
 
 /// Writes `fig12.csv` (long format).
@@ -166,7 +176,12 @@ pub fn ablations(dir: &Path, a: &AblationResults) -> std::io::Result<()> {
             lat.push(format!("{},{cy},{:.4}", r.bench, r.speedups[i]));
         }
     }
-    write(dir, "ablation_polb_latency.csv", "bench,polb_cycles,speedup", lat)?;
+    write(
+        dir,
+        "ablation_polb_latency.csv",
+        "bench,polb_cycles,speedup",
+        lat,
+    )?;
     write(
         dir,
         "ablation_prefetch.csv",

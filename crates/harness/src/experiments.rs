@@ -40,10 +40,16 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
         let all = run_micro(bench, Pattern::All, ExpConfig::Base, scale);
         let each = run_micro(bench, Pattern::Each, ExpConfig::Base, scale);
         let abbrev = bench.abbrev();
-        all.xlat
-            .publish(&[("artifact", "table2"), ("bench", abbrev), ("pattern", "ALL")]);
-        each.xlat
-            .publish(&[("artifact", "table2"), ("bench", abbrev), ("pattern", "EACH")]);
+        all.xlat.publish(&[
+            ("artifact", "table2"),
+            ("bench", abbrev),
+            ("pattern", "ALL"),
+        ]);
+        each.xlat.publish(&[
+            ("artifact", "table2"),
+            ("bench", abbrev),
+            ("pattern", "EACH"),
+        ]);
         Table2Row {
             bench: abbrev.to_owned(),
             insns_all: all.xlat.mean_instructions(),
@@ -302,7 +308,11 @@ pub fn main_matrix(scale: Scale) -> MainResults {
         seen
     };
     for b in benches {
-        let find = |p: &str| cells.iter().find(|c| c.bench == b && c.pattern.ends_with(p));
+        let find = |p: &str| {
+            cells
+                .iter()
+                .find(|c| c.bench == b && c.pattern.ends_with(p))
+        };
         let is_tpcc = cells.iter().any(|c| c.bench == b && c.is_tpcc);
         let (all_l, each_l, rand_l) = if is_tpcc {
             ("TPCC_ALL", "TPCC_EACH", "")
@@ -371,11 +381,7 @@ fn speedup_table(title: &str, rows: &[SpeedupRow], with_parallel: bool) -> Strin
 
 /// Renders Figure 9(a) as a table of bar heights.
 pub fn fig9a_text(rows: &[SpeedupRow]) -> String {
-    speedup_table(
-        "Figure 9(a) — OPT/BASE speedup, in-order core",
-        rows,
-        true,
-    )
+    speedup_table("Figure 9(a) — OPT/BASE speedup, in-order core", rows, true)
 }
 
 /// Renders Figure 9(b).
@@ -507,7 +513,9 @@ pub fn fig10_text(rows: &[Fig10Row]) -> String {
         t.row(vec![
             "GeoMean".into(),
             pattern.into(),
-            fx(geomean(&sel.iter().map(|r| r.pipelined).collect::<Vec<_>>())),
+            fx(geomean(
+                &sel.iter().map(|r| r.pipelined).collect::<Vec<_>>(),
+            )),
             fx(geomean(&sel.iter().map(|r| r.parallel).collect::<Vec<_>>())),
         ]);
     }

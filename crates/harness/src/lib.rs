@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat-harness — regenerating the paper's evaluation
 //!
 //! One runner per table/figure of the MICRO'17 evaluation (§6):

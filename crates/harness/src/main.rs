@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! `repro` — regenerate the MICRO'17 tables and figures.
 //!
 //! ```text
@@ -17,13 +18,13 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::time::Instant;
 
-use poat_harness::{ablations, csv, timeline};
 use poat_harness::experiments::{
     self, fig10_text, fig11_text, fig12_text, fig9a_text, fig9b_text, instrs_text, table2_text,
     table8_text, table9_text,
 };
 use poat_harness::report::TextTable;
 use poat_harness::Scale;
+use poat_harness::{ablations, csv, timeline};
 use poat_telemetry::events;
 
 const USAGE: &str = "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
@@ -82,7 +83,9 @@ fn phase_latency_text(snapshot: &poat_telemetry::MetricsSnapshot) -> String {
     );
     let mut any = false;
     for (name, h) in &snapshot.histograms {
-        let Some(phase) = name.strip_prefix("span.").and_then(|n| n.strip_suffix(".nanos"))
+        let Some(phase) = name
+            .strip_prefix("span.")
+            .and_then(|n| n.strip_suffix(".nanos"))
         else {
             continue;
         };
@@ -118,7 +121,10 @@ fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
     let elapsed = t0.elapsed();
     let labels = [("artifact", name)];
     registry
-        .gauge(&poat_telemetry::labeled("harness.experiment.wall_nanos", &labels))
+        .gauge(&poat_telemetry::labeled(
+            "harness.experiment.wall_nanos",
+            &labels,
+        ))
         .set(elapsed.as_nanos() as u64);
     let delta = instructions.get().saturating_sub(before);
     if delta > 0 && elapsed.as_secs_f64() > 0.0 {
@@ -204,7 +210,10 @@ fn main() {
         if let Some(dir) = &csv_dir {
             csv::table2(dir, &rows).expect("write table2 csv");
         }
-        json.insert("table2".into(), serde_json::to_value(&rows).expect("serialize"));
+        json.insert(
+            "table2".into(),
+            serde_json::to_value(&rows).expect("serialize"),
+        );
     }
     if wants("fig9a") || wants("fig9b") || wants("table8") || wants("instrs") {
         matched = true;
@@ -224,7 +233,10 @@ fn main() {
         if let Some(dir) = &csv_dir {
             csv::main_results(dir, &main).expect("write fig9/table8 csvs");
         }
-        json.insert("main".into(), serde_json::to_value(&main).expect("serialize"));
+        json.insert(
+            "main".into(),
+            serde_json::to_value(&main).expect("serialize"),
+        );
     }
     if wants("fig10") {
         matched = true;
@@ -233,7 +245,10 @@ fn main() {
         if let Some(dir) = &csv_dir {
             csv::fig10(dir, &rows).expect("write fig10 csv");
         }
-        json.insert("fig10".into(), serde_json::to_value(&rows).expect("serialize"));
+        json.insert(
+            "fig10".into(),
+            serde_json::to_value(&rows).expect("serialize"),
+        );
     }
     if wants("fig11") || wants("table9") {
         matched = true;
@@ -247,7 +262,10 @@ fn main() {
         if let Some(dir) = &csv_dir {
             csv::fig11(dir, &rows).expect("write fig11/table9 csvs");
         }
-        json.insert("fig11".into(), serde_json::to_value(&rows).expect("serialize"));
+        json.insert(
+            "fig11".into(),
+            serde_json::to_value(&rows).expect("serialize"),
+        );
     }
     if wants("fig12") {
         matched = true;
@@ -256,13 +274,19 @@ fn main() {
         if let Some(dir) = &csv_dir {
             csv::fig12(dir, &rows).expect("write fig12 csv");
         }
-        json.insert("fig12".into(), serde_json::to_value(&rows).expect("serialize"));
+        json.insert(
+            "fig12".into(),
+            serde_json::to_value(&rows).expect("serialize"),
+        );
     }
     if wants("seeds") {
         matched = true;
         let rows = timed("seeds", || experiments::seeds(scale, 5));
         println!("{}", experiments::seeds_text(&rows));
-        json.insert("seeds".into(), serde_json::to_value(&rows).expect("serialize"));
+        json.insert(
+            "seeds".into(),
+            serde_json::to_value(&rows).expect("serialize"),
+        );
     }
     if wants("ablations") {
         matched = true;
@@ -271,7 +295,10 @@ fn main() {
         if let Some(dir) = &csv_dir {
             csv::ablations(dir, &r).expect("write ablation csvs");
         }
-        json.insert("ablations".into(), serde_json::to_value(&r).expect("serialize"));
+        json.insert(
+            "ablations".into(),
+            serde_json::to_value(&r).expect("serialize"),
+        );
     }
     if !matched {
         usage();

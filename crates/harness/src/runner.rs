@@ -81,12 +81,7 @@ fn seed_for(bench: Micro, pattern: Pattern) -> u64 {
 ///
 /// Panics on runtime errors — experiment inputs are fixed, so failures
 /// are bugs, not recoverable conditions.
-pub fn run_micro(
-    bench: Micro,
-    pattern: Pattern,
-    config: ExpConfig,
-    scale: Scale,
-) -> WorkloadRun {
+pub fn run_micro(bench: Micro, pattern: Pattern, config: ExpConfig, scale: Scale) -> WorkloadRun {
     run_micro_custom(bench, pattern, config, scale, |_| {})
 }
 
@@ -168,8 +163,8 @@ pub fn run_tpcc(pattern: TpccPattern, config: ExpConfig, scale: Scale) -> Worklo
     let mut tpcc = Tpcc::setup(&mut rt, pattern, cfg)
         .unwrap_or_else(|e| panic!("tpcc setup {pattern}/{config}: {e}"));
     rt.take_trace(); // measure transactions only
-    // Reset translation counters so Table 2-style stats cover the
-    // measured phase only.
+                     // Reset translation counters so Table 2-style stats cover the
+                     // measured phase only.
     let setup_xlat = rt.xlat_stats();
     let exec_span = poat_telemetry::global().span(poat_telemetry::PHASE_WORKLOAD_EXEC);
     tpcc.run(&mut rt, scale.tpcc_transactions())

@@ -158,7 +158,14 @@ pub fn text(rows: &[WorkloadTimeline]) -> String {
     let mut t = TextTable::new(
         "Timeline (per-workload event-trace summary, Random pattern)",
         &[
-            "Bench", "Design", "Window", "Rows", "Accesses", "MissRate", "Walks", "MeanProbes",
+            "Bench",
+            "Design",
+            "Window",
+            "Rows",
+            "Accesses",
+            "MissRate",
+            "Walks",
+            "MeanProbes",
             "Faults",
         ],
     );

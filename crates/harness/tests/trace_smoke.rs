@@ -33,8 +33,7 @@ fn repro_quick_trace_emits_wellformed_chrome_json() {
 
     let body = std::fs::read_to_string(&trace).expect("trace file exists");
     assert!(!body.is_empty(), "trace must be non-empty");
-    let json: serde_json::Value =
-        serde_json::from_str(&body).expect("trace parses as JSON");
+    let json: serde_json::Value = serde_json::from_str(&body).expect("trace parses as JSON");
     let events = json["traceEvents"].as_array().expect("traceEvents array");
     assert!(!events.is_empty(), "trace must carry events");
 
@@ -42,9 +41,7 @@ fn repro_quick_trace_emits_wellformed_chrome_json() {
     // Parallel = 2 (see docs/TRACING.md).
     let seen: BTreeSet<(u64, String)> = events
         .iter()
-        .filter_map(|e| {
-            Some((e["pid"].as_u64()?, e["name"].as_str()?.to_string()))
-        })
+        .filter_map(|e| Some((e["pid"].as_u64()?, e["name"].as_str()?.to_string())))
         .collect();
     for pid in [1u64, 2] {
         for name in ["polb_miss", "pot_walk"] {
@@ -65,8 +62,8 @@ fn repro_quick_trace_emits_wellformed_chrome_json() {
 
     // The timeline pass wrote per-(bench, design) CSVs with the schema
     // header and at least one data row for a hardware design.
-    let csv = std::fs::read_to_string(tl.join("timeline_ll_pipelined.csv"))
-        .expect("timeline csv exists");
+    let csv =
+        std::fs::read_to_string(tl.join("timeline_ll_pipelined.csv")).expect("timeline csv exists");
     let mut lines = csv.lines();
     assert!(lines
         .next()

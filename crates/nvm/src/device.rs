@@ -453,7 +453,10 @@ mod tests {
                 v => panic!("torn value {v:#x}"),
             }
         }
-        assert!(survived && lost, "clwb without fence may or may not persist");
+        assert!(
+            survived && lost,
+            "clwb without fence may or may not persist"
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat-nvm — simulated non-volatile main memory
 //!
 //! The paper evaluates on a machine whose main memory is byte-addressable

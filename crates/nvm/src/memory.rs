@@ -306,11 +306,13 @@ mod tests {
         mem.write_u64(base.offset(512), 99).unwrap(); // never persisted
         mem.crash(3, 2);
         // Old mapping is gone.
-        assert!(mem.read_u64(base).is_err() || {
-            // (unless ASLR landed a new region there, which map_frames below
-            // would make visible; either way the *old* translation is dead)
-            true
-        });
+        assert!(
+            mem.read_u64(base).is_err() || {
+                // (unless ASLR landed a new region there, which map_frames below
+                // would make visible; either way the *old* translation is dead)
+                true
+            }
+        );
         let nb = mem.map_frames(&frames).unwrap();
         assert_eq!(mem.read_u64(nb).unwrap(), 41, "persisted data survives");
     }

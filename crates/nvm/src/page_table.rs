@@ -113,7 +113,10 @@ mod tests {
         pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x3000));
         assert_eq!(pt.unmap(VirtAddr::new(0x1000)), Some(PhysAddr::new(0x3000)));
         pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x4000));
-        assert_eq!(pt.frame_of(VirtAddr::new(0x1fff)), Some(PhysAddr::new(0x4000)));
+        assert_eq!(
+            pt.frame_of(VirtAddr::new(0x1fff)),
+            Some(PhysAddr::new(0x4000))
+        );
     }
 
     #[test]
@@ -125,10 +128,15 @@ mod tests {
                 PhysAddr::new((10 + i) * PAGE_BYTES),
             );
         }
-        let frames: Vec<_> = pt.frames_in(VirtAddr::new(PAGE_BYTES), 2 * PAGE_BYTES).collect();
+        let frames: Vec<_> = pt
+            .frames_in(VirtAddr::new(PAGE_BYTES), 2 * PAGE_BYTES)
+            .collect();
         assert_eq!(
             frames,
-            vec![PhysAddr::new(11 * PAGE_BYTES), PhysAddr::new(12 * PAGE_BYTES)]
+            vec![
+                PhysAddr::new(11 * PAGE_BYTES),
+                PhysAddr::new(12 * PAGE_BYTES)
+            ]
         );
     }
 }

@@ -45,7 +45,9 @@ impl Runtime {
         let total = block_total(size);
         self.check_writable(ObjectId::new(pool, 0))?;
         let p = self.pool_of(ObjectId::new(pool, 0))?;
-        self.trace.push(TraceOp::Exec { n: costs::PMALLOC_EXEC });
+        self.trace.push(TraceOp::Exec {
+            n: costs::PMALLOC_EXEC,
+        });
 
         let h = self.direct_ref(pool, 0)?;
         // First-fit walk of the free list.
@@ -104,7 +106,9 @@ impl Runtime {
     pub fn pfree(&mut self, oid: ObjectId) -> Result<(), PmemError> {
         self.check_writable(oid)?;
         let p = self.pool_of(oid)?;
-        self.trace.push(TraceOp::Exec { n: costs::PFREE_EXEC });
+        self.trace.push(TraceOp::Exec {
+            n: costs::PFREE_EXEC,
+        });
         let data_start = p.data_start();
         if oid.offset() < data_start + BLOCK_HEADER_BYTES {
             return Err(PmemError::BadFree(oid));
@@ -205,10 +209,7 @@ mod tests {
     fn bad_free_detected() {
         let (mut rt, pool) = rt();
         let a = rt.pmalloc(pool, 32).unwrap();
-        assert!(matches!(
-            rt.pfree(a.add(8)),
-            Err(PmemError::BadFree(_))
-        ));
+        assert!(matches!(rt.pfree(a.add(8)), Err(PmemError::BadFree(_))));
         assert!(matches!(
             rt.pfree(poat_core::ObjectId::new(pool, 4)),
             Err(PmemError::BadFree(_))

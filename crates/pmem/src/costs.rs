@@ -88,8 +88,8 @@ mod tests {
         // Hit-path prefix runs first (checks the predictor), then the look-up.
         let prefix = (HIT_PRE_EXEC + HIT_GLOBAL_LOADS) as f64; // 8: no post-exec on miss
         let per_probe = (PROBE_LOADS + PROBE_EXEC) as f64;
-        let fixed = (MISS_HASH_EXEC + MISS_UPDATE_STORES + MISS_UPDATE_EXEC + MISS_POST_EXEC)
-            as f64;
+        let fixed =
+            (MISS_HASH_EXEC + MISS_UPDATE_STORES + MISS_UPDATE_EXEC + MISS_POST_EXEC) as f64;
         let total = |probes: f64| prefix + fixed + per_probe * probes;
         // Table 2 reports a 77.8–107.3 per-benchmark range, geomean 97.3.
         assert!(total(1.0) > 70.0 && total(1.0) < 110.0, "{}", total(1.0));

@@ -35,6 +35,9 @@ pub enum PmemError {
     BadFree(ObjectId),
     /// A write, allocation, or transaction on a pool opened read-only.
     ReadOnlyPool(u32),
+    /// The software translation table (or hardware POT) cannot hold
+    /// another open pool; raise the capacity in `RuntimeConfig`.
+    XlatTableFull,
 }
 
 impl fmt::Display for PmemError {
@@ -44,7 +47,10 @@ impl fmt::Display for PmemError {
             PmemError::PoolExists(n) => write!(f, "pool {n:?} already exists"),
             PmemError::PoolNotOpen(oid) => write!(f, "pool of {oid} is not open"),
             PmemError::PoolFull { pool, requested } => {
-                write!(f, "pool {pool} cannot satisfy allocation of {requested} bytes")
+                write!(
+                    f,
+                    "pool {pool} cannot satisfy allocation of {requested} bytes"
+                )
             }
             PmemError::InvalidObjectId(oid) => write!(f, "invalid ObjectID {oid}"),
             PmemError::NotInTransaction => write!(f, "no transaction is active"),
@@ -53,6 +59,12 @@ impl fmt::Display for PmemError {
             PmemError::Nvm(e) => write!(f, "memory system: {e}"),
             PmemError::BadFree(oid) => write!(f, "free of non-allocated {oid}"),
             PmemError::ReadOnlyPool(p) => write!(f, "pool {p} is read-only"),
+            PmemError::XlatTableFull => {
+                write!(
+                    f,
+                    "translation table full: too many open pools for the configured capacity"
+                )
+            }
         }
     }
 }
@@ -82,7 +94,10 @@ mod tests {
             PmemError::PoolNotFound("x".into()),
             PmemError::PoolExists("x".into()),
             PmemError::PoolNotOpen(ObjectId::NULL),
-            PmemError::PoolFull { pool: 1, requested: 64 },
+            PmemError::PoolFull {
+                pool: 1,
+                requested: 64,
+            },
             PmemError::InvalidObjectId(ObjectId::NULL),
             PmemError::NotInTransaction,
             PmemError::NestedTransaction,

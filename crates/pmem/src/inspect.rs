@@ -62,7 +62,11 @@ impl PoolReport {
 
 impl fmt::Display for PoolReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "pool {:>4}  {:<20} {:?}", self.pool, self.name, self.mode)?;
+        writeln!(
+            f,
+            "pool {:>4}  {:<20} {:?}",
+            self.pool, self.name, self.mode
+        )?;
         writeln!(
             f,
             "  size {} B, log {} B, root @ {:#x}, bump @ {:#x}",
@@ -263,7 +267,10 @@ mod tests {
         assert!(rep.is_consistent(), "{:?}", rep.problems);
         assert_eq!(rep.live_blocks, 2);
         assert_eq!(rep.free_blocks, 1);
-        assert_eq!(rep.live_bytes + rep.free_bytes, rep.bump - (64 + rep.log_bytes));
+        assert_eq!(
+            rep.live_bytes + rep.free_bytes,
+            rep.bump - (64 + rep.log_bytes)
+        );
     }
 
     #[test]
@@ -318,9 +325,6 @@ mod tests {
             rt.pmalloc(pool, 8),
             Err(PmemError::ReadOnlyPool(_))
         ));
-        assert!(matches!(
-            rt.tx_begin(pool),
-            Err(PmemError::ReadOnlyPool(_))
-        ));
+        assert!(matches!(rt.tx_begin(pool), Err(PmemError::ReadOnlyPool(_))));
     }
 }

@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat-pmem — the NVML-style persistent-object runtime
 //!
 //! A from-scratch reimplementation of the reduced NVM-Library interface the

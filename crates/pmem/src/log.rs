@@ -77,7 +77,9 @@ impl Runtime {
         self.check_writable(ObjectId::new(pool, 0))?;
         let p = self.pool_of(ObjectId::new(pool, 0))?;
         debug_assert!(p.log_bytes > 0, "pool created without a log area");
-        self.trace.push(TraceOp::Exec { n: costs::TX_BEGIN_EXEC });
+        self.trace.push(TraceOp::Exec {
+            n: costs::TX_BEGIN_EXEC,
+        });
         let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
         self.write_u64_at(&log, log_layout::ACTIVE, 1)?;
         self.write_u64_at(&log, log_layout::TAIL, log_layout::RECORDS as u64)?;
@@ -145,7 +147,9 @@ impl Runtime {
             return Ok(());
         }
         self.tx_state()?;
-        self.trace.push(TraceOp::Exec { n: costs::TX_ADD_EXEC });
+        self.trace.push(TraceOp::Exec {
+            n: costs::TX_ADD_EXEC,
+        });
         // Bounds-check the range against its pool.
         let p = self.pool_of(oid)?;
         if oid.offset() as u64 + size as u64 > p.size {
@@ -215,7 +219,9 @@ impl Runtime {
             return Ok(());
         }
         let tx = self.tx.take().ok_or(PmemError::NotInTransaction)?;
-        self.trace.push(TraceOp::Exec { n: costs::TX_END_EXEC });
+        self.trace.push(TraceOp::Exec {
+            n: costs::TX_END_EXEC,
+        });
         for (oid, len) in &tx.data_records {
             self.raw_persist(*oid, *len as u64)?;
         }
@@ -339,7 +345,7 @@ mod tests {
         rt.tx_add_range(oid, 8).unwrap();
         rt.write_u64(oid, 2).unwrap();
         rt.persist(oid, 8).unwrap(); // even if the new value hit media...
-        // no tx_end: crash
+                                     // no tx_end: crash
         for seed in 0..8 {
             let mut rt2 = rt.clone().crash_and_recover(seed).unwrap();
             assert_eq!(rt2.read_u64(oid).unwrap(), 1, "seed {seed}: undo restores");
@@ -411,7 +417,10 @@ mod tests {
     fn tx_ops_outside_transaction_rejected() {
         let (mut rt, pool) = rt();
         let oid = rt.pmalloc(pool, 16).unwrap();
-        assert!(matches!(rt.tx_add_range(oid, 8), Err(PmemError::NotInTransaction)));
+        assert!(matches!(
+            rt.tx_add_range(oid, 8),
+            Err(PmemError::NotInTransaction)
+        ));
         assert!(matches!(rt.tx_pmalloc(8), Err(PmemError::NotInTransaction)));
         assert!(matches!(rt.tx_pfree(oid), Err(PmemError::NotInTransaction)));
         assert!(matches!(rt.tx_end(), Err(PmemError::NotInTransaction)));
@@ -426,10 +435,7 @@ mod tests {
         let pool = r.pool_create("p", 1 << 16).unwrap();
         let oid = r.pmalloc(pool, 4096).unwrap();
         r.tx_begin(pool).unwrap();
-        assert!(matches!(
-            r.tx_add_range(oid, 4096),
-            Err(PmemError::LogFull)
-        ));
+        assert!(matches!(r.tx_add_range(oid, 4096), Err(PmemError::LogFull)));
     }
 
     #[test]

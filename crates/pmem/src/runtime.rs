@@ -258,8 +258,10 @@ impl Runtime {
         let id = self.dir.register(name, size, frames, mode);
         // Map read-write during creation so the header can be formatted;
         // the requested mode takes effect below.
-        self.install_mapping(id, base, size, self.log_bytes(), PoolMode::ReadWrite);
-        self.trace.push(TraceOp::Exec { n: costs::POOL_OPEN_EXEC });
+        self.install_mapping(id, base, size, self.log_bytes(), PoolMode::ReadWrite)?;
+        self.trace.push(TraceOp::Exec {
+            n: costs::POOL_OPEN_EXEC,
+        });
 
         // Format the header through the pool handle (direct path): this
         // cost is identical in BASE and OPT, as in NVML.
@@ -297,7 +299,7 @@ impl Runtime {
         // The log-area size is read from the durable header, not the
         // current config: a pool created with logging keeps its log area.
         // Permissions are re-checked against the directory (Table 1).
-        self.install_mapping(meta.id, base, meta.size, 0, meta.mode);
+        self.install_mapping(meta.id, base, meta.size, 0, meta.mode)?;
         let h = self.direct_ref(meta.id, 0)?;
         let (magic, _) = self.read_u64_at(&h, header::MAGIC)?;
         debug_assert_eq!(magic, POOL_MAGIC, "pool {name} not formatted");
@@ -306,7 +308,9 @@ impl Runtime {
             .get_mut(&meta.id.raw())
             .expect("just installed")
             .log_bytes = log_bytes;
-        self.trace.push(TraceOp::Exec { n: costs::POOL_OPEN_EXEC });
+        self.trace.push(TraceOp::Exec {
+            n: costs::POOL_OPEN_EXEC,
+        });
         self.stats.pools_opened += 1;
         Ok(meta.id)
     }
@@ -318,7 +322,7 @@ impl Runtime {
         size: u64,
         log_bytes: u64,
         mode: PoolMode,
-    ) {
+    ) -> Result<(), PmemError> {
         self.open.insert(
             id.raw(),
             OpenPool {
@@ -329,10 +333,19 @@ impl Runtime {
                 mode,
             },
         );
-        self.pot
-            .insert(id, base)
-            .expect("POT sized for all open pools");
-        self.xlat.insert(id, base);
+        // Both tables are sized from `RuntimeConfig`; running out means
+        // the configuration cannot hold another open pool. Undo the
+        // partial install so the runtime stays consistent.
+        if self.pot.insert(id, base).is_err() {
+            self.open.remove(&id.raw());
+            return Err(PmemError::XlatTableFull);
+        }
+        if let Err(e) = self.xlat.insert(id, base) {
+            self.pot.remove(id);
+            self.open.remove(&id.raw());
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// `pool_close(pool)`: unmaps the pool from the address space. Its
@@ -536,18 +549,19 @@ impl Runtime {
     /// # Errors
     ///
     /// [`PmemError::InvalidObjectId`] if the access leaves the pool.
-    pub fn read_bytes_at(
-        &mut self,
-        r: &PRef,
-        off: u32,
-        buf: &mut [u8],
-    ) -> Result<OpId, PmemError> {
+    pub fn read_bytes_at(&mut self, r: &PRef, off: u32, buf: &mut [u8]) -> Result<OpId, PmemError> {
         let oid = self.check_range(r, off, buf.len() as u32)?;
         let va = r.va.offset(off as u64);
         self.mem.read(va, buf)?;
         let mut last = 0;
         for w in 0..(buf.len() as u64).div_ceil(8) {
-            last = self.emit_access(oid.add((w * 8) as u32), va.offset(w * 8), r.dep, false, r.direct);
+            last = self.emit_access(
+                oid.add((w * 8) as u32),
+                va.offset(w * 8),
+                r.dep,
+                false,
+                r.direct,
+            );
         }
         Ok(last)
     }
@@ -564,7 +578,13 @@ impl Runtime {
         self.mem.write(va, data)?;
         let mut last = 0;
         for w in 0..(data.len() as u64).div_ceil(8) {
-            last = self.emit_access(oid.add((w * 8) as u32), va.offset(w * 8), r.dep, true, r.direct);
+            last = self.emit_access(
+                oid.add((w * 8) as u32),
+                va.offset(w * 8),
+                r.dep,
+                true,
+                r.direct,
+            );
         }
         Ok(last)
     }
@@ -621,12 +641,7 @@ impl Runtime {
     /// Persist through an already-dereferenced handle: the caller holds
     /// the translated pointer (as C library code does after writing), so
     /// no new translation is charged. NTX-gated like all persists.
-    pub(crate) fn persist_at(
-        &mut self,
-        r: &PRef,
-        off: u32,
-        len: u64,
-    ) -> Result<(), PmemError> {
+    pub(crate) fn persist_at(&mut self, r: &PRef, off: u32, len: u64) -> Result<(), PmemError> {
         if !self.cfg.failure_safety || len == 0 {
             return Ok(());
         }
@@ -963,7 +978,10 @@ mod tests {
         rt.write_u64(oid, 3).unwrap();
         rt.pool_delete("gone").unwrap();
         assert!(matches!(rt.read_u64(oid), Err(PmemError::PoolNotOpen(_))));
-        assert!(matches!(rt.pool_open("gone"), Err(PmemError::PoolNotFound(_))));
+        assert!(matches!(
+            rt.pool_open("gone"),
+            Err(PmemError::PoolNotFound(_))
+        ));
         assert!(matches!(
             rt.pool_delete("gone"),
             Err(PmemError::PoolNotFound(_))
@@ -978,8 +996,14 @@ mod tests {
 
     #[test]
     fn pools_remap_at_different_bases_across_runs() {
-        let mut a = Runtime::new(RuntimeConfig { aslr_seed: 1, ..RuntimeConfig::default() });
-        let mut b = Runtime::new(RuntimeConfig { aslr_seed: 2, ..RuntimeConfig::default() });
+        let mut a = Runtime::new(RuntimeConfig {
+            aslr_seed: 1,
+            ..RuntimeConfig::default()
+        });
+        let mut b = Runtime::new(RuntimeConfig {
+            aslr_seed: 2,
+            ..RuntimeConfig::default()
+        });
         let pa = a.pool_create("p", 1 << 16).unwrap();
         let pb = b.pool_create("p", 1 << 16).unwrap();
         assert_eq!(pa, pb);

@@ -153,9 +153,7 @@ impl Trace {
     pub fn push(&mut self, op: TraceOp) -> OpId {
         let id = self.ops.len() as OpId;
         // Coalesce adjacent Exec batches to keep traces compact.
-        if let (TraceOp::Exec { n }, Some(TraceOp::Exec { n: last })) =
-            (&op, self.ops.last_mut())
-        {
+        if let (TraceOp::Exec { n }, Some(TraceOp::Exec { n: last })) = (&op, self.ops.last_mut()) {
             if let Some(sum) = last.checked_add(*n) {
                 *last = sum;
                 return id - 1;
@@ -242,8 +240,14 @@ mod tests {
     #[test]
     fn push_returns_sequential_ids() {
         let mut t = Trace::new();
-        let a = t.push(TraceOp::Load { va: va(1), dep: None });
-        let b = t.push(TraceOp::Store { va: va(2), dep: Some(a) });
+        let a = t.push(TraceOp::Load {
+            va: va(1),
+            dep: None,
+        });
+        let b = t.push(TraceOp::Store {
+            va: va(2),
+            dep: Some(a),
+        });
         assert_eq!(a, 0);
         assert_eq!(b, 1);
     }
@@ -264,14 +268,30 @@ mod tests {
     fn summary_counts_every_kind() {
         let mut t = Trace::new();
         t.push(TraceOp::Exec { n: 10 });
-        t.push(TraceOp::Load { va: va(1), dep: None });
-        t.push(TraceOp::Store { va: va(2), dep: None });
-        t.push(TraceOp::NvLoad { oid: ObjectId::NULL, va: va(3), dep: None });
-        t.push(TraceOp::NvStore { oid: ObjectId::NULL, va: va(4), dep: None });
+        t.push(TraceOp::Load {
+            va: va(1),
+            dep: None,
+        });
+        t.push(TraceOp::Store {
+            va: va(2),
+            dep: None,
+        });
+        t.push(TraceOp::NvLoad {
+            oid: ObjectId::NULL,
+            va: va(3),
+            dep: None,
+        });
+        t.push(TraceOp::NvStore {
+            oid: ObjectId::NULL,
+            va: va(4),
+            dep: None,
+        });
         t.push(TraceOp::Clwb { va: va(5) });
         t.push(TraceOp::Fence);
         t.push(TraceOp::Branch { mispredicted: true });
-        t.push(TraceOp::Branch { mispredicted: false });
+        t.push(TraceOp::Branch {
+            mispredicted: false,
+        });
         let s = t.summary();
         assert_eq!(s.instructions, 18);
         assert_eq!(s.loads, 1);
@@ -286,9 +306,17 @@ mod tests {
 
     #[test]
     fn op_classification() {
-        assert!(TraceOp::Load { va: va(0), dep: None }.is_memory());
-        assert!(TraceOp::NvStore { oid: ObjectId::NULL, va: va(0), dep: None }
-            .is_persistent_access());
+        assert!(TraceOp::Load {
+            va: va(0),
+            dep: None
+        }
+        .is_memory());
+        assert!(TraceOp::NvStore {
+            oid: ObjectId::NULL,
+            va: va(0),
+            dep: None
+        }
+        .is_persistent_access());
         assert!(!TraceOp::Fence.is_memory());
         assert_eq!(TraceOp::Exec { n: 9 }.instructions(), 9);
         assert_eq!(TraceOp::Fence.instructions(), 1);
@@ -296,7 +324,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let t: Trace = vec![TraceOp::Exec { n: 2 }, TraceOp::Fence].into_iter().collect();
+        let t: Trace = vec![TraceOp::Exec { n: 2 }, TraceOp::Fence]
+            .into_iter()
+            .collect();
         assert_eq!(t.summary().instructions, 3);
     }
 }

@@ -163,7 +163,9 @@ pub fn from_bytes(data: &[u8]) -> Result<Trace, TraceDecodeError> {
         // change ids; the encoder writes already-coalesced batches, and
         // pushing a batch after a non-Exec op never merges).
         let op = match tag {
-            0 => TraceOp::Exec { n: buf.get_u32_le() },
+            0 => TraceOp::Exec {
+                n: buf.get_u32_le(),
+            },
             1 => TraceOp::Load {
                 va: VirtAddr::new(buf.get_u64_le()),
                 dep: get_dep(&mut buf),
@@ -182,9 +184,13 @@ pub fn from_bytes(data: &[u8]) -> Result<Trace, TraceDecodeError> {
                 va: VirtAddr::new(buf.get_u64_le()),
                 dep: get_dep(&mut buf),
             },
-            5 => TraceOp::Clwb { va: VirtAddr::new(buf.get_u64_le()) },
+            5 => TraceOp::Clwb {
+                va: VirtAddr::new(buf.get_u64_le()),
+            },
             6 => TraceOp::Fence,
-            _ => TraceOp::Branch { mispredicted: buf.get_u8() != 0 },
+            _ => TraceOp::Branch {
+                mispredicted: buf.get_u8() != 0,
+            },
         };
         trace.push(op);
     }
@@ -254,18 +260,27 @@ mod tests {
 
     #[test]
     fn bad_inputs_rejected() {
-        assert!(matches!(from_bytes(b"short"), Err(TraceDecodeError::Truncated)));
+        assert!(matches!(
+            from_bytes(b"short"),
+            Err(TraceDecodeError::Truncated)
+        ));
         assert!(matches!(
             from_bytes(b"NOTATRACE\0\0\0\0\0\0\0\0"),
             Err(TraceDecodeError::BadMagic)
         ));
         let mut data = to_bytes(&sample_trace()).to_vec();
         data.truncate(data.len() - 3);
-        assert!(matches!(from_bytes(&data), Err(TraceDecodeError::Truncated)));
+        assert!(matches!(
+            from_bytes(&data),
+            Err(TraceDecodeError::Truncated)
+        ));
         // Corrupt a tag byte past the header.
         let mut data = to_bytes(&sample_trace()).to_vec();
         data[16] = 0xEE;
-        assert!(matches!(from_bytes(&data), Err(TraceDecodeError::BadTag(0xEE))));
+        assert!(matches!(
+            from_bytes(&data),
+            Err(TraceDecodeError::BadTag(0xEE))
+        ));
     }
 
     proptest! {

@@ -14,6 +14,7 @@ use poat_core::{ObjectId, PoolId, VirtAddr};
 use poat_telemetry::events::{self, EventKind, TraceDesign};
 
 use crate::costs;
+use crate::error::PmemError;
 use crate::trace::{OpId, Trace, TraceOp};
 
 /// Counters for the software translation path (drives Table 2).
@@ -140,11 +141,12 @@ impl SoftTranslator {
 
     /// Registers a pool mapping (called by `pool_create`/`pool_open`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the table is full — sized from `RuntimeConfig`, this
-    /// indicates a configuration error, mirroring NVML aborting.
-    pub fn insert(&mut self, pool: PoolId, base: VirtAddr) {
+    /// [`PmemError::XlatTableFull`] if the table — sized from
+    /// `RuntimeConfig` — has no free slot; the caller surfaces this as
+    /// a configuration error instead of aborting as NVML would.
+    pub fn insert(&mut self, pool: PoolId, base: VirtAddr) -> Result<(), PmemError> {
         let start = self.hash(pool);
         let n = self.slots.len();
         for i in 0..n {
@@ -152,29 +154,36 @@ impl SoftTranslator {
             match self.slots[idx] {
                 None => {
                     self.slots[idx] = Some((pool, base));
-                    return;
+                    return Ok(());
                 }
                 Some((p, _)) if p == pool => {
                     self.slots[idx] = Some((pool, base));
-                    return;
+                    return Ok(());
                 }
                 _ => {}
             }
         }
-        panic!("software translation table full");
+        Err(PmemError::XlatTableFull)
     }
 
     /// Removes a pool mapping (called by `pool_close`).
     pub fn remove(&mut self, pool: PoolId) {
         // Rebuild without the entry: removal is rare (pool close) and this
         // keeps every remaining probe chain valid without tombstones.
-        let entries: Vec<(PoolId, VirtAddr)> =
-            self.slots.iter().flatten().copied().filter(|(p, _)| *p != pool).collect();
+        let entries: Vec<(PoolId, VirtAddr)> = self
+            .slots
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|(p, _)| *p != pool)
+            .collect();
         for s in &mut self.slots {
             *s = None;
         }
         for (p, b) in entries {
-            self.insert(p, b);
+            self.insert(p, b).expect(
+                "invariant: reinserting fewer entries into the same-size table cannot overflow",
+            );
         }
         if matches!(self.predictor, Some((p, _)) if p == pool) {
             self.predictor = None;
@@ -216,20 +225,36 @@ impl SoftTranslator {
         // Software translation runs at trace-generation time, before any
         // cycle model exists; the trace position stands in for both clocks.
         let at = trace.ops().len() as u64;
-        events::begin_access(EventKind::SoftCall, TraceDesign::Software, at, at, pool.raw());
+        events::begin_access(
+            EventKind::SoftCall,
+            TraceDesign::Software,
+            at,
+            at,
+            pool.raw(),
+        );
         let mut insns = 0u64;
 
         // Prologue + validity check, then the two predictor-global loads.
-        trace.push(TraceOp::Exec { n: costs::HIT_PRE_EXEC });
+        trace.push(TraceOp::Exec {
+            n: costs::HIT_PRE_EXEC,
+        });
         insns += costs::HIT_PRE_EXEC as u64;
-        let g0 = trace.push(TraceOp::Load { va: costs::GLOBALS_VA, dep });
-        let g1 = trace.push(TraceOp::Load { va: costs::GLOBALS_VA.offset(8), dep });
+        let g0 = trace.push(TraceOp::Load {
+            va: costs::GLOBALS_VA,
+            dep,
+        });
+        let g1 = trace.push(TraceOp::Load {
+            va: costs::GLOBALS_VA.offset(8),
+            dep,
+        });
         let _ = g0;
         insns += 2;
 
         if let Some((p, base)) = self.predictor.filter(|_| self.predictor_enabled) {
             if p == pool {
-                trace.push(TraceOp::Exec { n: costs::HIT_POST_EXEC });
+                trace.push(TraceOp::Exec {
+                    n: costs::HIT_POST_EXEC,
+                });
                 insns += costs::HIT_POST_EXEC as u64;
                 self.stats.predictor_hits += 1;
                 self.stats.instructions += insns;
@@ -243,7 +268,9 @@ impl SoftTranslator {
         self.telemetry.predictor_misses.inc();
 
         // Full look-up: hash, probe chain, predictor update.
-        trace.push(TraceOp::Exec { n: costs::MISS_HASH_EXEC });
+        trace.push(TraceOp::Exec {
+            n: costs::MISS_HASH_EXEC,
+        });
         insns += costs::MISS_HASH_EXEC as u64;
 
         let start = self.hash(pool);
@@ -255,8 +282,13 @@ impl SoftTranslator {
             let idx = (start + i) % n;
             let entry_va = costs::XLAT_TABLE_VA.offset(idx as u64 * costs::XLAT_ENTRY_BYTES);
             last_probe_op = trace.push(TraceOp::Load { va: entry_va, dep });
-            trace.push(TraceOp::Load { va: entry_va.offset(8), dep });
-            trace.push(TraceOp::Exec { n: costs::PROBE_EXEC });
+            trace.push(TraceOp::Load {
+                va: entry_va.offset(8),
+                dep,
+            });
+            trace.push(TraceOp::Exec {
+                n: costs::PROBE_EXEC,
+            });
             insns += costs::PROBE_LOADS as u64 + costs::PROBE_EXEC as u64;
             self.stats.probes += 1;
             match self.slots[idx] {
@@ -283,10 +315,20 @@ impl SoftTranslator {
             }
         };
 
-        trace.push(TraceOp::Exec { n: costs::MISS_UPDATE_EXEC });
-        trace.push(TraceOp::Store { va: costs::GLOBALS_VA, dep: None });
-        trace.push(TraceOp::Store { va: costs::GLOBALS_VA.offset(8), dep: None });
-        trace.push(TraceOp::Exec { n: costs::MISS_POST_EXEC });
+        trace.push(TraceOp::Exec {
+            n: costs::MISS_UPDATE_EXEC,
+        });
+        trace.push(TraceOp::Store {
+            va: costs::GLOBALS_VA,
+            dep: None,
+        });
+        trace.push(TraceOp::Store {
+            va: costs::GLOBALS_VA.offset(8),
+            dep: None,
+        });
+        trace.push(TraceOp::Exec {
+            n: costs::MISS_POST_EXEC,
+        });
         insns += costs::MISS_UPDATE_EXEC as u64
             + costs::MISS_UPDATE_STORES as u64
             + costs::MISS_POST_EXEC as u64;
@@ -321,12 +363,15 @@ mod tests {
     #[test]
     fn hit_path_costs_17_instructions() {
         let mut x = SoftTranslator::new(64);
-        x.insert(pool(1), VirtAddr::new(0x1000));
+        x.insert(pool(1), VirtAddr::new(0x1000)).unwrap();
         let mut t = Trace::new();
         // Warm the predictor with one miss, then measure a hit.
-        x.translate(ObjectId::new(pool(1), 0), None, &mut t).unwrap();
+        x.translate(ObjectId::new(pool(1), 0), None, &mut t)
+            .unwrap();
         let before = x.stats().instructions;
-        let (va, _) = x.translate(ObjectId::new(pool(1), 0x20), None, &mut t).unwrap();
+        let (va, _) = x
+            .translate(ObjectId::new(pool(1), 0x20), None, &mut t)
+            .unwrap();
         assert_eq!(va, VirtAddr::new(0x1020));
         assert_eq!(x.stats().instructions - before, 17);
         assert_eq!(x.stats().predictor_hits, 1);
@@ -336,7 +381,7 @@ mod tests {
     fn miss_path_costs_about_97_instructions() {
         let mut x = SoftTranslator::new(64);
         for i in 1..=8 {
-            x.insert(pool(i), VirtAddr::new(i as u64 * 0x1000));
+            x.insert(pool(i), VirtAddr::new(i as u64 * 0x1000)).unwrap();
         }
         let mut t = Trace::new();
         // Alternate pools so every call misses the predictor.
@@ -360,15 +405,17 @@ mod tests {
     fn unknown_pool_returns_none() {
         let mut x = SoftTranslator::new(16);
         let mut t = Trace::new();
-        assert!(x.translate(ObjectId::new(pool(5), 0), None, &mut t).is_none());
+        assert!(x
+            .translate(ObjectId::new(pool(5), 0), None, &mut t)
+            .is_none());
         assert!(x.translate(ObjectId::NULL, None, &mut t).is_none());
     }
 
     #[test]
     fn predictor_tracks_last_pool() {
         let mut x = SoftTranslator::new(16);
-        x.insert(pool(1), VirtAddr::new(0x1000));
-        x.insert(pool(2), VirtAddr::new(0x2000));
+        x.insert(pool(1), VirtAddr::new(0x1000)).unwrap();
+        x.insert(pool(2), VirtAddr::new(0x2000)).unwrap();
         let mut t = Trace::new();
         let a = ObjectId::new(pool(1), 0);
         let b = ObjectId::new(pool(2), 0);
@@ -386,18 +433,22 @@ mod tests {
     #[test]
     fn remove_then_translate_fails() {
         let mut x = SoftTranslator::new(16);
-        x.insert(pool(1), VirtAddr::new(0x1000));
-        x.insert(pool(2), VirtAddr::new(0x2000));
+        x.insert(pool(1), VirtAddr::new(0x1000)).unwrap();
+        x.insert(pool(2), VirtAddr::new(0x2000)).unwrap();
         x.remove(pool(1));
         let mut t = Trace::new();
-        assert!(x.translate(ObjectId::new(pool(1), 0), None, &mut t).is_none());
-        assert!(x.translate(ObjectId::new(pool(2), 0), None, &mut t).is_some());
+        assert!(x
+            .translate(ObjectId::new(pool(1), 0), None, &mut t)
+            .is_none());
+        assert!(x
+            .translate(ObjectId::new(pool(2), 0), None, &mut t)
+            .is_some());
     }
 
     #[test]
     fn emits_real_table_loads() {
         let mut x = SoftTranslator::new(16);
-        x.insert(pool(3), VirtAddr::new(0x3000));
+        x.insert(pool(3), VirtAddr::new(0x3000)).unwrap();
         let mut t = Trace::new();
         x.translate(ObjectId::new(pool(3), 0), None, &mut t);
         let touches_table = t.ops().iter().any(|op| match op {
@@ -410,8 +461,8 @@ mod tests {
     #[test]
     fn reinsert_updates_base() {
         let mut x = SoftTranslator::new(16);
-        x.insert(pool(1), VirtAddr::new(0x1000));
-        x.insert(pool(1), VirtAddr::new(0x9000));
+        x.insert(pool(1), VirtAddr::new(0x1000)).unwrap();
+        x.insert(pool(1), VirtAddr::new(0x9000)).unwrap();
         assert_eq!(x.peek(pool(1)), Some(VirtAddr::new(0x9000)));
     }
 }

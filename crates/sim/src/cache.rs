@@ -55,7 +55,11 @@ impl Cache {
         Cache {
             sets: vec![
                 vec![
-                    Way { tag: 0, valid: false, last_use: 0 };
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        last_use: 0
+                    };
                     cfg.ways as usize
                 ];
                 sets as usize
@@ -81,7 +85,7 @@ impl Cache {
         let victim = set
             .iter_mut()
             .min_by_key(|w| if w.valid { w.last_use } else { 0 })
-            .expect("ways >= 1");
+            .expect("invariant: associativity >= 1, so every set has a way");
         victim.tag = tag;
         victim.valid = true;
         victim.last_use = self.tick;
@@ -101,7 +105,7 @@ impl Cache {
         let victim = set
             .iter_mut()
             .min_by_key(|w| if w.valid { w.last_use } else { 0 })
-            .expect("ways >= 1");
+            .expect("invariant: associativity >= 1, so every set has a way");
         victim.tag = tag;
         victim.valid = true;
         victim.last_use = tick;
@@ -211,7 +215,11 @@ mod tests {
     #[test]
     fn latencies_accumulate_down_the_hierarchy() {
         let mut h = hierarchy();
-        assert_eq!(h.access(0x1000), 3 + 8 + 27 + 120, "cold miss goes to memory");
+        assert_eq!(
+            h.access(0x1000),
+            3 + 8 + 27 + 120,
+            "cold miss goes to memory"
+        );
         assert_eq!(h.access(0x1000), 3, "now L1-resident");
         assert_eq!(h.access(0x1008), 3, "same line");
         assert_eq!(h.access(0x1040), 158, "next line misses");
@@ -231,7 +239,11 @@ mod tests {
 
     #[test]
     fn lru_keeps_recently_used() {
-        let mut c = Cache::new(CacheLevelConfig { capacity: 2 * 64, ways: 2, latency: 1 });
+        let mut c = Cache::new(CacheLevelConfig {
+            capacity: 2 * 64,
+            ways: 2,
+            latency: 1,
+        });
         // 1 set, 2 ways.
         assert!(!c.access(0));
         assert!(!c.access(1));

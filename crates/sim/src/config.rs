@@ -47,9 +47,21 @@ pub struct MemoryConfig {
 impl Default for MemoryConfig {
     fn default() -> Self {
         MemoryConfig {
-            l1d: CacheLevelConfig { capacity: 32 << 10, ways: 8, latency: 3 },
-            l2: CacheLevelConfig { capacity: 256 << 10, ways: 8, latency: 8 },
-            l3: CacheLevelConfig { capacity: 8 << 20, ways: 16, latency: 27 },
+            l1d: CacheLevelConfig {
+                capacity: 32 << 10,
+                ways: 8,
+                latency: 3,
+            },
+            l2: CacheLevelConfig {
+                capacity: 256 << 10,
+                ways: 8,
+                latency: 8,
+            },
+            l3: CacheLevelConfig {
+                capacity: 8 << 20,
+                ways: 16,
+                latency: 27,
+            },
             memory_latency: 120,
             dtlb_entries: 64,
             tlb_miss_penalty: 30,

@@ -100,7 +100,13 @@ pub fn simulate_inorder(
                 }
                 let mut value_latency = l1;
                 if let TraceOp::NvLoad { oid, .. } = *op {
-                    events::begin_access(EventKind::NvLoad, tdesign, instructions, cycles, oid.pool_raw());
+                    events::begin_access(
+                        EventKind::NvLoad,
+                        tdesign,
+                        instructions,
+                        cycles,
+                        oid.pool_raw(),
+                    );
                     let extra = match xlate.translate(oid, va) {
                         TranslateOutcome::Ok { extra_cycles }
                         | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -129,7 +135,13 @@ pub fn simulate_inorder(
                     cycles = cycles.max(complete[d as usize]);
                 }
                 if let TraceOp::NvStore { oid, .. } = *op {
-                    events::begin_access(EventKind::NvStore, tdesign, instructions, cycles, oid.pool_raw());
+                    events::begin_access(
+                        EventKind::NvStore,
+                        tdesign,
+                        instructions,
+                        cycles,
+                        oid.pool_raw(),
+                    );
                     let extra = match xlate.translate(oid, va) {
                         TranslateOutcome::Ok { extra_cycles }
                         | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -207,7 +219,9 @@ mod tests {
     fn mispredicted_branch_costs_penalty() {
         let (_, state) = tiny_workload(TranslationMode::Hardware);
         let mut t = Trace::new();
-        t.push(TraceOp::Branch { mispredicted: false });
+        t.push(TraceOp::Branch {
+            mispredicted: false,
+        });
         t.push(TraceOp::Branch { mispredicted: true });
         let r = simulate_inorder(&t, &state, &SimConfig::default()).unwrap();
         assert_eq!(r.cycles, 1 + 1 + 8);
@@ -219,16 +233,28 @@ mod tests {
         let base = 0x2000_0000_0000u64;
         // Warm a line, then measure same-line loads.
         let mut indep = Trace::new();
-        indep.push(TraceOp::Load { va: VirtAddr::new(base), dep: None });
+        indep.push(TraceOp::Load {
+            va: VirtAddr::new(base),
+            dep: None,
+        });
         for _ in 0..10 {
-            indep.push(TraceOp::Load { va: VirtAddr::new(base), dep: None });
+            indep.push(TraceOp::Load {
+                va: VirtAddr::new(base),
+                dep: None,
+            });
         }
         let r1 = simulate_inorder(&indep, &state, &SimConfig::default()).unwrap();
 
         let mut chain = Trace::new();
-        let mut prev = chain.push(TraceOp::Load { va: VirtAddr::new(base), dep: None });
+        let mut prev = chain.push(TraceOp::Load {
+            va: VirtAddr::new(base),
+            dep: None,
+        });
         for _ in 0..10 {
-            prev = chain.push(TraceOp::Load { va: VirtAddr::new(base), dep: Some(prev) });
+            prev = chain.push(TraceOp::Load {
+                va: VirtAddr::new(base),
+                dep: Some(prev),
+            });
         }
         let r2 = simulate_inorder(&chain, &state, &SimConfig::default()).unwrap();
         assert!(
@@ -314,7 +340,9 @@ mod tests {
     fn clwb_charges_fixed_latency() {
         let (_, state) = tiny_workload(TranslationMode::Hardware);
         let mut t = Trace::new();
-        t.push(TraceOp::Clwb { va: VirtAddr::new(0x2000_0000_0000) });
+        t.push(TraceOp::Clwb {
+            va: VirtAddr::new(0x2000_0000_0000),
+        });
         t.push(TraceOp::Fence);
         let r = simulate_inorder(&t, &state, &SimConfig::default()).unwrap();
         assert_eq!(r.cycles, 100 + 1);

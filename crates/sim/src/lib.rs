@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat-sim — the cycle-level timing simulator
 //!
 //! Stands in for the extended Sniper 6.1 of the paper (§5.1): trace-driven

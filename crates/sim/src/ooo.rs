@@ -88,7 +88,9 @@ pub fn simulate_ooo(
         // Structural hazards: ROB and load/store queues free entries at
         // retirement (in order, so their retire times are monotone).
         while rob_occ + k_rob > rob_size {
-            let (r, c) = rob.pop_front().expect("rob_occ > 0");
+            let (r, c) = rob
+                .pop_front()
+                .expect("invariant: rob_occ > 0 implies the ROB deque is non-empty");
             rob_occ -= c;
             dispatch_block = dispatch_block.max(r);
         }
@@ -96,12 +98,19 @@ pub fn simulate_ooo(
         let is_store = matches!(op, TraceOp::Store { .. } | TraceOp::NvStore { .. });
         if is_load {
             while lq.len() >= lq_size {
-                dispatch_block = dispatch_block.max(lq.pop_front().expect("len>0"));
+                dispatch_block = dispatch_block.max(
+                    lq.pop_front()
+                        .expect("invariant: lq.len() >= lq_size >= 1 inside the loop"),
+                );
             }
         }
         if is_store {
             while sq.len() >= sq_size {
-                dispatch_block = dispatch_block.max(sq.pop_front().expect("len>0").0);
+                dispatch_block = dispatch_block.max(
+                    sq.pop_front()
+                        .expect("invariant: sq.len() >= sq_size >= 1 inside the loop")
+                        .0,
+                );
             }
         }
 
@@ -129,7 +138,11 @@ pub fn simulate_ooo(
                 done
             }
             TraceOp::Load { va, .. } => {
-                let t = if tlb.access(va.raw()) { 0 } else { cfg.mem.tlb_miss_penalty };
+                let t = if tlb.access(va.raw()) {
+                    0
+                } else {
+                    cfg.mem.tlb_miss_penalty
+                };
                 // Store-to-load forwarding: a queued store to the same
                 // word supplies the data without a cache access delay.
                 let fwd = sq.iter().rev().find(|&&(_, w, _)| w == va.raw() / 8);
@@ -143,12 +156,22 @@ pub fn simulate_ooo(
                 }
             }
             TraceOp::Store { va, .. } => {
-                let t = if tlb.access(va.raw()) { 0 } else { cfg.mem.tlb_miss_penalty };
+                let t = if tlb.access(va.raw()) {
+                    0
+                } else {
+                    cfg.mem.tlb_miss_penalty
+                };
                 hier.access(phys_of(pt, va));
                 start + t + cfg.mem.l1d.latency
             }
             TraceOp::NvLoad { oid, va, .. } => {
-                events::begin_access(EventKind::NvLoad, TraceDesign::Pipelined, instructions, start, oid.pool_raw());
+                events::begin_access(
+                    EventKind::NvLoad,
+                    TraceDesign::Pipelined,
+                    instructions,
+                    start,
+                    oid.pool_raw(),
+                );
                 let extra = match xlate.translate(oid, va) {
                     TranslateOutcome::Ok { extra_cycles }
                     | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -157,7 +180,11 @@ pub fn simulate_ooo(
                     // POLB miss: the POT walk blocks address generation.
                     dispatch_block = dispatch_block.max(start + extra);
                 }
-                let t = if tlb.access(va.raw()) { 0 } else { cfg.mem.tlb_miss_penalty };
+                let t = if tlb.access(va.raw()) {
+                    0
+                } else {
+                    cfg.mem.tlb_miss_penalty
+                };
                 // After translation the LSQ holds a virtual address, so
                 // forwarding works across instruction kinds (§4.4).
                 let fwd = sq.iter().rev().find(|&&(_, w, _)| w == va.raw() / 8);
@@ -171,7 +198,13 @@ pub fn simulate_ooo(
                 }
             }
             TraceOp::NvStore { oid, va, .. } => {
-                events::begin_access(EventKind::NvStore, TraceDesign::Pipelined, instructions, start, oid.pool_raw());
+                events::begin_access(
+                    EventKind::NvStore,
+                    TraceDesign::Pipelined,
+                    instructions,
+                    start,
+                    oid.pool_raw(),
+                );
                 let extra = match xlate.translate(oid, va) {
                     TranslateOutcome::Ok { extra_cycles }
                     | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -179,7 +212,11 @@ pub fn simulate_ooo(
                 if extra > hit_extra {
                     dispatch_block = dispatch_block.max(start + extra);
                 }
-                let t = if tlb.access(va.raw()) { 0 } else { cfg.mem.tlb_miss_penalty };
+                let t = if tlb.access(va.raw()) {
+                    0
+                } else {
+                    cfg.mem.tlb_miss_penalty
+                };
                 hier.access(phys_of(pt, va));
                 start + extra + t + cfg.mem.l1d.latency
             }
@@ -240,9 +277,7 @@ mod tests {
     #[test]
     fn parallel_design_rejected() {
         let state = machine();
-        let cfg = SimConfig::with_translation(TranslationConfig::for_design(
-            PolbDesign::Parallel,
-        ));
+        let cfg = SimConfig::with_translation(TranslationConfig::for_design(PolbDesign::Parallel));
         let t = Trace::new();
         assert_eq!(
             simulate_ooo(&t, &state, &cfg),
@@ -270,7 +305,10 @@ mod tests {
 
         let mut indep = Trace::new();
         for i in 0..32 {
-            indep.push(TraceOp::Load { va: VirtAddr::new(base + i * stride), dep: None });
+            indep.push(TraceOp::Load {
+                va: VirtAddr::new(base + i * stride),
+                dep: None,
+            });
         }
         let r_indep = simulate_ooo(&indep, &state, &cfg).unwrap();
 
@@ -316,7 +354,12 @@ mod tests {
         let cfg = SimConfig::default();
         let ino = simulate_inorder(&trace, &state, &cfg).unwrap();
         let ooo = simulate_ooo(&trace, &state, &cfg).unwrap();
-        assert!(ooo.cycles < ino.cycles, "ooo {} < ino {}", ooo.cycles, ino.cycles);
+        assert!(
+            ooo.cycles < ino.cycles,
+            "ooo {} < ino {}",
+            ooo.cycles,
+            ino.cycles
+        );
         assert_eq!(ooo.instructions, ino.instructions);
     }
 
@@ -327,8 +370,12 @@ mod tests {
         let base = 0x2000_0000_0000u64;
         // Two clwbs + fence: clwbs overlap each other, fence waits for both.
         let mut t = Trace::new();
-        t.push(TraceOp::Clwb { va: VirtAddr::new(base) });
-        t.push(TraceOp::Clwb { va: VirtAddr::new(base + 64) });
+        t.push(TraceOp::Clwb {
+            va: VirtAddr::new(base),
+        });
+        t.push(TraceOp::Clwb {
+            va: VirtAddr::new(base + 64),
+        });
         t.push(TraceOp::Fence);
         t.push(TraceOp::Exec { n: 1 });
         let r = simulate_ooo(&t, &state, &cfg).unwrap();
@@ -343,10 +390,17 @@ mod tests {
         let base = 0x2000_0000_0000u64;
         let mut t = Trace::new();
         for i in 0..512u64 {
-            t.push(TraceOp::Load { va: VirtAddr::new(base + i * 8192), dep: None });
+            t.push(TraceOp::Load {
+                va: VirtAddr::new(base + i * 8192),
+                dep: None,
+            });
         }
         let narrow = SimConfig {
-            core: crate::config::CoreConfig { rob_size: 8, lq_size: 4, ..Default::default() },
+            core: crate::config::CoreConfig {
+                rob_size: 8,
+                lq_size: 4,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let wide = SimConfig::default();
@@ -381,7 +435,12 @@ mod tests {
         let mut t2 = Trace::new();
         t2.push(TraceOp::Load { va, dep: None });
         let res2 = simulate_ooo(&t2, &state, &SimConfig::default()).unwrap();
-        assert!(res.cycles < res2.cycles, "{} !< {}", res.cycles, res2.cycles);
+        assert!(
+            res.cycles < res2.cycles,
+            "{} !< {}",
+            res.cycles,
+            res2.cycles
+        );
     }
 
     #[test]
@@ -406,6 +465,9 @@ mod tests {
         .unwrap();
         assert!(normal.cycles >= ideal.cycles);
         let overhead = normal.cycles as f64 / ideal.cycles as f64;
-        assert!(overhead < 2.0, "POLB-hit overhead should be modest: {overhead}");
+        assert!(
+            overhead < 2.0,
+            "POLB-hit overhead should be modest: {overhead}"
+        );
     }
 }

@@ -83,7 +83,10 @@ impl SimResult {
             ("sim.result.polb_misses", self.translation.polb.misses),
             ("sim.result.pot_walks", self.translation.pot_walks),
             ("sim.result.exceptions", self.translation.exceptions),
-            ("sim.result.translation_cycles", self.translation.translation_cycles),
+            (
+                "sim.result.translation_cycles",
+                self.translation.translation_cycles,
+            ),
             ("sim.result.l1d_hits", self.cache.l1d.hits),
             ("sim.result.l1d_misses", self.cache.l1d.misses),
             ("sim.result.l2_hits", self.cache.l2.hits),
@@ -108,8 +111,16 @@ mod tests {
 
     #[test]
     fn ipc_and_speedup() {
-        let a = SimResult { cycles: 100, instructions: 200, ..Default::default() };
-        let b = SimResult { cycles: 50, instructions: 200, ..Default::default() };
+        let a = SimResult {
+            cycles: 100,
+            instructions: 200,
+            ..Default::default()
+        };
+        let b = SimResult {
+            cycles: 50,
+            instructions: 200,
+            ..Default::default()
+        };
         assert_eq!(a.ipc(), 2.0);
         assert_eq!(b.speedup_over(&a), 2.0);
         assert_eq!(SimResult::default().ipc(), 0.0);

@@ -52,7 +52,7 @@ impl Tlb {
                 .entries
                 .iter_mut()
                 .min_by_key(|(_, t)| *t)
-                .expect("capacity > 0");
+                .expect("invariant: capacity > 0, checked in new()");
             *victim = (page, tick);
         }
         false

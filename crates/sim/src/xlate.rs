@@ -82,7 +82,9 @@ impl TranslationUnit {
         if self.polb.translate(oid).is_some() {
             let extra = self.cfg.hit_latency_cycles();
             self.stats.translation_cycles += extra;
-            return TranslateOutcome::Ok { extra_cycles: extra };
+            return TranslateOutcome::Ok {
+                extra_cycles: extra,
+            };
         }
         // POLB miss: hardware POT walk.
         let _walk_span = self.walk_timer.start();
@@ -97,13 +99,17 @@ impl TranslationUnit {
         let Some(pool) = oid.pool() else {
             self.stats.exceptions += 1;
             events::emit(EventKind::Fault, oid.pool_raw(), 0);
-            return TranslateOutcome::Fault { extra_cycles: extra };
+            return TranslateOutcome::Fault {
+                extra_cycles: extra,
+            };
         };
         let walk = self.pot.walk(pool);
         let Some(base) = walk.base else {
             self.stats.exceptions += 1;
             events::emit(EventKind::Fault, oid.pool_raw(), walk.probes);
-            return TranslateOutcome::Fault { extra_cycles: extra };
+            return TranslateOutcome::Fault {
+                extra_cycles: extra,
+            };
         };
         match self.cfg.design {
             PolbDesign::Pipelined => self.polb.fill(oid, base.raw()),
@@ -116,7 +122,9 @@ impl TranslationUnit {
                 self.polb.fill(oid, frame.unwrap_or(va.page_base().raw()));
             }
         }
-        TranslateOutcome::Ok { extra_cycles: extra }
+        TranslateOutcome::Ok {
+            extra_cycles: extra,
+        }
     }
 
     /// Accumulated statistics, with the POLB counters folded in.
@@ -151,7 +159,9 @@ mod tests {
         let mut tu = TranslationUnit::new(TranslationConfig::default(), &state);
         assert_eq!(
             tu.translate(oid, va),
-            TranslateOutcome::Ok { extra_cycles: 3 + 30 },
+            TranslateOutcome::Ok {
+                extra_cycles: 3 + 30
+            },
             "cold access: POLB access + POT walk"
         );
         assert_eq!(
@@ -172,8 +182,14 @@ mod tests {
         let va = va_of(&state, oid);
         let cfg = TranslationConfig::for_design(PolbDesign::Parallel);
         let mut tu = TranslationUnit::new(cfg, &state);
-        assert_eq!(tu.translate(oid, va), TranslateOutcome::Ok { extra_cycles: 60 });
-        assert_eq!(tu.translate(oid, va), TranslateOutcome::Ok { extra_cycles: 0 });
+        assert_eq!(
+            tu.translate(oid, va),
+            TranslateOutcome::Ok { extra_cycles: 60 }
+        );
+        assert_eq!(
+            tu.translate(oid, va),
+            TranslateOutcome::Ok { extra_cycles: 0 }
+        );
     }
 
     #[test]
@@ -210,7 +226,10 @@ mod tests {
         let (state, oid) = state_with_pool();
         let va = va_of(&state, oid);
         let mut tu = TranslationUnit::new(TranslationConfig::default().idealized(), &state);
-        assert_eq!(tu.translate(oid, va), TranslateOutcome::Ok { extra_cycles: 0 });
+        assert_eq!(
+            tu.translate(oid, va),
+            TranslateOutcome::Ok { extra_cycles: 0 }
+        );
         assert_eq!(tu.stats().polb.lookups(), 0, "ideal bypasses the POLB");
     }
 }

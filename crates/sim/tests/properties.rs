@@ -52,7 +52,9 @@ fn build_trace(ops: &[(u8, u32, bool)], oid: ObjectId, state: &MachineState) -> 
                 t.push(TraceOp::Fence);
             }
             _ => {
-                t.push(TraceOp::Branch { mispredicted: chain });
+                t.push(TraceOp::Branch {
+                    mispredicted: chain,
+                });
             }
         }
     }

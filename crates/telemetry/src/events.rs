@@ -214,6 +214,41 @@ pub const MAX_ARG: u32 = (1 << 20) - 1;
 /// One ring slot: sequence word plus three payload words. The sequence
 /// word is zeroed while the payload is being replaced and published last
 /// with release ordering, seqlock-style.
+///
+/// # Soundness audit (why this ring needs no `unsafe`)
+///
+/// The crate `#![forbid(unsafe_code)]`s, so the usual seqlock hazard —
+/// a reader copying a non-atomic payload while a writer scribbles over
+/// it, which is UB and needs `unsafe` plus fences to justify — cannot
+/// arise here by construction: every payload word is its own atomic,
+/// so all concurrent access is a data race only in the benign,
+/// well-defined sense. What is left to audit is *logical* tearing
+/// (an event assembled from two different writes) and these are the
+/// arguments, backed by `tests/ring_stress.rs`:
+///
+/// 1. **A reader never returns a torn event.** `record` publishes in
+///    the order `seq = 0` (release) → payload (relaxed) → `seq = i + 1`
+///    (release); `events` reads `seq` (acquire), the payload, then
+///    `seq` again (acquire) and discards the slot unless both loads saw
+///    `i + 1`. The release/acquire pairing on the *second* check means:
+///    if it still observes `i + 1`, the first store of any later write
+///    (`seq = 0`) had not happened before the payload loads — the
+///    payload words all came from the write that published `i + 1`.
+/// 2. **A stalled writer cannot forge a current event.** Two writers
+///    only ever share a slot across a full ring wrap (distinct
+///    `fetch_add` tickets `i` and `i' = i + k·capacity`). Their
+///    interleaved relaxed payload stores can leave a mixed payload in
+///    memory, but the slot's final `seq` is one of `0`, `i + 1`, or
+///    `i' + 1`, and a reader demands exactly `j + 1` for the unique
+///    ticket `j` of that slot inside the live window `[head − cap,
+///    head)` — a mix under the *older* generation's seq fails the
+///    check and is skipped. The cost is bounded loss (the overwritten
+///    newer event), never corruption; `events` documents the same
+///    "skipped, not guessed" contract.
+/// 3. **`clear` vs. a concurrent writer** is last-store-wins on `seq`:
+///    the racing event either survives the drain or vanishes — both
+///    acceptable for a drain; exactness is only promised when writers
+///    are quiescent.
 #[derive(Debug, Default)]
 struct Slot {
     seq: AtomicU64,
@@ -328,7 +363,8 @@ impl EventRecorder {
         slot.seq.store(0, Ordering::Release);
         slot.instr.store(instr, Ordering::Relaxed);
         slot.cycle.store(cycle, Ordering::Relaxed);
-        slot.packed.store(pack(kind, design, pool, arg), Ordering::Relaxed);
+        slot.packed
+            .store(pack(kind, design, pool, arg), Ordering::Relaxed);
         slot.seq.store(i + 1, Ordering::Release);
         i
     }
@@ -564,8 +600,7 @@ mod tests {
         let b = EventRecorder::new(1024, 4);
         for rec in [&a, &b] {
             for i in 0..100u64 {
-                let ctx =
-                    rec.begin_access(EventKind::NvLoad, TraceDesign::Pipelined, i, i, 1);
+                let ctx = rec.begin_access(EventKind::NvLoad, TraceDesign::Pipelined, i, i, 1);
                 rec.emit(&ctx, EventKind::PolbHit, 1, 0);
             }
         }
@@ -608,7 +643,14 @@ mod tests {
     #[test]
     fn arg_saturates_at_20_bits() {
         let rec = EventRecorder::new(4, 1);
-        rec.record(EventKind::PotWalkEnd, TraceDesign::Pipelined, 0, 0, 1, u32::MAX);
+        rec.record(
+            EventKind::PotWalkEnd,
+            TraceDesign::Pipelined,
+            0,
+            0,
+            1,
+            u32::MAX,
+        );
         assert_eq!(rec.events()[0].arg, MAX_ARG);
     }
 

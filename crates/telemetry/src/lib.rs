@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat-telemetry
 //!
 //! The unified telemetry layer for the POAT reproduction. Every layer of

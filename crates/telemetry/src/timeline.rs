@@ -23,7 +23,12 @@ use serde_json::Value;
 use crate::events::{EventKind, TraceDesign, TraceEvent};
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn s(v: &str) -> Value {
@@ -47,9 +52,7 @@ fn category(kind: EventKind) -> &'static str {
         }
         EventKind::PotWalkBegin | EventKind::PotWalkEnd | EventKind::PageWalk => "pot",
         EventKind::Fault => "fault",
-        EventKind::SoftCall | EventKind::SoftPredictorHit | EventKind::SoftPredictorMiss => {
-            "soft"
-        }
+        EventKind::SoftCall | EventKind::SoftPredictorHit | EventKind::SoftPredictorMiss => "soft",
     }
 }
 
@@ -75,11 +78,21 @@ fn instant(ev: &TraceEvent) -> Value {
 
 fn walk_span(begin: &TraceEvent, end_cycle: u64, probes: u64, faulted: bool) -> Value {
     obj(vec![
-        ("name", s(if faulted { "pot_walk_fault" } else { "pot_walk" })),
+        (
+            "name",
+            s(if faulted {
+                "pot_walk_fault"
+            } else {
+                "pot_walk"
+            }),
+        ),
         ("cat", s("pot")),
         ("ph", s("X")),
         ("ts", Value::U64(begin.cycle)),
-        ("dur", Value::U64(end_cycle.saturating_sub(begin.cycle).max(1))),
+        (
+            "dur",
+            Value::U64(end_cycle.saturating_sub(begin.cycle).max(1)),
+        ),
         ("pid", Value::U64(design_pid(begin.design))),
         ("tid", Value::U64(begin.pool as u64)),
         (
@@ -127,17 +140,10 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     trace_events.push(instant(&stale));
                 }
             }
-            EventKind::PotWalkEnd => {
-                match pending.remove(&(design_pid(ev.design), ev.pool)) {
-                    Some(begin) => trace_events.push(walk_span(
-                        &begin,
-                        ev.cycle,
-                        ev.arg as u64,
-                        false,
-                    )),
-                    None => trace_events.push(instant(ev)),
-                }
-            }
+            EventKind::PotWalkEnd => match pending.remove(&(design_pid(ev.design), ev.pool)) {
+                Some(begin) => trace_events.push(walk_span(&begin, ev.cycle, ev.arg as u64, false)),
+                None => trace_events.push(instant(ev)),
+            },
             EventKind::Fault => {
                 if let Some(begin) = pending.remove(&(design_pid(ev.design), ev.pool)) {
                     trace_events.push(walk_span(&begin, ev.cycle, ev.arg as u64, true));
@@ -399,7 +405,9 @@ mod tests {
         let json = chrome_trace_json(&rec.events());
         let v: Value = serde_json::from_str(&json).unwrap();
         let evs = v["traceEvents"].as_array().unwrap();
-        assert!(evs.iter().any(|e| e["name"].as_str() == Some("pot_walk_fault")));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"].as_str() == Some("pot_walk_fault")));
         assert!(evs.iter().any(|e| e["name"].as_str() == Some("fault")));
     }
 

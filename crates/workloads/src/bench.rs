@@ -273,8 +273,12 @@ mod tests {
     fn hardware_mode_reduces_instruction_count() {
         let mut base = Runtime::new(ExpConfig::Base.runtime_config(1));
         let mut opt = Runtime::new(ExpConfig::Opt.runtime_config(1));
-        Micro::Bst.run_ops(&mut base, Pattern::Random, 3, 100).unwrap();
-        Micro::Bst.run_ops(&mut opt, Pattern::Random, 3, 100).unwrap();
+        Micro::Bst
+            .run_ops(&mut base, Pattern::Random, 3, 100)
+            .unwrap();
+        Micro::Bst
+            .run_ops(&mut opt, Pattern::Random, 3, 100)
+            .unwrap();
         let bi = base.trace().summary().instructions;
         let oi = opt.trace().summary().instructions;
         assert!(

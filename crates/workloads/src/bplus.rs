@@ -117,13 +117,15 @@ impl PersistentBPlusTree {
         }
         if node.leaf {
             for i in 0..n {
-                node.values.push(rt.read_u64_at(&r, VALUES + i as u32 * 8)?.0);
+                node.values
+                    .push(rt.read_u64_at(&r, VALUES + i as u32 * 8)?.0);
             }
             node.next = ObjectId::from_raw(rt.read_u64_at(&r, NEXT)?.0);
         } else {
             for i in 0..=n {
-                node.children
-                    .push(ObjectId::from_raw(rt.read_u64_at(&r, CHILDREN + i as u32 * 8)?.0));
+                node.children.push(ObjectId::from_raw(
+                    rt.read_u64_at(&r, CHILDREN + i as u32 * 8)?.0,
+                ));
             }
         }
         Ok(node)
@@ -331,8 +333,7 @@ impl PersistentBPlusTree {
             let child = node.children[idx];
             let child_node = self.read_node(rt, child, None)?;
             if child_node.keys.len() == MAX_KEYS {
-                let (sep, right_oid) =
-                    self.split_child(rt, log, child, &child_node, alloc_pool)?;
+                let (sep, right_oid) = self.split_child(rt, log, child, &child_node, alloc_pool)?;
                 let mut parent = node;
                 parent.keys.insert(idx, sep);
                 parent.children.insert(idx + 1, right_oid);
@@ -720,7 +721,11 @@ impl PersistentBPlusTree {
         let node = self.read_node(rt, oid, None)?;
         assert!(node.keys.len() <= MAX_KEYS, "node overflow");
         if !is_root {
-            assert!(node.keys.len() >= MIN_KEYS, "node underflow: {}", node.keys.len());
+            assert!(
+                node.keys.len() >= MIN_KEYS,
+                "node underflow: {}",
+                node.keys.len()
+            );
         }
         assert!(node.keys.windows(2).all(|w| w[0] < w[1]), "keys sorted");
         if let Some(lo) = lo {
@@ -737,7 +742,11 @@ impl PersistentBPlusTree {
         let mut heights = Vec::new();
         for (i, &c) in node.children.iter().enumerate() {
             let clo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
-            let chi = if i == node.keys.len() { hi } else { Some(node.keys[i]) };
+            let chi = if i == node.keys.len() {
+                hi
+            } else {
+                Some(node.keys[i])
+            };
             heights.push(self.check_subtree(rt, c, clo, chi, false)?);
         }
         assert!(heights.windows(2).all(|w| w[0] == w[1]), "uniform depth");
@@ -770,8 +779,15 @@ mod tests {
             assert!(t.insert(&mut rt, k, k * 10, pool, &mut rng).unwrap());
         }
         let pool = pools.pool_for(&mut rt, 5).unwrap();
-        assert!(!t.insert(&mut rt, 5, 999, pool, &mut rng).unwrap(), "duplicate");
-        assert_eq!(t.get(&mut rt, 5, &mut rng).unwrap(), Some(50), "not clobbered");
+        assert!(
+            !t.insert(&mut rt, 5, 999, pool, &mut rng).unwrap(),
+            "duplicate"
+        );
+        assert_eq!(
+            t.get(&mut rt, 5, &mut rng).unwrap(),
+            Some(50),
+            "not clobbered"
+        );
         assert_eq!(t.get(&mut rt, 4, &mut rng).unwrap(), None);
         assert!(t.update(&mut rt, 9, 91, &mut rng).unwrap());
         assert!(!t.update(&mut rt, 4, 0, &mut rng).unwrap());
@@ -790,7 +806,12 @@ mod tests {
         }
         let h = t.check_invariants(&mut rt).unwrap();
         assert!(h >= 3, "200 keys at order 7 needs height >= 3, got {h}");
-        let keys: Vec<u64> = t.to_sorted_vec(&mut rt).unwrap().iter().map(|p| p.0).collect();
+        let keys: Vec<u64> = t
+            .to_sorted_vec(&mut rt)
+            .unwrap()
+            .iter()
+            .map(|p| p.0)
+            .collect();
         assert_eq!(keys, (0..200).collect::<Vec<_>>());
     }
 
@@ -807,9 +828,18 @@ mod tests {
                 t.check_invariants(&mut rt).unwrap();
             }
         }
-        assert_eq!(t.remove(&mut rt, 2, &mut rng).unwrap(), None, "already gone");
+        assert_eq!(
+            t.remove(&mut rt, 2, &mut rng).unwrap(),
+            None,
+            "already gone"
+        );
         t.check_invariants(&mut rt).unwrap();
-        let keys: Vec<u64> = t.to_sorted_vec(&mut rt).unwrap().iter().map(|p| p.0).collect();
+        let keys: Vec<u64> = t
+            .to_sorted_vec(&mut rt)
+            .unwrap()
+            .iter()
+            .map(|p| p.0)
+            .collect();
         assert_eq!(keys, (1..100).step_by(2).collect::<Vec<_>>());
     }
 

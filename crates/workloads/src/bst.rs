@@ -254,11 +254,7 @@ impl PersistentBst {
     ///
     /// Propagates access failures.
     pub fn to_sorted_vec(&self, rt: &mut Runtime) -> Result<Vec<u64>, PmemError> {
-        fn walk(
-            rt: &mut Runtime,
-            oid: ObjectId,
-            out: &mut Vec<u64>,
-        ) -> Result<(), PmemError> {
+        fn walk(rt: &mut Runtime, oid: ObjectId, out: &mut Vec<u64>) -> Result<(), PmemError> {
             if oid.is_null() {
                 return Ok(());
             }
@@ -317,7 +313,10 @@ mod tests {
         assert!(t.remove(&mut rt, 10, &mut rng).unwrap(), "leaf");
         assert!(t.remove(&mut rt, 75, &mut rng).unwrap(), "no left child");
         assert!(t.remove(&mut rt, 25, &mut rng).unwrap(), "two children");
-        assert!(t.remove(&mut rt, 50, &mut rng).unwrap(), "root with children");
+        assert!(
+            t.remove(&mut rt, 50, &mut rng).unwrap(),
+            "root with children"
+        );
         assert!(!t.remove(&mut rt, 50, &mut rng).unwrap());
         assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), vec![27, 30, 35]);
     }

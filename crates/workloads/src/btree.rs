@@ -77,8 +77,9 @@ impl PersistentBTree {
         }
         if !node.leaf {
             for i in 0..=n {
-                node.children
-                    .push(ObjectId::from_raw(rt.read_u64_at(&r, CHILDREN + i as u32 * 8)?.0));
+                node.children.push(ObjectId::from_raw(
+                    rt.read_u64_at(&r, CHILDREN + i as u32 * 8)?.0,
+                ));
             }
         }
         Ok(node)
@@ -181,7 +182,11 @@ impl PersistentBTree {
         let mut root = self.root(rt)?;
         if root.is_null() {
             let leaf = self.alloc_node(rt, alloc_pool)?;
-            let node = Node { leaf: true, keys: vec![key], children: Vec::new() };
+            let node = Node {
+                leaf: true,
+                keys: vec![key],
+                children: Vec::new(),
+            };
             self.write_node(rt, None, leaf, &node)?;
             rt.persist(leaf, NODE_BYTES as u64)?;
             log.log(rt, self.root_holder, 8)?;
@@ -299,12 +304,7 @@ impl PersistentBTree {
         Ok(out)
     }
 
-    fn walk(
-        &self,
-        rt: &mut Runtime,
-        oid: ObjectId,
-        out: &mut Vec<u64>,
-    ) -> Result<(), PmemError> {
+    fn walk(&self, rt: &mut Runtime, oid: ObjectId, out: &mut Vec<u64>) -> Result<(), PmemError> {
         let node = self.read_node(rt, oid, None)?;
         if node.leaf {
             out.extend_from_slice(&node.keys);
@@ -358,7 +358,11 @@ impl PersistentBTree {
         let mut heights = Vec::new();
         for (i, &c) in node.children.iter().enumerate() {
             let clo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
-            let chi = if i == node.keys.len() { hi } else { Some(node.keys[i]) };
+            let chi = if i == node.keys.len() {
+                hi
+            } else {
+                Some(node.keys[i])
+            };
             heights.push(self.check_subtree(rt, c, clo, chi)?);
         }
         assert!(heights.windows(2).all(|w| w[0] == w[1]), "uniform depth");
@@ -406,7 +410,10 @@ mod tests {
             }
         }
         assert!(t.check_invariants(&mut rt).unwrap() >= 3);
-        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), (0..300).collect::<Vec<_>>());
+        assert_eq!(
+            t.to_sorted_vec(&mut rt).unwrap(),
+            (0..300).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat-workloads — the paper's evaluation workloads
 //!
 //! From-scratch persistent implementations of the six microbenchmarks of

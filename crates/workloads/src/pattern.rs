@@ -171,9 +171,7 @@ impl PoolSet {
     pub fn pool_for(&mut self, rt: &mut Runtime, key: u64) -> Result<PoolId, PmemError> {
         match self.pattern {
             Pattern::All => Ok(self.fixed[0]),
-            Pattern::Random => {
-                Ok(self.fixed[(key % Pattern::RANDOM_POOLS) as usize])
-            }
+            Pattern::Random => Ok(self.fixed[(key % Pattern::RANDOM_POOLS) as usize]),
             Pattern::Each => {
                 let name = format!("{}-e{}", self.prefix, self.next_each);
                 self.next_each += 1;

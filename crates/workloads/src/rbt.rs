@@ -397,12 +397,7 @@ impl PersistentRbt {
                 self.set(rt, &mut log, zn.right, &[(PARENT, y.raw())])?;
             }
             self.replace_child(rt, &mut log, zn.parent, z, y)?;
-            self.set(
-                rt,
-                &mut log,
-                y,
-                &[(LEFT, zn.left.raw()), (COLOR, zn.color)],
-            )?;
+            self.set(rt, &mut log, y, &[(LEFT, zn.left.raw()), (COLOR, zn.color)])?;
             self.set(rt, &mut log, zn.left, &[(PARENT, y.raw())])?;
         }
 
@@ -529,12 +524,7 @@ impl PersistentRbt {
         Ok(out)
     }
 
-    fn walk(
-        &self,
-        rt: &mut Runtime,
-        oid: ObjectId,
-        out: &mut Vec<u64>,
-    ) -> Result<(), PmemError> {
+    fn walk(&self, rt: &mut Runtime, oid: ObjectId, out: &mut Vec<u64>) -> Result<(), PmemError> {
         if oid.is_null() {
             return Ok(());
         }
@@ -618,7 +608,10 @@ mod tests {
             assert!(t.insert(&mut rt, k, &mut rng).unwrap());
             t.check_invariants(&mut rt).unwrap();
         }
-        assert_eq!(t.to_sorted_vec(&mut rt).unwrap(), (0..64).collect::<Vec<_>>());
+        assert_eq!(
+            t.to_sorted_vec(&mut rt).unwrap(),
+            (0..64).collect::<Vec<_>>()
+        );
         // A balanced 64-node RB tree has black height ≥ 3 (vs a 64-deep list).
         assert!(t.check_invariants(&mut rt).unwrap() >= 3);
     }

@@ -76,7 +76,10 @@ pub struct TpccConfig {
 
 impl Default for TpccConfig {
     fn default() -> Self {
-        TpccConfig { scale: 1.0, seed: 1 }
+        TpccConfig {
+            scale: 1.0,
+            seed: 1,
+        }
     }
 }
 
@@ -171,7 +174,12 @@ impl Table {
         Ok(rec)
     }
 
-    fn lookup(&self, rt: &mut Runtime, key: u64, rng: &mut StdRng) -> Result<Option<ObjectId>, PmemError> {
+    fn lookup(
+        &self,
+        rt: &mut Runtime,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> Result<Option<ObjectId>, PmemError> {
         Ok(self.tree.get(rt, key, rng)?.map(ObjectId::from_raw))
     }
 
@@ -249,8 +257,15 @@ impl Tpcc {
         let meta = rt.pool_create("tpcc-meta", 16 << 10)?;
         let dir = rt.pool_root(meta, 9 * 8)?;
         let table_names = [
-            "warehouse", "district", "customer", "item", "stock", "orders", "new-order",
-            "order-line", "history",
+            "warehouse",
+            "district",
+            "customer",
+            "item",
+            "stock",
+            "orders",
+            "new-order",
+            "order-line",
+            "history",
         ];
         let pools: Vec<PoolId> = match pattern {
             TpccPattern::All => {
@@ -396,17 +411,28 @@ impl Tpcc {
         for (n, &(item, qty)) in items.iter().enumerate() {
             let irec = self.item.lookup(rt, item, &mut rng)?.expect("item exists");
             let price = self.item.field(rt, irec, I_PRICE)?;
-            let srec = self.stock.lookup(rt, item, &mut rng)?.expect("stock exists");
+            let srec = self
+                .stock
+                .lookup(rt, item, &mut rng)?
+                .expect("stock exists");
             let squant = self.stock.field(rt, srec, S_QUANTITY)?;
             let sytd = self.stock.field(rt, srec, S_YTD)?;
             let scnt = self.stock.field(rt, srec, S_ORDER_CNT)?;
-            let new_q = if squant > qty + 10 { squant - qty } else { squant + 91 - qty };
+            let new_q = if squant > qty + 10 {
+                squant - qty
+            } else {
+                squant + 91 - qty
+            };
             self.stock.update_fields(
                 rt,
                 &mut log,
                 srec,
                 24,
-                &[(S_QUANTITY, new_q), (S_YTD, sytd + qty), (S_ORDER_CNT, scnt + 1)],
+                &[
+                    (S_QUANTITY, new_q),
+                    (S_YTD, sytd + qty),
+                    (S_ORDER_CNT, scnt + 1),
+                ],
             )?;
             self.order_line.insert_record(
                 rt,
@@ -484,7 +510,8 @@ impl Tpcc {
             let ol_cnt = self.orders.field(rt, orec, O_OL_CNT)?;
             for n in 1..=ol_cnt {
                 if let Some(olrec) =
-                    self.order_line.lookup(rt, order_line_key(d, o, n), &mut rng)?
+                    self.order_line
+                        .lookup(rt, order_line_key(d, o, n), &mut rng)?
                 {
                     let _ = self.order_line.field(rt, olrec, OL_AMOUNT)?;
                 }
@@ -507,15 +534,19 @@ impl Tpcc {
         rt.tx_begin(self.district.pool)?;
         let mut log = TxLogSet::new();
         self.new_order.tree.remove(rt, key, &mut rng)?;
-        let orec = self.orders.lookup(rt, key, &mut rng)?.expect("order exists");
+        let orec = self
+            .orders
+            .lookup(rt, key, &mut rng)?
+            .expect("order exists");
         let c = self.orders.field(rt, orec, O_C_ID)?;
         let ol_cnt = self.orders.field(rt, orec, O_OL_CNT)?;
         self.orders
             .update_fields(rt, &mut log, orec, 24, &[(O_CARRIER, 7)])?;
         let mut total = 0;
         for n in 1..=ol_cnt {
-            if let Some(olrec) =
-                self.order_line.lookup(rt, order_line_key(d, o, n), &mut rng)?
+            if let Some(olrec) = self
+                .order_line
+                .lookup(rt, order_line_key(d, o, n), &mut rng)?
             {
                 total += self.order_line.field(rt, olrec, OL_AMOUNT)?;
             }
@@ -531,7 +562,10 @@ impl Tpcc {
             &mut log,
             crec,
             32,
-            &[(C_BALANCE, bal.wrapping_add(total)), (C_DELIVERY_CNT, cnt + 1)],
+            &[
+                (C_BALANCE, bal.wrapping_add(total)),
+                (C_DELIVERY_CNT, cnt + 1),
+            ],
         )?;
         rt.tx_end()?;
         Ok(())
@@ -548,7 +582,8 @@ impl Tpcc {
                 let ol_cnt = self.orders.field(rt, orec, O_OL_CNT)?;
                 for n in 1..=ol_cnt {
                     if let Some(olrec) =
-                        self.order_line.lookup(rt, order_line_key(d, o, n), &mut rng)?
+                        self.order_line
+                            .lookup(rt, order_line_key(d, o, n), &mut rng)?
                     {
                         let item = self.order_line.field(rt, olrec, OL_ITEM)?;
                         if let Some(srec) = self.stock.lookup(rt, item, &mut rng)? {
@@ -576,7 +611,10 @@ mod tests {
     use poat_pmem::RuntimeConfig;
 
     fn small() -> TpccConfig {
-        TpccConfig { scale: 0.004, seed: 3 } // 400 items, 30 cust/district
+        TpccConfig {
+            scale: 0.004,
+            seed: 3,
+        } // 400 items, 30 cust/district
     }
 
     #[test]
@@ -587,8 +625,7 @@ mod tests {
         let rep = tpcc.run(&mut rt, 60).unwrap();
         assert_eq!(rep.transactions, 60);
         assert_eq!(
-            rep.new_orders + rep.payments + rep.order_statuses + rep.deliveries
-                + rep.stock_levels,
+            rep.new_orders + rep.payments + rep.order_statuses + rep.deliveries + rep.stock_levels,
             60
         );
         assert!(rep.new_orders > 10, "mix is NewOrder-heavy: {rep:?}");
@@ -643,7 +680,11 @@ mod tests {
         }
         assert_eq!(tpcc.history_seq, seq_before + 5);
         let mut rng = StdRng::seed_from_u64(0);
-        let wrec = tpcc.warehouse.lookup(&mut rt, 1, &mut rng).unwrap().unwrap();
+        let wrec = tpcc
+            .warehouse
+            .lookup(&mut rt, 1, &mut rng)
+            .unwrap()
+            .unwrap();
         assert!(tpcc.warehouse.field(&mut rt, wrec, W_YTD).unwrap() > 0);
     }
 
@@ -680,10 +721,18 @@ mod tests {
         let mut tpcc = Tpcc::setup(&mut rt, TpccPattern::Each, small()).unwrap();
         tpcc.run(&mut rt, 20).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        let wrec = tpcc.warehouse.lookup(&mut rt, 1, &mut rng).unwrap().unwrap();
+        let wrec = tpcc
+            .warehouse
+            .lookup(&mut rt, 1, &mut rng)
+            .unwrap()
+            .unwrap();
         let ytd = tpcc.warehouse.field(&mut rt, wrec, W_YTD).unwrap();
         let mut rt2 = rt.crash_and_recover(23).unwrap();
-        let wrec2 = tpcc.warehouse.lookup(&mut rt2, 1, &mut rng).unwrap().unwrap();
+        let wrec2 = tpcc
+            .warehouse
+            .lookup(&mut rt2, 1, &mut rng)
+            .unwrap()
+            .unwrap();
         assert_eq!(tpcc.warehouse.field(&mut rt2, wrec2, W_YTD).unwrap(), ytd);
     }
 }

@@ -83,7 +83,11 @@ mod tests {
         set.log(&mut rt, oid, 16).unwrap();
         let clwbs_after_first = rt.trace().summary().clwbs;
         set.log(&mut rt, oid, 16).unwrap();
-        assert_eq!(rt.trace().summary().clwbs, clwbs_after_first, "second log is a no-op");
+        assert_eq!(
+            rt.trace().summary().clwbs,
+            clwbs_after_first,
+            "second log is a no-op"
+        );
         rt.tx_end().unwrap();
     }
 }

@@ -22,7 +22,11 @@ fn configs() -> impl Strategy<Value = (ExpConfig, Pattern)> {
             Just(ExpConfig::Opt),
             Just(ExpConfig::OptNtx)
         ],
-        prop_oneof![Just(Pattern::All), Just(Pattern::Random), Just(Pattern::Each)],
+        prop_oneof![
+            Just(Pattern::All),
+            Just(Pattern::Random),
+            Just(Pattern::Each)
+        ],
     )
 }
 

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for crash_seed in 0..200u64 {
         // Committed prefix, then a transaction interrupted mid-flight.
-        let mut rt = Runtime::new(RuntimeConfig { aslr_seed: crash_seed, ..Default::default() });
+        let mut rt = Runtime::new(RuntimeConfig {
+            aslr_seed: crash_seed,
+            ..Default::default()
+        });
         let bank = Bank::create(&mut rt)?;
         bank.transfer(&mut rt, 100)?; // committed
 

@@ -70,12 +70,8 @@ fn main() {
     // Sweep the POLB size for the wide stream (Figure 11's mechanism).
     println!("\nPOLB size sweep, 16-pages-per-pool stream:");
     for entries in [1, 4, 32, 128, 512] {
-        let ((_, pm), (_, qm)) = run_stream(
-            &format!("  {entries:>3} entries"),
-            &wide,
-            &pot,
-            entries,
-        );
+        let ((_, pm), (_, qm)) =
+            run_stream(&format!("  {entries:>3} entries"), &wide, &pot, entries);
         let _ = (pm, qm);
     }
     println!("\nPipelined saturates once entries >= pools (32);");

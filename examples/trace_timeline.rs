@@ -27,8 +27,7 @@ fn main() {
     recorder.clear(); // drop trace-generation noise; keep replay only
 
     let pipelined = poat::core::TranslationConfig::default();
-    let parallel =
-        poat::core::TranslationConfig::for_design(poat::core::PolbDesign::Parallel);
+    let parallel = poat::core::TranslationConfig::for_design(poat::core::PolbDesign::Parallel);
     simulate(&opt, Core::InOrder, pipelined);
     simulate(&opt, Core::InOrder, parallel);
     events::set_enabled(false);
@@ -56,5 +55,8 @@ fn main() {
     let path = std::path::Path::new("target").join("trace_timeline.json");
     std::fs::create_dir_all("target").expect("create target dir");
     std::fs::write(&path, chrome_trace_json(&evs)).expect("write trace");
-    println!("\nChrome trace written to {} — open in Perfetto", path.display());
+    println!(
+        "\nChrome trace written to {} — open in Perfetto",
+        path.display()
+    );
 }

@@ -20,6 +20,12 @@ cargo test --workspace --locked --offline -q
 echo "==> cargo doc (no deps, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --locked --offline
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> poat-analyze (architectural invariants, see docs/ANALYZER.md)"
+cargo run -p poat-analyzer --bin poat-analyze --locked --offline -- --deny-warnings
+
 echo "==> repro --trace smoke (offline)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT

@@ -1,3 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
 //! # poat — Persistent Object Address Translation
 //!
 //! A full-system reproduction of *"Hardware Supported Persistent Object

@@ -19,7 +19,11 @@ fn committed_results_json_is_complete() {
     }
     // 6 micro × 3 patterns + 2 TPCC rows.
     assert_eq!(main["fig9a"].as_array().expect("array").len(), 20);
-    assert_eq!(v["table2"].as_array().expect("array").len(), 7, "6 benches + geomean");
+    assert_eq!(
+        v["table2"].as_array().expect("array").len(),
+        7,
+        "6 benches + geomean"
+    );
     assert_eq!(v["fig11"].as_array().expect("array").len(), 6);
     assert_eq!(v["fig12"].as_array().expect("array").len(), 6);
 
@@ -43,8 +47,15 @@ fn experiments_doc_mentions_every_artifact() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("EXPERIMENTS.md");
     let doc = std::fs::read_to_string(&path).expect("EXPERIMENTS.md present");
     for artifact in [
-        "Table 2", "Figure 9(a)", "Figure 9(b)", "Table 8", "Figure 10", "Figure 11",
-        "Table 9", "Figure 12", "Ablations",
+        "Table 2",
+        "Figure 9(a)",
+        "Figure 9(b)",
+        "Table 8",
+        "Figure 10",
+        "Figure 11",
+        "Table 9",
+        "Figure 12",
+        "Ablations",
     ] {
         assert!(doc.contains(artifact), "EXPERIMENTS.md missing {artifact}");
     }

@@ -69,7 +69,11 @@ fn ideal_translation_bounds_both_designs() {
             Core::InOrder,
             TranslationConfig::for_design(PolbDesign::Parallel),
         );
-        let ideal = simulate(&opt, Core::InOrder, TranslationConfig::default().idealized());
+        let ideal = simulate(
+            &opt,
+            Core::InOrder,
+            TranslationConfig::default().idealized(),
+        );
         assert!(ideal.cycles <= pipe.cycles, "{pattern}");
         assert!(ideal.cycles <= par.cycles, "{pattern}");
     }

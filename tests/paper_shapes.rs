@@ -109,7 +109,10 @@ fn table8_miss_rate_shapes() {
     let ll = main.table8.iter().find(|r| r.bench == "LL").unwrap();
     for r in &main.table8 {
         if r.bench != "LL" && r.bench != "TPCC" {
-            assert!(ll.pipe_each >= r.pipe_each, "LL has the worst EACH locality");
+            assert!(
+                ll.pipe_each >= r.pipe_each,
+                "LL has the worst EACH locality"
+            );
         }
     }
 }

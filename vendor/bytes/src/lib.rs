@@ -84,7 +84,10 @@ pub struct Bytes {
 impl Bytes {
     /// Copies a slice into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec(), pos: 0 }
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
     }
 }
 
@@ -128,12 +131,17 @@ pub struct BytesMut {
 impl BytesMut {
     /// An empty builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Freezes the builder into a readable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 
     /// Bytes written so far.

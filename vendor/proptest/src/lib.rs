@@ -46,11 +46,9 @@ pub mod test_runner {
     /// Builds the RNG for a named test: the seed is a stable hash of the
     /// test name, so failures reproduce across runs and machines.
     pub fn rng_for(test_name: &str) -> TestRng {
-        let seed = test_name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
+        let seed = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         TestRng::seed_from_u64(seed)
     }
 
@@ -160,7 +158,10 @@ pub mod strategy {
         ///
         /// Panics if `alts` is empty.
         pub fn new(alts: Vec<BoxedStrategy<T>>) -> Self {
-            assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+            assert!(
+                !alts.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
             Union(alts)
         }
     }

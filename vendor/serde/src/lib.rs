@@ -291,7 +291,11 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_content(&self) -> Content {
-        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
     }
 }
 

@@ -75,7 +75,10 @@ fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
         }
         skip_vis(body, &mut i);
         let TokenTree::Ident(name) = &body[i] else {
-            panic!("serde stand-in derive: expected field name, got {:?}", body[i]);
+            panic!(
+                "serde stand-in derive: expected field name, got {:?}",
+                body[i]
+            );
         };
         fields.push(name.to_string());
         i += 1;
@@ -113,7 +116,10 @@ fn parse_unit_variants(body: &[TokenTree]) -> Vec<String> {
             break;
         }
         let TokenTree::Ident(name) = &body[i] else {
-            panic!("serde stand-in derive: expected variant name, got {:?}", body[i]);
+            panic!(
+                "serde stand-in derive: expected variant name, got {:?}",
+                body[i]
+            );
         };
         variants.push(name.to_string());
         i += 1;
@@ -181,7 +187,10 @@ fn parse_input(input: TokenStream) -> Input {
                     _ => {}
                 }
             }
-            assert!(saw_any, "serde stand-in derive: empty tuple struct `{name}`");
+            assert!(
+                saw_any,
+                "serde stand-in derive: empty tuple struct `{name}`"
+            );
             Shape::Tuple(fields)
         }
         ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(&body_tokens)),

@@ -64,7 +64,10 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
 ///
 /// Malformed JSON, trailing garbage, or a shape mismatch with `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -254,10 +257,7 @@ impl Parser<'_> {
                 }
             }
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            other => Err(Error(format!(
-                "unexpected {other:?} at byte {}",
-                self.pos
-            ))),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
         }
     }
 
@@ -375,10 +375,8 @@ mod tests {
 
     #[test]
     fn round_trip_nested() {
-        let v: Value = from_str(
-            r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "x\ny"}, "d": 1e3}"#,
-        )
-        .unwrap();
+        let v: Value =
+            from_str(r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "x\ny"}, "d": 1e3}"#).unwrap();
         assert_eq!(v["a"][0].as_u64(), Some(1));
         assert_eq!(v["a"][2].as_f64(), Some(3.5));
         assert_eq!(v["b"]["c"].as_str(), Some("x\ny"));
