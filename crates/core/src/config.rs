@@ -97,6 +97,19 @@ impl TranslationConfig {
         }
     }
 
+    /// Cycles a POLB miss costs when the POT walk itself *faults* (no
+    /// mapping for the pool): only the POT-walk share is charged. The
+    /// Parallel design's page-table walk never runs in that case — there
+    /// is no base address to walk from — so charging the full combined
+    /// [`miss_penalty_cycles`](Self::miss_penalty_cycles) would
+    /// overstate the fault path by the page-walk latency.
+    pub fn fault_penalty_cycles(&self) -> u64 {
+        if self.ideal {
+            return 0;
+        }
+        self.pot_walk_cycles
+    }
+
     /// The added latency a POLB *hit* contributes to a memory access.
     ///
     /// Pipelined serializes the POLB in front of the TLB + cache; Parallel

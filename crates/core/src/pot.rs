@@ -94,6 +94,11 @@ impl Pot {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "POT must have at least one entry");
         let registry = poat_telemetry::global();
+        let tele_occupancy = registry.gauge("core.pot.occupancy");
+        // A fresh table has zero live entries; without this, the gauge
+        // keeps the last value published by a *previous* Pot until the
+        // first insert/remove, reporting stale occupancy.
+        tele_occupancy.set(0);
         Pot {
             slots: vec![Slot::Empty; entries],
             live: 0,
@@ -101,7 +106,7 @@ impl Pot {
             total_probes: 0,
             tele_walks: registry.counter("core.pot.walks"),
             tele_probe_len: registry.histogram("core.pot.probe_len"),
-            tele_occupancy: registry.gauge("core.pot.occupancy"),
+            tele_occupancy,
         }
     }
 

@@ -1,0 +1,393 @@
+//! Deterministic crash-point sweep campaigns (`repro crash-sweep`).
+//!
+//! The pmem layer's [`poat_pmem::faultpoint`] engine can crash a
+//! workload at any persist boundary (`clwb` or fence), recover, and
+//! score the post-recovery state against the recovery invariants. This
+//! module turns that into a campaign: it enumerates every crash point a
+//! paper workload crosses, fans the `point × inject-mode × seed` matrix
+//! out over the harness worker pool, and reports one row per workload.
+//! A sweep that reports zero violations has shown that *every* persist
+//! boundary of that workload is crash-consistent under both clean and
+//! torn cache-line semantics.
+//!
+//! `--replay <point>:<seed>` re-executes a single cell of the matrix
+//! deterministically (same workload build, same device crash seed), so
+//! a violating point found by a sweep can be brought back bit-for-bit
+//! under `--trace` for diagnosis. See the crash-sweep section of
+//! `EXPERIMENTS.md` for the crash-point taxonomy and workflow.
+
+use poat_pmem::faultpoint::{self, CrashPoint, PointOutcome};
+use poat_pmem::{InjectMode, PmemError, Runtime};
+use poat_workloads::{ExpConfig, Micro, Pattern};
+
+use crate::report::TextTable;
+use crate::runner::{default_workers, parallel_map, Scale};
+
+/// Fixed ASLR seed for every sweep runtime: crash points are identified
+/// by ordinal, so the build must be bit-reproducible across invocations
+/// (pool *contents* hold ObjectIDs and digest identically regardless,
+/// but determinism also pins the persist-boundary enumeration itself).
+const SWEEP_ASLR_SEED: u64 = 0x5EED_CAFE;
+
+/// Campaign configuration for [`sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Workload sizing (quick = LL+BST × ALL+EACH; full = all six
+    /// microbenchmarks × ALL+EACH, more operations, more seeds).
+    pub scale: Scale,
+    /// Injection modes to run at every point.
+    pub modes: Vec<InjectMode>,
+    /// Device crash seeds to run at every point (which unpersisted
+    /// lines survive is drawn from this seed).
+    pub seeds: Vec<u64>,
+    /// Cap on points per workload (evenly-spaced sample, first and last
+    /// always included). `None` sweeps every enumerated point.
+    pub max_points: Option<usize>,
+    /// Restrict the campaign to one workload.
+    pub workload: Option<(Micro, Pattern)>,
+    /// Worker threads for the fan-out.
+    pub workers: usize,
+}
+
+impl SweepOptions {
+    /// The default campaign at the given scale: clean + torn injection
+    /// at every point (drop-clwb is opt-in — it breaches the persistence
+    /// contract by design and reports detections, not violations).
+    pub fn for_scale(scale: Scale) -> Self {
+        SweepOptions {
+            scale,
+            modes: vec![InjectMode::Clean, InjectMode::Torn],
+            seeds: match scale {
+                Scale::Quick => vec![1, 7],
+                Scale::Full => vec![1, 7, 13],
+            },
+            max_points: None,
+            workload: None,
+            workers: default_workers(),
+        }
+    }
+}
+
+/// One recovery-invariant violation (or engine failure) found by a sweep.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Persist-boundary ordinal that was crashed.
+    pub point: u64,
+    /// Device crash seed in effect.
+    pub seed: u64,
+    /// Injection-mode label (`clean` / `torn` / `drop-clwb`).
+    pub mode: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Per-workload result of a sweep campaign.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// `BENCH/PATTERN` identity.
+    pub workload: String,
+    /// Persist boundaries the workload crosses end-to-end.
+    pub enumerated: usize,
+    /// Points actually crashed (smaller only under `max_points`).
+    pub swept: usize,
+    /// Crash/recover/verify executions (`swept × modes × seeds`).
+    pub runs: usize,
+    /// Runs in which the armed point tripped before completion.
+    pub crashes: u64,
+    /// Violations under clean/torn injection (must be empty).
+    pub violations: Vec<Violation>,
+    /// Verifier detections under the drop-clwb negative control.
+    pub detections: u64,
+    /// Largest undo-record count any single recovery applied.
+    pub max_undo_applied: u64,
+}
+
+/// The workload pairs a campaign covers at each scale.
+pub fn default_pairs(scale: Scale) -> Vec<(Micro, Pattern)> {
+    let benches: &[Micro] = match scale {
+        Scale::Quick => &[Micro::Ll, Micro::Bst],
+        Scale::Full => &Micro::ALL,
+    };
+    let mut pairs = Vec::new();
+    for &b in benches {
+        for p in [Pattern::All, Pattern::Each] {
+            pairs.push((b, p));
+        }
+    }
+    pairs
+}
+
+/// `BENCH/PATTERN` display identity of one sweep workload.
+pub fn workload_label(bench: Micro, pattern: Pattern) -> String {
+    format!("{}/{}", bench.abbrev(), pattern.label())
+}
+
+/// Parses `BENCH:PATTERN` (e.g. `LL:ALL`, `BST:EACH`) as given to
+/// `--workload`.
+pub fn parse_workload(s: &str) -> Option<(Micro, Pattern)> {
+    let (b, p) = s.split_once(':')?;
+    let bench = *Micro::ALL
+        .iter()
+        .find(|m| m.abbrev().eq_ignore_ascii_case(b))?;
+    let pattern = *Pattern::ALL
+        .iter()
+        .find(|m| m.label().eq_ignore_ascii_case(p))?;
+    Some((bench, pattern))
+}
+
+/// Parses an `--inject` argument into the mode list.
+pub fn parse_inject(s: &str) -> Option<Vec<InjectMode>> {
+    match s {
+        "clean" => Some(vec![InjectMode::Clean]),
+        "torn" => Some(vec![InjectMode::Torn]),
+        "drop-clwb" => Some(vec![InjectMode::DropClwb]),
+        "all" => Some(vec![
+            InjectMode::Clean,
+            InjectMode::Torn,
+            InjectMode::DropClwb,
+        ]),
+        _ => None,
+    }
+}
+
+/// Operation count per sweep run. Deliberately small: a sweep re-executes
+/// the workload once per (point, mode, seed) cell, so total work scales
+/// with the *square* of the boundary count.
+fn sweep_ops(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 12,
+        Scale::Full => 48,
+    }
+}
+
+/// Deterministic workload RNG seed (key sequence), per workload identity.
+fn sweep_seed(bench: Micro, pattern: Pattern) -> u64 {
+    workload_label(bench, pattern)
+        .bytes()
+        .fold(0xFAu64, |a, c| a.wrapping_mul(31).wrapping_add(c as u64))
+}
+
+fn build_runtime() -> Runtime {
+    Runtime::new(ExpConfig::Base.runtime_config(SWEEP_ASLR_SEED))
+}
+
+fn drive(bench: Micro, pattern: Pattern, scale: Scale, rt: &mut Runtime) -> Result<(), PmemError> {
+    bench
+        .run_ops(rt, pattern, sweep_seed(bench, pattern), sweep_ops(scale))
+        .map(|_| ())
+}
+
+/// Enumerates every persist boundary one sweep workload crosses.
+///
+/// # Errors
+///
+/// Propagates workload failures (the enumeration run does not crash).
+pub fn enumerate(
+    bench: Micro,
+    pattern: Pattern,
+    scale: Scale,
+) -> Result<Vec<CrashPoint>, PmemError> {
+    faultpoint::enumerate_crash_points(build_runtime, |rt| drive(bench, pattern, scale, rt))
+}
+
+/// Crashes one workload at one boundary and scores recovery — one cell
+/// of the sweep matrix, usable standalone.
+///
+/// # Errors
+///
+/// Propagates workload failures other than the injected crash, and
+/// recovery failures.
+pub fn run_point(
+    bench: Micro,
+    pattern: Pattern,
+    scale: Scale,
+    point: u64,
+    seed: u64,
+    mode: InjectMode,
+) -> Result<PointOutcome, PmemError> {
+    faultpoint::run_crash_point(
+        build_runtime,
+        |rt| drive(bench, pattern, scale, rt),
+        point,
+        seed,
+        mode,
+    )
+}
+
+/// Deterministically re-executes one crash point (the `--replay` path):
+/// identical to the sweep's cell for the same `(point, seed, mode)`.
+///
+/// # Errors
+///
+/// Propagates the same failures as [`run_point`].
+pub fn replay(
+    bench: Micro,
+    pattern: Pattern,
+    scale: Scale,
+    point: u64,
+    seed: u64,
+    mode: InjectMode,
+) -> Result<PointOutcome, PmemError> {
+    faultpoint::record_replay();
+    run_point(bench, pattern, scale, point, seed, mode)
+}
+
+/// Evenly-spaced sample of at most `max` points, always keeping the
+/// first and last boundary (pool creation and the final fence).
+fn sample(points: &[CrashPoint], max: Option<usize>) -> Vec<CrashPoint> {
+    match max {
+        Some(m) if m > 0 && m < points.len() => {
+            if m == 1 {
+                return vec![points[points.len() - 1]];
+            }
+            (0..m)
+                .map(|i| points[i * (points.len() - 1) / (m - 1)])
+                .collect()
+        }
+        _ => points.to_vec(),
+    }
+}
+
+/// Runs the full campaign: per workload, every (sampled) crash point
+/// under every mode and seed, fanned out over the worker pool.
+///
+/// # Errors
+///
+/// Propagates enumeration failures. Per-cell failures do not abort the
+/// campaign; they are reported as violations of the affected cell.
+pub fn sweep(opts: &SweepOptions) -> Result<Vec<SweepReport>, PmemError> {
+    let pairs = match opts.workload {
+        Some(p) => vec![p],
+        None => default_pairs(opts.scale),
+    };
+    let mut metas = Vec::new();
+    let mut tasks: Vec<(usize, u64, u64, InjectMode)> = Vec::new();
+    for (wi, &(bench, pattern)) in pairs.iter().enumerate() {
+        let points = enumerate(bench, pattern, opts.scale)?;
+        let swept = sample(&points, opts.max_points);
+        for p in &swept {
+            for &mode in &opts.modes {
+                for &seed in &opts.seeds {
+                    tasks.push((wi, p.index, seed, mode));
+                }
+            }
+        }
+        metas.push((bench, pattern, points.len(), swept.len()));
+    }
+
+    let scale = opts.scale;
+    let metas_ref = &metas;
+    let outcomes = parallel_map(tasks, opts.workers, move |(wi, point, seed, mode)| {
+        let (bench, pattern, ..) = metas_ref[wi];
+        (
+            wi,
+            point,
+            seed,
+            mode,
+            run_point(bench, pattern, scale, point, seed, mode),
+        )
+    });
+
+    let mut reports: Vec<SweepReport> = metas
+        .iter()
+        .map(|&(bench, pattern, enumerated, swept)| SweepReport {
+            workload: workload_label(bench, pattern),
+            enumerated,
+            swept,
+            runs: 0,
+            crashes: 0,
+            violations: Vec::new(),
+            detections: 0,
+            max_undo_applied: 0,
+        })
+        .collect();
+    for (wi, point, seed, mode, outcome) in outcomes {
+        let r = &mut reports[wi];
+        r.runs += 1;
+        match outcome {
+            Ok(out) => {
+                r.crashes += out.tripped as u64;
+                r.max_undo_applied = r.max_undo_applied.max(out.undo_applied);
+                if matches!(mode, InjectMode::DropClwb) {
+                    r.detections += out.violations.len() as u64;
+                } else {
+                    r.violations
+                        .extend(out.violations.into_iter().map(|detail| Violation {
+                            point,
+                            seed,
+                            mode: mode.label(),
+                            detail,
+                        }));
+                }
+            }
+            Err(e) => r.violations.push(Violation {
+                point,
+                seed,
+                mode: mode.label(),
+                detail: format!("engine error: {e}"),
+            }),
+        }
+    }
+    Ok(reports)
+}
+
+/// Total clean/torn violations across all workloads (the campaign's
+/// pass/fail signal).
+pub fn total_violations(reports: &[SweepReport]) -> usize {
+    reports.iter().map(|r| r.violations.len()).sum()
+}
+
+/// Renders the campaign matrix, one row per workload, plus a detail
+/// line per violation (replay instructions included).
+pub fn sweep_text(reports: &[SweepReport]) -> String {
+    let mut t = TextTable::new(
+        "Crash-point sweep (violations must be 0; drop-clwb detections are the negative control)",
+        &[
+            "Workload",
+            "Points",
+            "Swept",
+            "Runs",
+            "Crashes",
+            "Violations",
+            "Detections",
+            "MaxUndo",
+            "FirstFailure",
+        ],
+    );
+    for r in reports {
+        let first = r
+            .violations
+            .first()
+            .map(|v| format!("{}:{} ({})", v.point, v.seed, v.mode))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            r.workload.clone(),
+            r.enumerated.to_string(),
+            r.swept.to_string(),
+            r.runs.to_string(),
+            r.crashes.to_string(),
+            r.violations.len().to_string(),
+            r.detections.to_string(),
+            r.max_undo_applied.to_string(),
+            first,
+        ]);
+    }
+    let mut out = t.render();
+    for r in reports {
+        for v in &r.violations {
+            out.push_str(&format!(
+                "\nVIOLATION {} point {} seed {} [{}]: {}\n  replay: repro crash-sweep --workload {} --inject {} --replay {}:{}",
+                r.workload,
+                v.point,
+                v.seed,
+                v.mode,
+                v.detail,
+                r.workload.replace('/', ":"),
+                v.mode,
+                v.point,
+                v.seed
+            ));
+        }
+    }
+    out
+}

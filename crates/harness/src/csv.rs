@@ -18,6 +18,32 @@ fn write(dir: &Path, name: &str, header: &str, rows: Vec<String>) -> std::io::Re
     Ok(())
 }
 
+/// Renders one text field per RFC 4180: values containing a comma, a
+/// double quote, or a line break are wrapped in double quotes, with
+/// internal quotes doubled. Anything else passes through unchanged, so
+/// the common all-bare files stay byte-identical.
+pub fn field(v: impl std::fmt::Display) -> String {
+    let s = v.to_string();
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s
+    }
+}
+
+/// Renders one numeric field with `prec` decimal places. Non-finite
+/// values (NaN, ±inf — e.g. a speedup over a zero-cycle baseline) render
+/// as the *empty* field: `NaN`/`inf` tokens break most CSV consumers,
+/// and an empty cell is the established "absent" convention in these
+/// files (see the optional Parallel column).
+pub fn num(v: f64, prec: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.prec$}")
+    } else {
+        String::new()
+    }
+}
+
 /// Writes `table2.csv`.
 pub fn table2(dir: &Path, rows: &[Table2Row]) -> std::io::Result<()> {
     write(
@@ -27,8 +53,11 @@ pub fn table2(dir: &Path, rows: &[Table2Row]) -> std::io::Result<()> {
         rows.iter()
             .map(|r| {
                 format!(
-                    "{},{:.2},{:.2},{:.4}",
-                    r.bench, r.insns_all, r.insns_each, r.miss_each
+                    "{},{},{},{}",
+                    field(&r.bench),
+                    num(r.insns_all, 2),
+                    num(r.insns_each, 2),
+                    num(r.miss_each, 4)
                 )
             })
             .collect(),
@@ -43,12 +72,12 @@ fn speedups(dir: &Path, name: &str, rows: &[SpeedupRow]) -> std::io::Result<()> 
         rows.iter()
             .map(|r| {
                 format!(
-                    "{},{},{:.4},{},{:.4}",
-                    r.bench,
-                    r.pattern,
-                    r.pipelined,
-                    r.parallel.map(|p| format!("{p:.4}")).unwrap_or_default(),
-                    r.ideal
+                    "{},{},{},{},{}",
+                    field(&r.bench),
+                    field(&r.pattern),
+                    num(r.pipelined, 4),
+                    r.parallel.map(|p| num(p, 4)).unwrap_or_default(),
+                    num(r.ideal, 4)
                 )
             })
             .collect(),
@@ -67,12 +96,12 @@ pub fn main_results(dir: &Path, m: &MainResults) -> std::io::Result<()> {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{:.4},{},{:.4},{:.4}",
-                    r.bench,
-                    r.par_all,
-                    r.par_random.map(|p| format!("{p:.4}")).unwrap_or_default(),
-                    r.par_each,
-                    r.pipe_each
+                    "{},{},{},{},{}",
+                    field(&r.bench),
+                    num(r.par_all, 4),
+                    r.par_random.map(|p| num(p, 4)).unwrap_or_default(),
+                    num(r.par_each, 4),
+                    num(r.pipe_each, 4)
                 )
             })
             .collect(),
@@ -85,8 +114,12 @@ pub fn main_results(dir: &Path, m: &MainResults) -> std::io::Result<()> {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{},{},{},{:.4}",
-                    r.bench, r.pattern, r.base_instructions, r.opt_instructions, r.reduction
+                    "{},{},{},{},{}",
+                    field(&r.bench),
+                    field(&r.pattern),
+                    r.base_instructions,
+                    r.opt_instructions,
+                    num(r.reduction, 4)
                 )
             })
             .collect(),
@@ -102,8 +135,11 @@ pub fn fig10(dir: &Path, rows: &[Fig10Row]) -> std::io::Result<()> {
         rows.iter()
             .map(|r| {
                 format!(
-                    "{},{},{:.4},{:.4}",
-                    r.bench, r.pattern, r.pipelined, r.parallel
+                    "{},{},{},{}",
+                    field(&r.bench),
+                    field(&r.pattern),
+                    num(r.pipelined, 4),
+                    num(r.parallel, 4)
                 )
             })
             .collect(),
@@ -115,17 +151,18 @@ pub fn fig11(dir: &Path, rows: &[Fig11Row]) -> std::io::Result<()> {
     let mut speed = Vec::new();
     let mut miss = Vec::new();
     for r in rows {
+        let bench = field(&r.bench);
         for (i, &size) in POLB_SIZES.iter().enumerate() {
             speed.push(format!(
-                "{},Pipelined,{size},{:.4}",
-                r.bench, r.pipelined[i]
+                "{bench},Pipelined,{size},{}",
+                num(r.pipelined[i], 4)
             ));
-            speed.push(format!("{},Parallel,{size},{:.4}", r.bench, r.parallel[i]));
+            speed.push(format!("{bench},Parallel,{size},{}", num(r.parallel[i], 4)));
             miss.push(format!(
-                "{},Pipelined,{size},{:.4}",
-                r.bench, r.pipe_miss[i]
+                "{bench},Pipelined,{size},{}",
+                num(r.pipe_miss[i], 4)
             ));
-            miss.push(format!("{},Parallel,{size},{:.4}", r.bench, r.par_miss[i]));
+            miss.push(format!("{bench},Parallel,{size},{}", num(r.par_miss[i], 4)));
         }
     }
     write(dir, "fig11.csv", "bench,design,polb_entries,speedup", speed)?;
@@ -143,7 +180,11 @@ pub fn fig12(dir: &Path, rows: &[Fig12Row]) -> std::io::Result<()> {
     for r in rows {
         for (i, lat) in POT_LATENCIES.iter().enumerate() {
             let lat = lat.map(|l| l.to_string()).unwrap_or_else(|| "ideal".into());
-            out.push(format!("{},{lat},{:.4}", r.bench, r.speedups[i]));
+            out.push(format!(
+                "{},{lat},{}",
+                field(&r.bench),
+                num(r.speedups[i], 4)
+            ));
         }
     }
     write(dir, "fig12.csv", "bench,pot_walk_cycles,speedup", out)
@@ -159,13 +200,13 @@ pub fn ablations(dir: &Path, a: &AblationResults) -> std::io::Result<()> {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{},{},{},{:.4},{:.4}",
-                    r.bench,
-                    r.pattern,
+                    "{},{},{},{},{},{}",
+                    field(&r.bench),
+                    field(&r.pattern),
                     r.base_cycles,
                     r.no_predictor_cycles,
-                    r.slowdown,
-                    r.opt_speedup_vs_nopred
+                    num(r.slowdown, 4),
+                    num(r.opt_speedup_vs_nopred, 4)
                 )
             })
             .collect(),
@@ -173,7 +214,11 @@ pub fn ablations(dir: &Path, a: &AblationResults) -> std::io::Result<()> {
     let mut lat = Vec::new();
     for r in &a.polb_latency {
         for (i, &cy) in crate::ablations::POLB_LATENCIES.iter().enumerate() {
-            lat.push(format!("{},{cy},{:.4}", r.bench, r.speedups[i]));
+            lat.push(format!(
+                "{},{cy},{}",
+                field(&r.bench),
+                num(r.speedups[i], 4)
+            ));
         }
     }
     write(
@@ -190,8 +235,10 @@ pub fn ablations(dir: &Path, a: &AblationResults) -> std::io::Result<()> {
             .iter()
             .map(|r| {
                 format!(
-                    "{},{:.4},{:.4}",
-                    r.bench, r.speedup_no_prefetch, r.speedup_with_prefetch
+                    "{},{},{}",
+                    field(&r.bench),
+                    num(r.speedup_no_prefetch, 4),
+                    num(r.speedup_with_prefetch, 4)
                 )
             })
             .collect(),
@@ -202,7 +249,14 @@ pub fn ablations(dir: &Path, a: &AblationResults) -> std::io::Result<()> {
         "occupancy,mean_probes,max_probes",
         a.pot_occupancy
             .iter()
-            .map(|r| format!("{:.2},{:.4},{}", r.occupancy, r.mean_probes, r.max_probes))
+            .map(|r| {
+                format!(
+                    "{},{},{}",
+                    num(r.occupancy, 2),
+                    num(r.mean_probes, 4),
+                    r.max_probes
+                )
+            })
             .collect(),
     )
 }
@@ -210,12 +264,44 @@ pub fn ablations(dir: &Path, a: &AblationResults) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::SpeedupRow;
     use crate::runner::Scale;
+
+    /// Minimal RFC 4180 parser for one line (no embedded line breaks),
+    /// used to round-trip what the emitters write.
+    fn parse_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if cur.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("poat-csv-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     #[test]
     fn csvs_are_written_and_well_formed() {
-        let dir = std::env::temp_dir().join(format!("poat-csv-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("basic");
         let t2 = crate::experiments::table2(Scale::Quick);
         table2(&dir, &t2).unwrap();
         let content = std::fs::read_to_string(dir.join("table2.csv")).unwrap();
@@ -223,6 +309,60 @@ mod tests {
         assert_eq!(lines.len(), t2.len() + 1);
         let cols = lines[0].split(',').count();
         assert!(lines.iter().all(|l| l.split(',').count() == cols));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn field_quotes_per_rfc4180() {
+        assert_eq!(field("LL"), "LL");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(field("two\nlines"), "\"two\nlines\"");
+        // Round trip through the reference parser.
+        for raw in ["plain", "a,b", "she said \"x,y\"", ""] {
+            assert_eq!(parse_line(&field(raw)), vec![raw.to_string()], "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn num_renders_non_finite_as_empty() {
+        assert_eq!(num(1.25, 4), "1.2500");
+        assert_eq!(num(0.0, 2), "0.00");
+        assert_eq!(num(f64::NAN, 4), "");
+        assert_eq!(num(f64::INFINITY, 4), "");
+        assert_eq!(num(f64::NEG_INFINITY, 4), "");
+    }
+
+    #[test]
+    fn special_bench_names_round_trip_with_stable_column_count() {
+        // A bench name containing a comma and a quote, plus a NaN value:
+        // pre-hardening these produced rows whose naive-split column
+        // count disagreed with the header (or leaked `NaN` tokens).
+        let dir = tmpdir("special");
+        let rows = vec![SpeedupRow {
+            bench: "LL, \"sorted\"".into(),
+            pattern: "EACH".into(),
+            pipelined: 1.5,
+            parallel: Some(f64::NAN),
+            ideal: 2.0,
+        }];
+        main_results(
+            &dir,
+            &crate::experiments::MainResults {
+                fig9a: rows.clone(),
+                fig9b: rows,
+                table8: vec![],
+                instrs: vec![],
+            },
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(dir.join("fig9a.csv")).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        let header = parse_line(lines[0]);
+        let row = parse_line(lines[1]);
+        assert_eq!(row.len(), header.len(), "row: {:?}", lines[1]);
+        assert_eq!(row[0], "LL, \"sorted\"");
+        assert_eq!(row[3], "", "NaN speedup must render as an empty cell");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

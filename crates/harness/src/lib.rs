@@ -18,6 +18,9 @@
 //! Beyond the paper's artifacts, [`ablations`] adds four design-choice
 //! studies (`repro ablations`): the last-value predictor, the POLB access
 //! latency, a next-line prefetcher, and POT occupancy (§8 future work).
+//! [`crash_sweep`] runs deterministic crash-point campaigns over the
+//! microbenchmarks (`repro crash-sweep`), crashing each workload at every
+//! persist boundary and scoring recovery.
 //!
 //! The `repro` binary drives them:
 //!
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod crash_sweep;
 pub mod csv;
 pub mod experiments;
 pub mod report;

@@ -28,7 +28,9 @@ use poat_harness::{ablations, csv, timeline};
 use poat_telemetry::events;
 
 const USAGE: &str = "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
-[--quick] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR]";
+[--quick] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR]\n       \
+repro crash-sweep [--scale quick|full] [--workload BENCH:PATTERN] [--inject clean|torn|drop-clwb|all] \
+[--max-points N] [--replay POINT:SEED] [--metrics PATH] [--trace PATH] [--trace-sample N]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -52,6 +54,16 @@ fn help() -> ! {
          ablations  design-choice studies\n  \
          seeds      seed-sensitivity study\n  \
          all        everything above\n\n\
+         crash-sweep (EXPERIMENTS.md):\n  \
+         crashes each workload at every persist boundary, recovers, and\n  \
+         verifies the recovery invariants; non-zero exit on any violation.\n  \
+         --scale quick|full       workload sizing (default: quick)\n  \
+         --workload BENCH:PATTERN sweep one workload only (e.g. LL:ALL)\n  \
+         --inject MODE            clean | torn | drop-clwb | all\n                           \
+         (default: clean+torn; drop-clwb is the negative control)\n  \
+         --max-points N           evenly-spaced sample of N points per workload\n  \
+         --replay POINT:SEED      re-execute one crash point deterministically\n                           \
+         (requires --workload; combine with --trace)\n\n\
          options:\n  \
          --quick            ~10x smaller workloads (smoke-test scale)\n  \
          --json PATH        write every artifact's rows as JSON\n  \
@@ -79,15 +91,29 @@ fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
 fn phase_latency_text(snapshot: &poat_telemetry::MetricsSnapshot) -> String {
     let mut t = TextTable::new(
         "Phase latency percentiles (ns, log2-bucket estimates)",
-        &["Phase", "Count", "Mean", "p50", "p90", "p99", "Max"],
+        &["Phase", "Run", "Count", "Mean", "p50", "p90", "p99", "Max"],
     );
     let mut any = false;
     for (name, h) in &snapshot.histograms {
-        let Some(phase) = name
-            .strip_prefix("span.")
-            .and_then(|n| n.strip_suffix(".nanos"))
-        else {
+        let Some(rest) = name.strip_prefix("span.") else {
             continue;
+        };
+        // `span.<phase>.nanos` aggregates the whole process; the
+        // run-scoped `span.<phase>.nanos{run=<label>}` series carry one
+        // workload run each (see docs/METRICS.md).
+        let Some(pos) = rest.find(".nanos") else {
+            continue;
+        };
+        let phase = &rest[..pos];
+        let run = match &rest[pos + ".nanos".len()..] {
+            "" => "all",
+            suffix => match suffix
+                .strip_prefix("{run=")
+                .and_then(|s| s.strip_suffix('}'))
+            {
+                Some(label) => label,
+                None => continue,
+            },
         };
         if h.count == 0 {
             continue;
@@ -95,6 +121,7 @@ fn phase_latency_text(snapshot: &poat_telemetry::MetricsSnapshot) -> String {
         any = true;
         t.row(vec![
             phase.to_string(),
+            run.to_string(),
             h.count.to_string(),
             format!("{:.0}", h.mean),
             h.p50.to_string(),
@@ -138,11 +165,177 @@ fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
     out
 }
 
+/// Installs the event recorder for `--trace` and returns the path the
+/// flight-recorder tail will be dumped to on a translation fault.
+fn install_tracing(trace_path: &str, trace_sample: u64) {
+    let rec = events::install(1 << 20, trace_sample);
+    rec.set_flight_path(std::path::PathBuf::from(format!(
+        "{trace_path}.flight.json"
+    )));
+    events::set_enabled(true);
+}
+
+/// Writes the Chrome Trace Format JSON for the events recorded so far.
+fn write_trace(path: &str) {
+    let rec = events::installed().expect("recorder installed above");
+    let evs = rec.events();
+    std::fs::write(path, poat_telemetry::timeline::chrome_trace_json(&evs))
+        .expect("write chrome trace");
+    eprintln!(
+        "trace written to {path} ({} events, 1-in-{} sampling) — open in Perfetto",
+        evs.len(),
+        rec.sample()
+    );
+}
+
+/// The `repro crash-sweep` entry point: parses the subcommand's own
+/// flags, runs a sweep campaign (or a single `--replay` cell), and exits
+/// non-zero iff a clean/torn recovery-invariant violation was found.
+fn crash_sweep_main(mut args: impl Iterator<Item = String>) -> ! {
+    use poat_harness::crash_sweep;
+    use poat_pmem::InjectMode;
+
+    let mut scale = Scale::Quick;
+    let mut inject: Option<Vec<InjectMode>> = None;
+    let mut workload: Option<(poat_workloads::Micro, poat_workloads::Pattern)> = None;
+    let mut max_points: Option<usize> = None;
+    let mut replay: Option<(u64, u64)> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_sample: u64 = 1;
+    let mut metrics_path: Option<String> = None;
+    let bad = |flag: &str, v: &str| -> ! {
+        eprintln!("error: bad value `{v}` for {flag}\n{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => help(),
+            "--quick" => scale = Scale::Quick,
+            "--scale" => {
+                let v = value_of("--scale", &mut args);
+                scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    _ => bad("--scale", &v),
+                };
+            }
+            "--workload" => {
+                let v = value_of("--workload", &mut args);
+                workload =
+                    Some(crash_sweep::parse_workload(&v).unwrap_or_else(|| bad("--workload", &v)));
+            }
+            "--inject" => {
+                let v = value_of("--inject", &mut args);
+                inject = Some(crash_sweep::parse_inject(&v).unwrap_or_else(|| bad("--inject", &v)));
+            }
+            "--max-points" => {
+                let v = value_of("--max-points", &mut args);
+                max_points = Some(v.parse().unwrap_or_else(|_| bad("--max-points", &v)));
+            }
+            "--replay" => {
+                let v = value_of("--replay", &mut args);
+                let parsed = v
+                    .split_once(':')
+                    .and_then(|(p, s)| Some((p.parse().ok()?, s.parse().ok()?)));
+                replay = Some(parsed.unwrap_or_else(|| bad("--replay", &v)));
+            }
+            "--trace" => trace_path = Some(value_of("--trace", &mut args)),
+            "--trace-sample" => {
+                let v = value_of("--trace-sample", &mut args);
+                trace_sample = v.parse().unwrap_or_else(|_| bad("--trace-sample", &v));
+            }
+            "--metrics" => metrics_path = Some(value_of("--metrics", &mut args)),
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = &trace_path {
+        install_tracing(path, trace_sample);
+    }
+    poat_telemetry::global().reset();
+    let started = Instant::now();
+
+    let mut opts = poat_harness::crash_sweep::SweepOptions::for_scale(scale);
+    if let Some(modes) = inject {
+        opts.modes = modes;
+    }
+    opts.workload = workload;
+    opts.max_points = max_points;
+
+    let exit_code = if let Some((point, seed)) = replay {
+        let Some((bench, pattern)) = opts.workload else {
+            eprintln!("error: --replay requires --workload BENCH:PATTERN\n{USAGE}");
+            std::process::exit(2);
+        };
+        let mode = opts.modes.first().copied().unwrap_or_default();
+        match crash_sweep::replay(bench, pattern, scale, point, seed, mode) {
+            Ok(out) => {
+                println!(
+                    "replay {}/{} point {point} seed {seed} [{}]: tripped={} undo_applied={} digest={:016x}",
+                    bench.abbrev(),
+                    pattern.label(),
+                    mode.label(),
+                    out.tripped,
+                    out.undo_applied,
+                    out.digest
+                );
+                for v in &out.violations {
+                    println!("VIOLATION: {v}");
+                }
+                i32::from(!out.violations.is_empty() && mode != InjectMode::DropClwb)
+            }
+            Err(e) => {
+                eprintln!("error: replay failed: {e}");
+                1
+            }
+        }
+    } else {
+        match crash_sweep::sweep(&opts) {
+            Ok(reports) => {
+                println!("{}", crash_sweep::sweep_text(&reports));
+                i32::from(crash_sweep::total_violations(&reports) > 0)
+            }
+            Err(e) => {
+                eprintln!("error: crash sweep failed: {e}");
+                1
+            }
+        }
+    };
+
+    if let Some(path) = &trace_path {
+        write_trace(path);
+    }
+    if let Some(path) = &metrics_path {
+        let scale_label = match scale {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        };
+        let manifest = poat_telemetry::RunManifest::collect("crash-sweep", scale_label, started);
+        std::fs::write(
+            path,
+            poat_telemetry::global().snapshot(manifest).to_json_string(),
+        )
+        .expect("write metrics snapshot");
+        eprintln!("metrics snapshot written to {path}");
+    }
+    eprintln!(
+        "[crash-sweep @ {scale:?}] completed in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    std::process::exit(exit_code);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(artifact) = args.next() else { usage() };
     if matches!(artifact.as_str(), "-h" | "--help" | "help") {
         help();
+    }
+    if artifact == "crash-sweep" {
+        crash_sweep_main(args);
     }
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
@@ -307,15 +500,7 @@ fn main() {
     // The Chrome trace snapshots the artifact run's events; it must be
     // written before the timeline pass, which clears the ring per run.
     if let Some(path) = &trace_path {
-        let rec = events::installed().expect("recorder installed above");
-        let evs = rec.events();
-        std::fs::write(path, poat_telemetry::timeline::chrome_trace_json(&evs))
-            .expect("write chrome trace");
-        eprintln!(
-            "trace written to {path} ({} events, 1-in-{} sampling) — open in Perfetto",
-            evs.len(),
-            rec.sample()
-        );
+        write_trace(path);
     }
     if let Some(dir) = &timeline_dir {
         let rows = timed("timeline", || timeline::collect(scale));

@@ -51,6 +51,9 @@ impl Scale {
 /// the machine state the timing models replay against.
 #[derive(Debug)]
 pub struct WorkloadRun {
+    /// Human-readable `bench/pattern/config` identity of the run; used as
+    /// the `run` label scoping this run's span series (docs/METRICS.md).
+    pub label: String,
     /// The dynamic instruction trace.
     pub trace: Trace,
     /// POT + page-table state for the simulator.
@@ -120,6 +123,8 @@ pub fn run_micro_seeded(
     let mut cfg = config.runtime_config(seed);
     tweak(&mut cfg);
     let mut rt = Runtime::new(cfg);
+    let label = format!("{bench}/{pattern}/{config}");
+    let _scope = poat_telemetry::run_scope(&label);
     let exec_span = poat_telemetry::global().span(poat_telemetry::PHASE_WORKLOAD_EXEC);
     let report = bench
         .run_ops(&mut rt, pattern, seed, scale.ops(bench))
@@ -127,6 +132,7 @@ pub fn run_micro_seeded(
     drop(exec_span);
     let trace = rt.take_trace();
     let run = WorkloadRun {
+        label,
         summary: trace.summary(),
         state: rt.machine_state(),
         xlat: rt.xlat_stats(),
@@ -166,6 +172,8 @@ pub fn run_tpcc(pattern: TpccPattern, config: ExpConfig, scale: Scale) -> Worklo
                      // Reset translation counters so Table 2-style stats cover the
                      // measured phase only.
     let setup_xlat = rt.xlat_stats();
+    let label = format!("TPCC/{pattern}/{config}");
+    let _scope = poat_telemetry::run_scope(&label);
     let exec_span = poat_telemetry::global().span(poat_telemetry::PHASE_WORKLOAD_EXEC);
     tpcc.run(&mut rt, scale.tpcc_transactions())
         .unwrap_or_else(|e| panic!("tpcc run {pattern}/{config}: {e}"));
@@ -178,6 +186,7 @@ pub fn run_tpcc(pattern: TpccPattern, config: ExpConfig, scale: Scale) -> Worklo
     xlat.predictor_misses -= setup_xlat.predictor_misses;
     xlat.probes -= setup_xlat.probes;
     let run = WorkloadRun {
+        label,
         summary: trace.summary(),
         state: rt.machine_state(),
         xlat,
@@ -213,6 +222,10 @@ pub fn simulate(run: &WorkloadRun, core: Core, translation: TranslationConfig) -
 ///
 /// Panics if the combination is unsupported (Parallel on out-of-order).
 pub fn simulate_with(run: &WorkloadRun, core: Core, cfg: SimConfig) -> SimResult {
+    // Simulations fan out over a thread pool; scoping by the run's label
+    // keeps this run's span samples out of every other run's
+    // distribution (the unscoped series still aggregates all of them).
+    let _scope = poat_telemetry::run_scope(&run.label);
     let _sim_span = poat_telemetry::global().span(poat_telemetry::PHASE_POLB_SIM);
     match core {
         Core::InOrder => simulate_inorder(&run.trace, &run.state, &cfg),

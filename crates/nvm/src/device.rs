@@ -42,6 +42,44 @@ pub struct DeviceStats {
     pub fences: u64,
     /// Physical frames currently allocated.
     pub frames_allocated: u64,
+    /// `clwb`s silently dropped by an armed [`FaultPlan`].
+    pub clwbs_dropped: u64,
+    /// Lines that landed partially (torn) during a crash.
+    pub lines_torn: u64,
+}
+
+/// Which kind of persist boundary a crash point sits on.
+///
+/// Every `clwb` and every `fence` is one *persist boundary*; a crash-sweep
+/// campaign crashes the device once after each boundary in turn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// The boundary immediately after a cache-line write-back was issued.
+    Clwb,
+    /// The boundary immediately after an ordering fence committed pending
+    /// write-backs.
+    Fence,
+}
+
+/// A deterministic fault-injection plan armed on the device for one
+/// crash-sweep run ([`NvmDevice::arm_faults`]).
+///
+/// The plan is consumed by the next [`NvmDevice::crash`], which also resets
+/// the boundary counters, so recovery code runs against an unarmed device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Trip [`NvmDevice::crash_pending`] after the Nth persist boundary
+    /// (1-based, counted from arming).
+    pub crash_after: Option<u64>,
+    /// Silently drop the Nth `clwb` (1-based): no snapshot is taken and the
+    /// line stays dirty, modeling a write-back the hardware lost.
+    pub drop_clwb: Option<u64>,
+    /// At crash time, persist in-flight lines at 8-byte-word granularity
+    /// instead of whole lines (the store-atomicity unit real NVMM
+    /// guarantees), so a line can land torn.
+    pub torn_lines: bool,
+    /// Record the [`BoundaryKind`] of every boundary (enumeration runs).
+    pub record_boundaries: bool,
 }
 
 /// Process-global telemetry handles for the `nvm.device.*` series,
@@ -56,6 +94,8 @@ struct DeviceTelemetry {
     clwbs: poat_telemetry::Counter,
     fences: poat_telemetry::Counter,
     crashes: poat_telemetry::Counter,
+    dropped_clwbs: poat_telemetry::Counter,
+    torn_lines: poat_telemetry::Counter,
     frames: poat_telemetry::Gauge,
     read_bytes_hist: poat_telemetry::Histogram,
     write_bytes_hist: poat_telemetry::Histogram,
@@ -72,6 +112,8 @@ impl DeviceTelemetry {
             clwbs: r.counter("nvm.device.clwbs"),
             fences: r.counter("nvm.device.fences"),
             crashes: r.counter("nvm.device.crashes"),
+            dropped_clwbs: r.counter("nvm.device.dropped_clwbs"),
+            torn_lines: r.counter("nvm.device.torn_lines"),
             frames: r.gauge("nvm.device.frames_allocated"),
             read_bytes_hist: r.histogram("nvm.device.read_bytes"),
             write_bytes_hist: r.histogram("nvm.device.write_bytes"),
@@ -114,6 +156,16 @@ pub struct NvmDevice {
     /// Frame allocator: bump pointer plus free list.
     next_frame: u64,
     free_frames: Vec<u64>,
+    /// Armed fault-injection plan (default: no faults).
+    plan: FaultPlan,
+    /// Persist boundaries (clwbs + fences) since the plan was armed.
+    boundaries: u64,
+    /// `clwb`s issued since the plan was armed (for `drop_clwb`).
+    clwb_seq: u64,
+    /// Set once `plan.crash_after` boundaries have passed.
+    tripped: bool,
+    /// Boundary kinds, recorded when `plan.record_boundaries` is set.
+    boundary_log: Vec<BoundaryKind>,
     stats: DeviceStats,
     telemetry: DeviceTelemetry,
 }
@@ -131,8 +183,57 @@ impl NvmDevice {
             pending_lines: HashMap::new(),
             next_frame: 0,
             free_frames: Vec::new(),
+            plan: FaultPlan::default(),
+            boundaries: 0,
+            clwb_seq: 0,
+            tripped: false,
+            boundary_log: Vec::new(),
             stats: DeviceStats::default(),
             telemetry: DeviceTelemetry::new(),
+        }
+    }
+
+    /// Arms a fault-injection plan; boundary counters restart from zero.
+    ///
+    /// The plan stays armed until the next [`crash`](Self::crash) (which
+    /// clears it, so recovery runs unarmed) or the next `arm_faults` call.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.boundaries = 0;
+        self.clwb_seq = 0;
+        self.tripped = false;
+        self.boundary_log.clear();
+    }
+
+    /// The currently armed fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Whether an armed crash point has been reached: the caller should
+    /// stop issuing stores and [`crash`](Self::crash) the device.
+    pub fn crash_pending(&self) -> bool {
+        self.tripped
+    }
+
+    /// Persist boundaries (clwbs + fences) since the plan was armed.
+    pub fn persist_boundaries(&self) -> u64 {
+        self.boundaries
+    }
+
+    /// The recorded boundary-kind sequence (enumeration runs armed with
+    /// [`FaultPlan::record_boundaries`]).
+    pub fn boundary_kinds(&self) -> &[BoundaryKind] {
+        &self.boundary_log
+    }
+
+    fn boundary(&mut self, kind: BoundaryKind) {
+        self.boundaries += 1;
+        if self.plan.record_boundaries {
+            self.boundary_log.push(kind);
+        }
+        if self.plan.crash_after == Some(self.boundaries) {
+            self.tripped = true;
         }
     }
 
@@ -271,11 +372,20 @@ impl NvmDevice {
     pub fn clwb(&mut self, pa: PhysAddr) {
         self.stats.clwbs += 1;
         self.telemetry.clwbs.inc();
-        let line = pa.raw() / CACHE_LINE_BYTES;
-        let mut snap = [0u8; LINE];
-        self.read_line(line, &mut snap);
-        self.pending_lines.insert(line, snap);
-        self.dirty_lines.remove(&line);
+        self.clwb_seq += 1;
+        if self.plan.drop_clwb == Some(self.clwb_seq) {
+            // Injected fault: the write-back never happens; the line stays
+            // dirty and is only eviction-persisted (maybe) at crash time.
+            self.stats.clwbs_dropped += 1;
+            self.telemetry.dropped_clwbs.inc();
+        } else {
+            let line = pa.raw() / CACHE_LINE_BYTES;
+            let mut snap = [0u8; LINE];
+            self.read_line(line, &mut snap);
+            self.pending_lines.insert(line, snap);
+            self.dirty_lines.remove(&line);
+        }
+        self.boundary(BoundaryKind::Clwb);
     }
 
     fn read_line(&mut self, line: u64, buf: &mut [u8; LINE]) {
@@ -305,6 +415,7 @@ impl NvmDevice {
         for (line, data) in pending {
             self.write_durable_line(line, &data);
         }
+        self.boundary(BoundaryKind::Fence);
     }
 
     /// Persists an address range: clwb every covered line, then fence.
@@ -334,13 +445,19 @@ impl NvmDevice {
     /// this call the device contents equal the post-recovery media state.
     pub fn crash(&mut self, seed: u64) {
         self.telemetry.crashes.inc();
+        let torn = self.plan.torn_lines;
         let mut rng = StdRng::seed_from_u64(seed);
-        // Unfenced clwb'ed lines: in-flight; may or may not complete.
-        let pending = std::mem::take(&mut self.pending_lines);
+        // Unfenced clwb'ed lines: in-flight; may or may not complete. The
+        // lines are visited in address order so the outcome is a function of
+        // (contents, seed) alone — hash-map iteration order must not leak
+        // into the durable image, or crash replay would not be bit-for-bit
+        // reproducible across processes.
+        let mut pending: Vec<(u64, [u8; LINE])> = std::mem::take(&mut self.pending_lines)
+            .into_iter()
+            .collect();
+        pending.sort_unstable_by_key(|&(line, _)| line);
         for (line, data) in pending {
-            if rng.gen_bool(0.5) {
-                self.write_durable_line(line, &data);
-            }
+            self.crash_line(&mut rng, line, &data, torn);
         }
         // Dirty lines: may have been evicted at any point, carrying the
         // then-current contents. We conservatively use the latest contents;
@@ -348,14 +465,45 @@ impl NvmDevice {
         // recovery code that only reads whole committed records.
         let dirty: Vec<u64> = std::mem::take(&mut self.dirty_lines).into_iter().collect();
         for line in dirty {
+            let mut snap = [0u8; LINE];
+            self.read_line(line, &mut snap);
+            self.crash_line(&mut rng, line, &snap, torn);
+        }
+        // Volatile state is gone: current := durable image. The fault plan
+        // is consumed too, so recovery code runs against an unarmed device.
+        self.current = self.durable.clone();
+        self.arm_faults(FaultPlan::default());
+    }
+
+    /// Applies one in-flight line's crash outcome: whole-line all-or-nothing
+    /// by default, or per-8-byte-word when the plan tears lines.
+    fn crash_line(&mut self, rng: &mut StdRng, line: u64, data: &[u8; LINE], torn: bool) {
+        if !torn {
             if rng.gen_bool(0.5) {
-                let mut snap = [0u8; LINE];
-                self.read_line(line, &mut snap);
-                self.write_durable_line(line, &snap);
+                self.write_durable_line(line, data);
+            }
+            return;
+        }
+        let words = LINE / 8;
+        let mut landed = 0;
+        for w in 0..words {
+            if rng.gen_bool(0.5) {
+                self.write_durable_word(line, w, &data[w * 8..w * 8 + 8]);
+                landed += 1;
             }
         }
-        // Volatile state is gone: current := durable image.
-        self.current = self.durable.clone();
+        if landed != 0 && landed != words {
+            self.stats.lines_torn += 1;
+            self.telemetry.torn_lines.inc();
+        }
+    }
+
+    fn write_durable_word(&mut self, line: u64, word: usize, bytes: &[u8]) {
+        let addr = line * CACHE_LINE_BYTES + word as u64 * 8;
+        let page = addr / PAGE_BYTES;
+        let off = (addr % PAGE_BYTES) as usize;
+        let p = self.durable.entry(page).or_insert_with(zero_page);
+        p[off..off + 8].copy_from_slice(bytes);
     }
 
     /// Operation counters.
@@ -535,5 +683,120 @@ mod tests {
     fn oob_write_panics() {
         let mut dev = NvmDevice::new(PAGE_BYTES);
         dev.write(PhysAddr::new(PAGE_BYTES - 2), &[0u8; 4]);
+    }
+
+    #[test]
+    fn boundary_counter_trips_at_armed_point() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.arm_faults(FaultPlan {
+            crash_after: Some(3),
+            record_boundaries: true,
+            ..FaultPlan::default()
+        });
+        dev.write_u64(pa, 1);
+        dev.clwb(pa); // boundary 1
+        assert!(!dev.crash_pending());
+        dev.fence(); // boundary 2
+        assert!(!dev.crash_pending());
+        dev.write_u64(pa.offset(64), 2);
+        dev.clwb(pa.offset(64)); // boundary 3: trip
+        assert!(dev.crash_pending());
+        assert_eq!(dev.persist_boundaries(), 3);
+        assert_eq!(
+            dev.boundary_kinds(),
+            &[BoundaryKind::Clwb, BoundaryKind::Fence, BoundaryKind::Clwb]
+        );
+        dev.crash(0);
+        assert!(!dev.crash_pending(), "crash consumes the plan");
+        assert_eq!(dev.fault_plan(), FaultPlan::default());
+        assert_eq!(dev.persist_boundaries(), 0);
+    }
+
+    #[test]
+    fn dropped_clwb_leaves_line_dirty() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.arm_faults(FaultPlan {
+            drop_clwb: Some(1),
+            ..FaultPlan::default()
+        });
+        dev.write_u64(pa, 7);
+        dev.clwb(pa); // dropped
+        dev.fence();
+        assert!(!dev.is_line_clean(pa), "dropped write-back: still dirty");
+        assert_eq!(dev.stats().clwbs_dropped, 1);
+        // A later clwb of the same line is not dropped.
+        dev.clwb(pa);
+        dev.fence();
+        assert!(dev.is_line_clean(pa));
+        for seed in 0..8 {
+            let mut d = dev.clone();
+            d.crash(seed);
+            assert_eq!(d.read_u64(pa), 7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn torn_crash_splits_lines_at_word_granularity() {
+        let mut dev = NvmDevice::new(1 << 16);
+        let pa = dev.alloc_frame().unwrap();
+        dev.write_u64(pa, 0x1111);
+        dev.write_u64(pa.offset(8), 0x2222);
+        dev.clwb(pa); // both words pending in one line
+        let mut torn_seen = false;
+        for seed in 0..64 {
+            let mut d = dev.clone();
+            d.arm_faults(FaultPlan {
+                torn_lines: true,
+                ..FaultPlan::default()
+            });
+            d.crash(seed);
+            let a = d.read_u64(pa);
+            let b = d.read_u64(pa.offset(8));
+            assert!(a == 0x1111 || a == 0, "word-atomic: {a:#x}");
+            assert!(b == 0x2222 || b == 0, "word-atomic: {b:#x}");
+            if (a == 0) != (b == 0) {
+                torn_seen = true;
+                assert!(d.stats().lines_torn >= 1);
+            }
+        }
+        assert!(torn_seen, "some seed must tear the line");
+    }
+
+    #[test]
+    fn crash_outcome_is_independent_of_insertion_order() {
+        // Two devices with identical logical contents but different
+        // write/clwb orders must produce identical durable images for the
+        // same crash seed: the crash RNG is applied in address order, not
+        // hash-map iteration order.
+        let build = |order: &[u64]| {
+            let mut dev = NvmDevice::new(1 << 20);
+            for _ in 0..8 {
+                dev.alloc_frame().unwrap();
+            }
+            for &i in order {
+                let pa = PhysAddr::new(i * 64);
+                dev.write_u64(pa, i + 1);
+                dev.clwb(pa); // all pending, never fenced
+            }
+            dev
+        };
+        let fwd: Vec<u64> = (0..24).collect();
+        let rev: Vec<u64> = (0..24).rev().collect();
+        for seed in 0..16 {
+            let mut a = build(&fwd);
+            let mut b = build(&rev);
+            a.crash(seed);
+            b.crash(seed);
+            for i in 0..24 {
+                let pa = PhysAddr::new(i * 64);
+                assert_eq!(
+                    a.read_u64(pa),
+                    b.read_u64(pa),
+                    "seed {seed} line {i}: crash must be content-deterministic"
+                );
+            }
+        }
     }
 }

@@ -31,7 +31,7 @@ pub mod memory;
 pub mod page_table;
 pub mod vspace;
 
-pub use device::{DeviceStats, NvmDevice};
+pub use device::{BoundaryKind, DeviceStats, FaultPlan, NvmDevice};
 pub use memory::{NvMemory, NvmError};
 pub use page_table::PageTable;
 pub use vspace::VSpace;

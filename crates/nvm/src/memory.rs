@@ -13,7 +13,7 @@ use std::fmt;
 
 use poat_core::{PhysAddr, VirtAddr, PAGE_BYTES};
 
-use crate::device::{DeviceStats, NvmDevice};
+use crate::device::{BoundaryKind, DeviceStats, FaultPlan, NvmDevice};
 use crate::page_table::PageTable;
 use crate::vspace::VSpace;
 
@@ -249,6 +249,28 @@ impl NvMemory {
     /// Device operation counters.
     pub fn device_stats(&self) -> DeviceStats {
         self.device.stats()
+    }
+
+    /// Arms a device [`FaultPlan`] (crash-sweep campaigns); boundary
+    /// counters restart from zero.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.device.arm_faults(plan);
+    }
+
+    /// Whether an armed crash point has been reached (see
+    /// [`NvmDevice::crash_pending`]).
+    pub fn crash_pending(&self) -> bool {
+        self.device.crash_pending()
+    }
+
+    /// Persist boundaries (clwbs + fences) since the plan was armed.
+    pub fn persist_boundaries(&self) -> u64 {
+        self.device.persist_boundaries()
+    }
+
+    /// The recorded boundary-kind sequence (enumeration runs).
+    pub fn boundary_kinds(&self) -> &[BoundaryKind] {
+        self.device.boundary_kinds()
     }
 
     /// Direct access to the page table (used by the timing simulator).

@@ -86,12 +86,17 @@ impl Runtime {
                 requested: size,
             });
         }
+        // The block header must be durable before the bump advance
+        // exposes it: the reverse order can crash with the new bump
+        // durable but the header lost, leaving a corrupt block in the
+        // walkable region. (A crash after the header persist merely
+        // leaves an invisible formatted block past the old bump.)
         let block_off = bump as u32;
-        self.write_u64_at(&h, header::BUMP, bump + total)?;
         let block = self.direct_ref(pool, block_off)?;
         self.write_u64_at(&block, 0, total)?;
-        self.raw_persist_direct(pool, header::BUMP, 8)?;
         self.raw_persist_direct(pool, block_off, 8)?;
+        self.write_u64_at(&h, header::BUMP, bump + total)?;
+        self.raw_persist_direct(pool, header::BUMP, 8)?;
         self.stats.pmallocs += 1;
         Ok(ObjectId::new(pool, block_off + BLOCK_HEADER_BYTES))
     }
@@ -124,14 +129,43 @@ impl Runtime {
             return Err(PmemError::BadFree(oid));
         }
         // Push onto the free list (link through the first payload word).
+        // The link must be durable before the head is even *written*:
+        // while the head line is dirty, any persist boundary may evict it
+        // to media, and a crash that keeps the new head but loses the
+        // link leaves the free list pointing through garbage.
         let h = self.direct_ref(p.id, 0)?;
         let (head, _) = self.read_u64_at(&h, header::FREE_HEAD)?;
         self.write_u64_at(&block, BLOCK_HEADER_BYTES, head)?;
-        self.write_u64_at(&h, header::FREE_HEAD, block_off as u64)?;
         self.raw_persist_direct(p.id, oid.offset(), 8)?;
+        self.write_u64_at(&h, header::FREE_HEAD, block_off as u64)?;
         self.raw_persist_direct(p.id, header::FREE_HEAD, 8)?;
         self.stats.pfrees += 1;
         Ok(())
+    }
+
+    /// Whether the block behind `oid` currently sits on its pool's free
+    /// list (bounded walk). Committed-transaction redo uses this to keep
+    /// deferred frees idempotent across repeated recoveries.
+    pub(crate) fn block_is_free(&mut self, oid: ObjectId) -> Result<bool, PmemError> {
+        let p = self.pool_of(oid)?;
+        if oid.offset() < p.data_start() + BLOCK_HEADER_BYTES {
+            return Err(PmemError::BadFree(oid));
+        }
+        let block_off = (oid.offset() - BLOCK_HEADER_BYTES) as u64;
+        let h = self.direct_ref(p.id, 0)?;
+        let (mut cur, _) = self.read_u64_at(&h, header::FREE_HEAD)?;
+        let max_blocks = p.size / BLOCK_GRANULE + 1;
+        let mut steps = 0u64;
+        while cur != 0 && steps <= max_blocks {
+            if cur == block_off {
+                return Ok(true);
+            }
+            let b = self.direct_ref(p.id, cur as u32)?;
+            let (next, _) = self.read_u64_at(&b, BLOCK_HEADER_BYTES)?;
+            cur = next;
+            steps += 1;
+        }
+        Ok(false)
     }
 }
 

@@ -38,6 +38,12 @@ pub enum PmemError {
     /// The software translation table (or hardware POT) cannot hold
     /// another open pool; raise the capacity in `RuntimeConfig`.
     XlatTableFull,
+    /// `pool_open` found a pool whose creation never committed (the
+    /// header magic was not durable): recovery rolls such pools back.
+    PoolUnformatted(String),
+    /// An armed fault plan tripped at a persist boundary: the simulated
+    /// process "died" here. Crash the device and recover to continue.
+    InjectedCrash,
 }
 
 impl fmt::Display for PmemError {
@@ -65,6 +71,10 @@ impl fmt::Display for PmemError {
                     "translation table full: too many open pools for the configured capacity"
                 )
             }
+            PmemError::PoolUnformatted(n) => {
+                write!(f, "pool {n:?} exists but its creation never committed")
+            }
+            PmemError::InjectedCrash => write!(f, "injected crash point reached"),
         }
     }
 }
@@ -105,6 +115,9 @@ mod tests {
             PmemError::Nvm(NvmError::OutOfMemory),
             PmemError::BadFree(ObjectId::NULL),
             PmemError::ReadOnlyPool(3),
+            PmemError::XlatTableFull,
+            PmemError::PoolUnformatted("x".into()),
+            PmemError::InjectedCrash,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

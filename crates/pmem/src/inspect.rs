@@ -14,7 +14,7 @@ use poat_core::{ObjectId, PoolId};
 
 use crate::alloc::BLOCK_HEADER_BYTES;
 use crate::error::PmemError;
-use crate::pool::{header, log_layout, PoolMode, POOL_MAGIC};
+use crate::pool::{header, log_layout, log_status, PoolMode, POOL_MAGIC};
 use crate::runtime::Runtime;
 
 /// What `inspect_pool` found in one pool.
@@ -158,6 +158,7 @@ impl Runtime {
         }
 
         // Walk all blocks from the data area to the bump pointer.
+        let mut block_offsets = std::collections::HashSet::new();
         let mut live_blocks = 0u64;
         let mut live_bytes = 0u64;
         let mut off = data_start;
@@ -168,6 +169,7 @@ impl Runtime {
                 problems.push(format!("corrupt block header at {off:#x}: size {bsize}"));
                 break;
             }
+            block_offsets.insert(off);
             if !free_offsets.contains(&off) {
                 live_blocks += 1;
                 live_bytes += bsize;
@@ -177,16 +179,36 @@ impl Runtime {
         if off != bump && problems.is_empty() {
             problems.push(format!("block walk ended at {off:#x}, bump is {bump:#x}"));
         }
+        // Cross-checks between the free list, the block walk, and the
+        // root (only meaningful when the walk itself completed): every
+        // free-list entry must be a real block boundary, and the root
+        // payload must start right past a block header — a dangling
+        // ObjectID in either place means crash recovery left garbage.
+        if off == bump {
+            for f in &free_offsets {
+                if !block_offsets.contains(f) {
+                    problems.push(format!("free-list entry {f:#x} is not a block boundary"));
+                }
+            }
+            if root_offset != 0
+                && !block_offsets.contains(&(root_offset - BLOCK_HEADER_BYTES as u64))
+            {
+                problems.push(format!(
+                    "root {root_offset:#x} does not start a block payload"
+                ));
+            }
+        }
 
         // Log state.
         let (mut log_active, mut log_records) = (false, 0u64);
         if log_bytes > 0 {
             let log = self.direct_ref(pool, header::SIZE_BYTES)?;
-            let (active, _) = self.read_u64_at(&log, log_layout::ACTIVE)?;
-            let (tail, _) = self.read_u64_at(&log, log_layout::TAIL)?;
-            log_active = active == 1;
-            if active > 1 {
-                problems.push(format!("log active flag corrupt: {active}"));
+            let (status, _) = self.read_u64_at(&log, log_layout::STATUS)?;
+            let (state, tail) = log_status::decode(status);
+            let tail = tail as u64;
+            log_active = state != log_status::IDLE;
+            if state > log_status::COMMITTED {
+                problems.push(format!("log state corrupt: {state}"));
             }
             if tail != 0 && (tail < log_layout::RECORDS as u64 || tail > log_bytes) {
                 problems.push(format!("log tail {tail:#x} outside log area"));

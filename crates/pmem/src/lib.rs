@@ -44,6 +44,7 @@
 pub mod alloc;
 pub mod costs;
 pub mod error;
+pub mod faultpoint;
 pub mod inspect;
 pub mod log;
 pub mod pool;
@@ -53,7 +54,9 @@ pub mod trace_io;
 pub mod translate;
 
 pub use error::PmemError;
+pub use faultpoint::{CrashPoint, InjectMode, PointOutcome};
 pub use inspect::PoolReport;
+pub use poat_nvm::{BoundaryKind, FaultPlan};
 pub use pool::PoolMode;
 pub use runtime::{MachineState, PRef, Runtime, RuntimeConfig, RuntimeStats, TranslationMode};
 pub use trace::{OpId, Trace, TraceOp, TraceSummary};

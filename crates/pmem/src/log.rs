@@ -9,11 +9,18 @@
 //! 3. `tx_pmalloc` / `tx_pfree` — allocation with an undo record; frees
 //!    are deferred to commit so an abort can keep the data;
 //! 4. `tx_end()` — persists every snapshotted range's current (modified)
-//!    data, performs deferred frees, then truncates the log. The log
-//!    truncation persist is the commit point.
+//!    data, durably flips the log's status word to COMMITTED (the single
+//!    commit point), performs the deferred frees, then truncates the log
+//!    back to IDLE.
 //!
-//! Recovery (and `tx_abort`) replays the log backwards: data snapshots are
-//! restored, transactional allocations are freed. The paper notes that
+//! The log state lives in one packed status word (see
+//! [`crate::pool::log_status`]), so every transition is a single-word
+//! store — atomic even under a torn-line crash. Recovery (and `tx_abort`)
+//! replays an ACTIVE log backwards: data snapshots are restored,
+//! transactional allocations are freed. A COMMITTED log is instead rolled
+//! *forward*: the deferred frees are redone idempotently, so a crash
+//! between the commit point and log truncation can never leave a block
+//! simultaneously live and on the free list. The paper notes that
 //! logging code itself translates ObjectIDs and benefits from hardware
 //! translation (§6.2) — here, every log access goes through the same
 //! dereference path as user data, so that effect is reproduced.
@@ -22,7 +29,7 @@ use poat_core::{ObjectId, PoolId};
 
 use crate::costs;
 use crate::error::PmemError;
-use crate::pool::{header, log_layout};
+use crate::pool::{header, log_layout, log_status};
 use crate::runtime::{Runtime, TxState};
 use crate::trace::TraceOp;
 
@@ -81,9 +88,9 @@ impl Runtime {
             n: costs::TX_BEGIN_EXEC,
         });
         let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
-        self.write_u64_at(&log, log_layout::ACTIVE, 1)?;
-        self.write_u64_at(&log, log_layout::TAIL, log_layout::RECORDS as u64)?;
-        self.persist_at(&log, 0, 16)?;
+        let status = log_status::encode(log_status::ACTIVE, log_layout::RECORDS);
+        self.write_u64_at(&log, log_layout::STATUS, status)?;
+        self.persist_at(&log, log_layout::STATUS, 8)?;
         self.tx = Some(TxState {
             pool,
             data_records: Vec::new(),
@@ -128,9 +135,11 @@ impl Runtime {
             self.write_bytes_at(&log, tail + RECORD_HEADER_BYTES, &buf)?;
         }
         self.persist_at(&log, tail, (RECORD_HEADER_BYTES + len) as u64)?;
+        // The record is invisible until the tail advance is durable.
         let new_tail = tail + entry;
-        self.write_u64_at(&log, log_layout::TAIL, new_tail as u64)?;
-        self.persist_at(&log, log_layout::TAIL, 8)?;
+        let status = log_status::encode(log_status::ACTIVE, new_tail);
+        self.write_u64_at(&log, log_layout::STATUS, status)?;
+        self.persist_at(&log, log_layout::STATUS, 8)?;
         self.tx.as_mut().expect("checked above").tail = new_tail;
         Ok(new_tail)
     }
@@ -208,8 +217,15 @@ impl Runtime {
     }
 
     /// `tx_end()`: commits — persists all snapshotted ranges' current data,
-    /// performs deferred frees, and truncates the log (the commit point).
-    /// A no-op in `_NTX`.
+    /// durably flips the status word to COMMITTED (the commit point),
+    /// performs the deferred frees, then truncates the log. A no-op in
+    /// `_NTX`.
+    ///
+    /// The frees run strictly *after* the commit point: if they ran first
+    /// and the process crashed before committing, recovery would undo the
+    /// transaction and resurrect ObjectIDs whose blocks already sit on
+    /// the free list. After the commit point, recovery redoes any frees
+    /// that did not complete (see `apply_undo`).
     ///
     /// # Errors
     ///
@@ -225,13 +241,16 @@ impl Runtime {
         for (oid, len) in &tx.data_records {
             self.raw_persist(*oid, *len as u64)?;
         }
+        let log = self.deref(ObjectId::new(tx.pool, Self::log_off(0)), None)?;
+        let committed = log_status::encode(log_status::COMMITTED, tx.tail);
+        self.write_u64_at(&log, log_layout::STATUS, committed)?;
+        self.persist_at(&log, log_layout::STATUS, 8)?;
         for oid in &tx.frees {
             self.pfree(*oid)?;
         }
-        let log = self.deref(ObjectId::new(tx.pool, Self::log_off(0)), None)?;
-        self.write_u64_at(&log, log_layout::ACTIVE, 0)?;
-        self.write_u64_at(&log, log_layout::TAIL, log_layout::RECORDS as u64)?;
-        self.persist_at(&log, 0, 16)?;
+        let idle = log_status::encode(log_status::IDLE, log_layout::RECORDS);
+        self.write_u64_at(&log, log_layout::STATUS, idle)?;
+        self.persist_at(&log, log_layout::STATUS, 8)?;
         self.stats.tx_committed += 1;
         Ok(())
     }
@@ -252,17 +271,23 @@ impl Runtime {
         Ok(())
     }
 
-    /// Replays a pool's undo log backwards if it is active, restoring
-    /// pre-images and rolling back transactional allocations. Returns the
-    /// number of records applied.
+    /// Replays a pool's undo log if a transaction was interrupted.
+    /// Returns the number of records applied.
+    ///
+    /// An ACTIVE log is applied *backwards*: pre-images are restored and
+    /// transactional allocations rolled back. A COMMITTED log is applied
+    /// *forwards*: deferred frees that did not complete before the crash
+    /// are redone, skipping blocks already on the free list so the replay
+    /// is idempotent.
     pub(crate) fn apply_undo(&mut self, pool: PoolId) -> Result<u64, PmemError> {
         let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
-        let (active, _) = self.read_u64_at(&log, log_layout::ACTIVE)?;
-        if active == 0 {
+        let (status, _) = self.read_u64_at(&log, log_layout::STATUS)?;
+        let (state, tail) = log_status::decode(status);
+        if state == log_status::IDLE {
             return Ok(0);
         }
-        let (tail, _) = self.read_u64_at(&log, log_layout::TAIL)?;
-        let tail = tail as u32;
+        let log_bytes = self.pool_of(ObjectId::new(pool, 0))?.log_bytes as u32;
+        let tail = tail.min(log_bytes);
 
         // Walk forward to index the records.
         let mut records = Vec::new();
@@ -278,31 +303,47 @@ impl Runtime {
             off += RECORD_HEADER_BYTES + round8(len as u32);
         }
 
-        // Apply in reverse.
         let mut applied = 0u64;
-        for &(off, kind, oid, len) in records.iter().rev() {
-            match kind {
-                RecordKind::Data => {
-                    let mut buf = vec![0u8; len as usize];
-                    let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
-                    self.read_bytes_at(&log, off + RECORD_HEADER_BYTES, &mut buf)?;
-                    let dst = self.deref(oid, None)?;
-                    self.write_bytes_at(&dst, 0, &buf)?;
-                    self.persist_at(&dst, 0, len as u64)?;
+        if state == log_status::ACTIVE {
+            // Roll back: apply in reverse.
+            for &(off, kind, oid, len) in records.iter().rev() {
+                match kind {
+                    RecordKind::Data => {
+                        let mut buf = vec![0u8; len as usize];
+                        let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
+                        self.read_bytes_at(&log, off + RECORD_HEADER_BYTES, &mut buf)?;
+                        let dst = self.deref(oid, None)?;
+                        self.write_bytes_at(&dst, 0, &buf)?;
+                        self.persist_at(&dst, 0, len as u64)?;
+                    }
+                    RecordKind::Alloc => {
+                        self.pfree(oid)?;
+                    }
+                    RecordKind::FreeIntent => {}
                 }
-                RecordKind::Alloc => {
-                    self.pfree(oid)?;
-                }
-                RecordKind::FreeIntent => {}
+                self.stats.undo_applied += 1;
+                applied += 1;
             }
-            self.stats.undo_applied += 1;
-            applied += 1;
+        } else {
+            // Roll forward: redo the deferred frees of a committed
+            // transaction. A free that completed before the crash left
+            // its block on the free list — skip it.
+            for &(_, kind, oid, _) in &records {
+                if kind != RecordKind::FreeIntent {
+                    continue;
+                }
+                if !self.block_is_free(oid)? {
+                    self.pfree(oid)?;
+                    self.stats.undo_applied += 1;
+                    applied += 1;
+                }
+            }
         }
 
         let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
-        self.write_u64_at(&log, log_layout::ACTIVE, 0)?;
-        self.write_u64_at(&log, log_layout::TAIL, log_layout::RECORDS as u64)?;
-        self.persist_at(&log, 0, 16)?;
+        let idle = log_status::encode(log_status::IDLE, log_layout::RECORDS);
+        self.write_u64_at(&log, log_layout::STATUS, idle)?;
+        self.persist_at(&log, log_layout::STATUS, 8)?;
         Ok(applied)
     }
 }

@@ -62,12 +62,38 @@ pub const POOL_MAGIC: u64 = 0x504F_4154_504F_4F4C;
 
 /// Byte offsets within a pool's undo-log area (relative to the area start).
 pub mod log_layout {
-    /// 1 while a transaction is active (its undo records are live).
-    pub const ACTIVE: u32 = 0x00;
-    /// Byte offset one past the last valid record, relative to the area.
-    pub const TAIL: u32 = 0x08;
-    /// First record starts here.
+    /// The transaction status word (see [`super::log_status`]): the low
+    /// two bits hold the state, the rest the record tail. Packing both
+    /// into one `u64` makes every log-state transition a single-word
+    /// store, which stays atomic even under a torn-line crash — a
+    /// two-word (flag + tail) layout can crash with a *new* flag and a
+    /// *stale* tail and replay the wrong records.
+    pub const STATUS: u32 = 0x00;
+    /// First record starts here (0x08 is reserved).
     pub const RECORDS: u32 = 0x10;
+}
+
+/// Encoding of the undo-log status word at [`log_layout::STATUS`]:
+/// `status = (tail << 2) | state`, where `tail` is the byte offset one
+/// past the last valid record (relative to the log area).
+pub mod log_status {
+    /// No transaction: the records area is dead.
+    pub const IDLE: u64 = 0;
+    /// Transaction in flight: recovery must undo records up to the tail.
+    pub const ACTIVE: u64 = 1;
+    /// Commit point passed but deferred frees may be incomplete:
+    /// recovery must redo the free intents (idempotently).
+    pub const COMMITTED: u64 = 2;
+
+    /// Packs a state and a record tail into one status word.
+    pub fn encode(state: u64, tail: u32) -> u64 {
+        ((tail as u64) << 2) | state
+    }
+
+    /// Unpacks `(state, tail)` from a status word.
+    pub fn decode(word: u64) -> (u64, u32) {
+        (word & 3, (word >> 2) as u32)
+    }
 }
 
 /// Durable metadata for one pool.
@@ -267,6 +293,16 @@ mod tests {
             mode: PoolMode::ReadWrite,
         };
         assert_eq!(p.data_start(), 0x40 + 8192);
+    }
+
+    #[test]
+    fn log_status_word_roundtrips() {
+        for state in [log_status::IDLE, log_status::ACTIVE, log_status::COMMITTED] {
+            for tail in [0u32, log_layout::RECORDS, 8192, u32::MAX >> 2] {
+                let (s, t) = log_status::decode(log_status::encode(state, tail));
+                assert_eq!((s, t), (state, tail));
+            }
+        }
     }
 
     #[test]

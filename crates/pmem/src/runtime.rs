@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use poat_core::{ObjectId, PoolId, Pot, VirtAddr, CACHE_LINE_BYTES, PAGE_BYTES};
-use poat_nvm::{NvMemory, PageTable};
+use poat_nvm::{BoundaryKind, FaultPlan, NvMemory, PageTable};
 
 use crate::costs;
 use crate::error::PmemError;
@@ -120,6 +120,8 @@ pub struct RuntimeStats {
     pub undo_applied: u64,
     /// Crash-recovery passes executed.
     pub recoveries: u64,
+    /// Pools whose interrupted creation was rolled back by recovery.
+    pub creations_rolled_back: u64,
 }
 
 /// In-flight transaction bookkeeping (volatile; the durable state is the
@@ -264,9 +266,13 @@ impl Runtime {
         });
 
         // Format the header through the pool handle (direct path): this
-        // cost is identical in BASE and OPT, as in NVML.
+        // cost is identical in BASE and OPT, as in NVML. Two-phase
+        // creation commit: every field is made durable first, then the
+        // magic is written and persisted on its own. Frames arrive
+        // zeroed, so until the second persist the pool reads as
+        // unformatted (magic 0) and recovery rolls the creation back —
+        // no torn mixture of the two states is ever observable.
         let h = self.direct_ref(id, 0)?;
-        self.write_u64_at(&h, header::MAGIC, POOL_MAGIC)?;
         self.write_u64_at(&h, header::SIZE, size)?;
         self.write_u64_at(&h, header::ROOT_OFF, 0)?;
         self.write_u64_at(&h, header::ROOT_SIZE, 0)?;
@@ -275,6 +281,8 @@ impl Runtime {
         self.write_u64_at(&h, header::FREE_HEAD, 0)?;
         self.write_u64_at(&h, header::LOG_BYTES, self.log_bytes())?;
         self.raw_persist_direct(id, 0, header::SIZE_BYTES as u64)?;
+        self.write_u64_at(&h, header::MAGIC, POOL_MAGIC)?;
+        self.raw_persist_direct(id, header::MAGIC, 8)?;
         self.open.get_mut(&id.raw()).expect("just installed").mode = mode;
         self.stats.pools_created += 1;
         Ok(id)
@@ -302,7 +310,17 @@ impl Runtime {
         self.install_mapping(meta.id, base, meta.size, 0, meta.mode)?;
         let h = self.direct_ref(meta.id, 0)?;
         let (magic, _) = self.read_u64_at(&h, header::MAGIC)?;
-        debug_assert_eq!(magic, POOL_MAGIC, "pool {name} not formatted");
+        if magic != POOL_MAGIC {
+            // The magic is persisted last during creation (two-phase
+            // commit), so a missing magic means the creation never
+            // committed. Undo the partial install and report it;
+            // recovery rolls such pools back entirely.
+            self.open.remove(&meta.id.raw());
+            self.pot.remove(meta.id);
+            self.xlat.remove(meta.id);
+            self.mem.unmap(base)?;
+            return Err(PmemError::PoolUnformatted(name.to_owned()));
+        }
         let (log_bytes, _) = self.read_u64_at(&h, header::LOG_BYTES)?;
         self.open
             .get_mut(&meta.id.raw())
@@ -615,15 +633,29 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     /// Emits clwb-per-line + fence for `[va, va+len)`.
+    ///
+    /// Every `clwb` and `fence` is one persist boundary of the armed
+    /// [`FaultPlan`] (if any): when the plan trips, the simulated process
+    /// "dies" here with [`PmemError::InjectedCrash`], which the
+    /// crash-point sweep turns into a device crash + recovery.
     fn persist_lines(&mut self, va: VirtAddr, len: u64) -> Result<(), PmemError> {
+        if self.mem.crash_pending() {
+            return Err(PmemError::InjectedCrash);
+        }
         let mut line = va.line_base();
         while line.raw() < va.raw() + len {
             self.mem.clwb(line)?;
             self.trace.push(TraceOp::Clwb { va: line });
+            if self.mem.crash_pending() {
+                return Err(PmemError::InjectedCrash);
+            }
             line = line.offset(CACHE_LINE_BYTES);
         }
         self.mem.fence();
         self.trace.push(TraceOp::Fence);
+        if self.mem.crash_pending() {
+            return Err(PmemError::InjectedCrash);
+        }
         Ok(())
     }
 
@@ -733,23 +765,75 @@ impl Runtime {
         Ok(rt)
     }
 
-    /// Reopens every pool and rolls back uncommitted transactions.
+    /// Reopens every pool and rolls back uncommitted transactions —
+    /// and uncommitted pool *creations* (a pool whose header magic never
+    /// became durable is unregistered and its frames released).
     pub(crate) fn recover(&mut self) -> Result<(), PmemError> {
         self.stats.recoveries += 1;
         let names: Vec<String> = self.dir.iter().map(|m| m.name.clone()).collect();
-        for name in names {
-            self.pool_open(&name)?;
+        for name in &names {
+            match self.pool_open(name) {
+                Ok(_) => {}
+                Err(PmemError::PoolUnformatted(_)) => {
+                    let meta = self.dir.unregister(name).expect("listed above");
+                    self.mem.release_frames(&meta.frames);
+                    self.stats.creations_rolled_back += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let pools: Vec<PoolId> = self
+        let mut pools: Vec<PoolId> = self
             .open
             .values()
             .filter(|p| p.log_bytes > 0)
             .map(|p| p.id)
             .collect();
+        pools.sort();
         for pool in pools {
             self.apply_undo(pool)?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (crash-point sweep support)
+    // ------------------------------------------------------------------
+
+    /// Arms a [`FaultPlan`] on the underlying device. Subsequent persist
+    /// boundaries count toward the plan; when it trips, the next persist
+    /// returns [`PmemError::InjectedCrash`].
+    pub fn arm_fault_plan(&mut self, plan: FaultPlan) {
+        self.mem.arm_faults(plan);
+    }
+
+    /// Persist boundaries (clwb + fence) executed since the last arming.
+    pub fn persist_boundaries(&self) -> u64 {
+        self.mem.persist_boundaries()
+    }
+
+    /// The kind of every boundary seen since arming, in order (recorded
+    /// only when the armed plan asked for it).
+    pub fn boundary_kinds(&self) -> Vec<BoundaryKind> {
+        self.mem.boundary_kinds().to_vec()
+    }
+
+    /// Whether an armed crash point has tripped (the process should stop
+    /// and [`crash_and_recover`](Self::crash_and_recover)).
+    pub fn fault_tripped(&self) -> bool {
+        self.mem.crash_pending()
+    }
+
+    /// A pool's full current contents, read straight from the memory
+    /// system with no trace traffic: state digests and diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// [`PmemError::PoolNotOpen`] if the pool is not mapped.
+    pub fn pool_bytes(&mut self, pool: PoolId) -> Result<Vec<u8>, PmemError> {
+        let p = self.pool_of(ObjectId::new(pool, 0))?;
+        let mut buf = vec![0u8; p.size as usize];
+        self.mem.read(p.base, &mut buf)?;
+        Ok(buf)
     }
 
     // ------------------------------------------------------------------

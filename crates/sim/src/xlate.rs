@@ -86,40 +86,57 @@ impl TranslationUnit {
                 extra_cycles: extra,
             };
         }
-        // POLB miss: hardware POT walk.
+        // POLB miss: hardware POT walk. A fault discovered *by* the POT
+        // walk charges only the POT-walk share (`fault_penalty_cycles`);
+        // the Parallel design's page-table walk runs — and its latency
+        // elapses — only once the POT has produced a base to walk from.
         let _walk_span = self.walk_timer.start();
         self.stats.pot_walks += 1;
-        let extra = self.cfg.hit_latency_cycles() + self.cfg.miss_penalty_cycles();
-        self.stats.translation_cycles += extra;
+        let hit = self.cfg.hit_latency_cycles();
+        let fault_extra = hit + self.cfg.fault_penalty_cycles();
         // The walk discovers faults too, so the begin event precedes the
         // pool validity check; `Pot::walk` emits the matching end event,
-        // stamped after the modeled walk latency has elapsed.
+        // stamped after the modeled POT-walk latency has elapsed.
         events::emit(EventKind::PotWalkBegin, oid.pool_raw(), 0);
-        events::advance_cycle(extra);
+        events::advance_cycle(fault_extra);
         let Some(pool) = oid.pool() else {
             self.stats.exceptions += 1;
+            self.stats.translation_cycles += fault_extra;
             events::emit(EventKind::Fault, oid.pool_raw(), 0);
             return TranslateOutcome::Fault {
-                extra_cycles: extra,
+                extra_cycles: fault_extra,
             };
         };
         let walk = self.pot.walk(pool);
         let Some(base) = walk.base else {
             self.stats.exceptions += 1;
+            self.stats.translation_cycles += fault_extra;
             events::emit(EventKind::Fault, oid.pool_raw(), walk.probes);
             return TranslateOutcome::Fault {
-                extra_cycles: extra,
+                extra_cycles: fault_extra,
             };
         };
+        let extra = hit + self.cfg.miss_penalty_cycles();
+        events::advance_cycle(extra.saturating_sub(fault_extra));
+        self.stats.translation_cycles += extra;
         match self.cfg.design {
             PolbDesign::Pipelined => self.polb.fill(oid, base.raw()),
             PolbDesign::Parallel => {
                 // The POT yields a virtual base; the page-table walk (whose
                 // latency is folded into `pot_page_walk_cycles`) yields the
-                // frame for the *accessed page*.
-                let frame = self.page_table.frame_of(va).map(|f| f.raw());
-                events::emit(EventKind::PageWalk, oid.pool_raw(), frame.is_some() as u32);
-                self.polb.fill(oid, frame.unwrap_or(va.page_base().raw()));
+                // frame for the *accessed page*. No frame means the page
+                // is unmapped: surface the fault instead of caching a
+                // garbage translation that every later access would "hit".
+                let Some(frame) = self.page_table.frame_of(va) else {
+                    self.stats.exceptions += 1;
+                    events::emit(EventKind::PageWalk, oid.pool_raw(), 0);
+                    events::emit(EventKind::Fault, oid.pool_raw(), walk.probes);
+                    return TranslateOutcome::Fault {
+                        extra_cycles: extra,
+                    };
+                };
+                events::emit(EventKind::PageWalk, oid.pool_raw(), 1);
+                self.polb.fill(oid, frame.raw());
             }
         }
         TranslateOutcome::Ok {
@@ -214,11 +231,58 @@ mod tests {
         let (state, _) = state_with_pool();
         let mut tu = TranslationUnit::new(TranslationConfig::default(), &state);
         let bogus = ObjectId::new(poat_core::PoolId::new(999).unwrap(), 0);
-        assert!(matches!(
+        // Pipelined's miss penalty *is* the POT walk, so the fault costs
+        // the same as a successful miss: POLB access + POT walk.
+        assert_eq!(
             tu.translate(bogus, VirtAddr::new(0)),
-            TranslateOutcome::Fault { .. }
-        ));
+            TranslateOutcome::Fault {
+                extra_cycles: 3 + 30
+            }
+        );
         assert_eq!(tu.stats().exceptions, 1);
+    }
+
+    #[test]
+    fn parallel_pot_fault_charges_pot_walk_only() {
+        let (state, _) = state_with_pool();
+        let cfg = TranslationConfig::for_design(PolbDesign::Parallel);
+        let mut tu = TranslationUnit::new(cfg, &state);
+        let bogus = ObjectId::new(poat_core::PoolId::new(999).unwrap(), 0);
+        // The POT walk faults, so the page-table walk never runs: the
+        // fault costs the 30-cycle POT share, not the 60-cycle combined
+        // miss penalty.
+        assert_eq!(
+            tu.translate(bogus, VirtAddr::new(0)),
+            TranslateOutcome::Fault { extra_cycles: 30 }
+        );
+        let s = tu.stats();
+        assert_eq!(s.exceptions, 1);
+        assert_eq!(s.translation_cycles, 30);
+    }
+
+    #[test]
+    fn parallel_unmapped_page_surfaces_fault() {
+        let (state, oid) = state_with_pool();
+        let cfg = TranslationConfig::for_design(PolbDesign::Parallel);
+        let mut tu = TranslationUnit::new(cfg, &state);
+        // The pool is in the POT, but the recorded VA hits no page-table
+        // entry: the refill must fault (full miss penalty — the page walk
+        // ran and came up empty), not silently cache a garbage frame.
+        let nowhere = VirtAddr::new(u64::MAX - 0xFFFF);
+        assert_eq!(
+            tu.translate(oid, nowhere),
+            TranslateOutcome::Fault { extra_cycles: 60 }
+        );
+        assert_eq!(tu.stats().exceptions, 1);
+        // Nothing was installed: a later well-mapped access misses again
+        // (rather than "hitting" the bogus entry) and then succeeds.
+        let va = va_of(&state, oid);
+        assert_eq!(
+            tu.translate(oid, va),
+            TranslateOutcome::Ok { extra_cycles: 60 }
+        );
+        assert_eq!(tu.stats().polb.misses, 2);
+        assert_eq!(tu.stats().polb.hits, 0);
     }
 
     #[test]

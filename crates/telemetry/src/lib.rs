@@ -45,6 +45,7 @@
 pub mod events;
 pub mod timeline;
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -326,8 +327,14 @@ impl Registry {
     /// start spans repeatedly without touching the registry lock.
     pub fn span_timer(&self, phase: &str) -> SpanTimer {
         SpanTimer {
+            phase: Arc::from(phase),
             nanos: self.histogram(&format!("span.{phase}.nanos")),
             count: self.counter(&format!("span.{phase}.count")),
+            // Run-scoped duplicate series only make sense in the shared
+            // global registry; timers on isolated test registries stay
+            // unscoped so they cannot leak series into `global()`.
+            is_global: std::ptr::eq(self, global()),
+            scoped: RefCell::new(None),
         }
     }
 
@@ -388,22 +395,93 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
+// ---------------------------------------------------------------------------
+// Run scoping
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static RUN_SCOPE: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// RAII guard returned by [`run_scope`]; dropping it restores the
+/// previous scope of the thread (scopes nest).
+#[must_use = "the run scope is active only while this guard is alive"]
+pub struct RunScope {
+    prev: Option<Arc<str>>,
+}
+
+/// Tags every span started on this thread with a `run` label until the
+/// returned guard drops.
+///
+/// While a scope is active, each span records into *two* series: the
+/// plain process-wide `span.<phase>.nanos` / `.count`, and a duplicate
+/// `span.<phase>.nanos{run=<label>}` / `.count{run=<label>}` pair scoped
+/// to the labelled run. This is what keeps per-run latency percentiles
+/// meaningful when many workload runs execute concurrently on a thread
+/// pool: each worker scopes its own runs, so one run's samples cannot
+/// contaminate another's distribution.
+///
+/// The scope is thread-local: work handed to other threads must
+/// re-establish it there.
+pub fn run_scope(label: &str) -> RunScope {
+    let prev = RUN_SCOPE.with(|s| s.replace(Some(Arc::from(label))));
+    RunScope { prev }
+}
+
+impl Drop for RunScope {
+    fn drop(&mut self) {
+        RUN_SCOPE.with(|s| *s.borrow_mut() = self.prev.take());
+    }
+}
+
+fn current_run_scope() -> Option<Arc<str>> {
+    RUN_SCOPE.with(|s| s.borrow().clone())
+}
+
 /// Pre-resolved handles for one phase's span metrics; [`SpanTimer::start`]
 /// is lock-free, so timers can be cached inside simulator structures.
+///
+/// When a [`run_scope`] is active on the calling thread, `start` also
+/// resolves (and caches, per scope label) the run-labelled series, so
+/// only the first span under a new scope touches the registry lock.
 #[derive(Clone, Debug)]
 pub struct SpanTimer {
+    phase: Arc<str>,
     nanos: Histogram,
     count: Counter,
+    is_global: bool,
+    scoped: RefCell<Option<(Arc<str>, Histogram, Counter)>>,
 }
 
 impl SpanTimer {
     /// Starts a span; the returned guard records on drop.
     pub fn start(&self) -> Span {
+        let scoped = if self.is_global {
+            current_run_scope().map(|label| self.scoped_handles(label))
+        } else {
+            None
+        };
         Span {
             nanos: self.nanos.clone(),
             count: self.count.clone(),
+            scoped,
             start: Instant::now(),
         }
+    }
+
+    fn scoped_handles(&self, label: Arc<str>) -> (Histogram, Counter) {
+        let mut cache = self.scoped.borrow_mut();
+        if let Some((l, h, c)) = cache.as_ref() {
+            if *l == label {
+                return (h.clone(), c.clone());
+            }
+        }
+        let phase = &self.phase;
+        let run = [("run", &*label)];
+        let h = global().histogram(&labeled(&format!("span.{phase}.nanos"), &run));
+        let c = global().counter(&labeled(&format!("span.{phase}.count"), &run));
+        *cache = Some((label, h.clone(), c.clone()));
+        (h, c)
     }
 }
 
@@ -413,13 +491,19 @@ impl SpanTimer {
 pub struct Span {
     nanos: Histogram,
     count: Counter,
+    scoped: Option<(Histogram, Counter)>,
     start: Instant,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        self.nanos.record(self.start.elapsed().as_nanos() as u64);
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        self.nanos.record(elapsed);
         self.count.inc();
+        if let Some((nanos, count)) = &self.scoped {
+            nanos.record(elapsed);
+            count.inc();
+        }
     }
 }
 

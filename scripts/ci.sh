@@ -36,4 +36,12 @@ grep -q '"traceEvents"' "$trace_dir/trace.json"
 grep -q '"polb_miss"' "$trace_dir/trace.json"
 grep -q '"pot_walk"' "$trace_dir/trace.json"
 
+echo "==> repro crash-sweep smoke (offline)"
+# Quick-scale crash campaign, evenly-spaced point sample to bound CI
+# time; exits non-zero on any recovery-invariant violation
+# (EXPERIMENTS.md, "Crash-point sweep"). The full per-point sweep runs
+# in the harness e2e tests and via `repro crash-sweep --scale quick`.
+cargo run --release -p poat-harness --bin repro --locked --offline -- \
+  crash-sweep --scale quick --max-points 40
+
 echo "==> ci.sh: all green"
