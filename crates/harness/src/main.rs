@@ -30,7 +30,8 @@ use poat_telemetry::events;
 const USAGE: &str = "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
 [--quick] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR]\n       \
 repro crash-sweep [--scale quick|full] [--workload BENCH:PATTERN] [--inject clean|torn|drop-clwb|all] \
-[--max-points N] [--replay POINT:SEED] [--metrics PATH] [--trace PATH] [--trace-sample N]";
+[--max-points N] [--replay POINT:SEED] [--metrics PATH] [--trace PATH] [--trace-sample N]\n       \
+repro trace-roundtrip [--scale quick|full] [--workload BENCH:PATTERN] [--dir DIR]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -64,6 +65,14 @@ fn help() -> ! {
          --max-points N           evenly-spaced sample of N points per workload\n  \
          --replay POINT:SEED      re-execute one crash point deterministically\n                           \
          (requires --workload; combine with --trace)\n\n\
+         trace-roundtrip:\n  \
+         records workload traces, saves each to disk, loads it back, and\n  \
+         replays both copies on both core models; non-zero exit if any\n  \
+         SimResult differs or the encoding exceeds its bytes-per-op budget.\n  \
+         --scale quick|full       workload sizing (default: quick)\n  \
+         --workload BENCH:PATTERN check one workload only (default: a spread)\n  \
+         --dir DIR                where to write the .poattrc files\n                           \
+         (default: a temp directory, removed afterwards)\n\n\
          options:\n  \
          --quick            ~10x smaller workloads (smoke-test scale)\n  \
          --json PATH        write every artifact's rows as JSON\n  \
@@ -328,6 +337,134 @@ fn crash_sweep_main(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(exit_code);
 }
 
+/// The `repro trace-roundtrip` entry point: for each selected workload,
+/// records the trace, saves it, loads it back, and replays the original
+/// and the reloaded copy on both core models, requiring bit-identical
+/// `SimResult`s — the end-to-end proof that the compact on-disk encoding
+/// is lossless where it matters. Also enforces the ≤ 12 B/op in-memory
+/// budget the encoding is designed to (DESIGN.md). Exits non-zero on any
+/// divergence.
+fn trace_roundtrip_main(mut args: impl Iterator<Item = String>) -> ! {
+    use poat_harness::{crash_sweep, runner};
+    use poat_workloads::{ExpConfig, Micro, Pattern};
+
+    const MAX_BYTES_PER_OP: usize = 12;
+
+    let mut scale = Scale::Quick;
+    let mut workload: Option<(Micro, Pattern)> = None;
+    let mut dir: Option<std::path::PathBuf> = None;
+    let bad = |flag: &str, v: &str| -> ! {
+        eprintln!("error: bad value `{v}` for {flag}\n{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => help(),
+            "--quick" => scale = Scale::Quick,
+            "--scale" => {
+                let v = value_of("--scale", &mut args);
+                scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "full" => Scale::Full,
+                    _ => bad("--scale", &v),
+                };
+            }
+            "--workload" => {
+                let v = value_of("--workload", &mut args);
+                workload =
+                    Some(crash_sweep::parse_workload(&v).unwrap_or_else(|| bad("--workload", &v)));
+            }
+            "--dir" => dir = Some(std::path::PathBuf::from(value_of("--dir", &mut args))),
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (out_dir, cleanup) = match dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("poat-trace-roundtrip-{}", std::process::id())),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(&out_dir).expect("create trace output directory");
+
+    let cells: Vec<(Micro, Pattern)> = match workload {
+        Some(w) => vec![w],
+        // A spread across data structures and access patterns.
+        None => vec![
+            (Micro::Ll, Pattern::Each),
+            (Micro::Bst, Pattern::Random),
+            (Micro::Sps, Pattern::All),
+        ],
+    };
+
+    let started = Instant::now();
+    let mut failures = 0u32;
+    for (bench, pattern) in cells {
+        let run = runner::run_micro(bench, pattern, ExpConfig::Opt, scale);
+        let ops = run.trace.len();
+        let bytes = run.trace.encoded_bytes();
+        let path = out_dir.join(format!(
+            "{}-{}.poattrc",
+            bench.abbrev(),
+            pattern.label().to_lowercase()
+        ));
+        poat_pmem::trace_io::save(&run.trace, &path).expect("save trace");
+        let loaded = poat_pmem::trace_io::load(&path).unwrap_or_else(|e| {
+            eprintln!("error: reloading {} failed: {e}", path.display());
+            std::process::exit(1);
+        });
+
+        let mut cell_ok = loaded == run.trace;
+        if !cell_ok {
+            eprintln!("MISMATCH {bench}/{pattern}: reloaded trace differs from recorded trace");
+        }
+        let reloaded_run = poat_harness::WorkloadRun {
+            label: format!("{}-reloaded", run.label),
+            trace: loaded,
+            state: run.state.clone(),
+            xlat: run.xlat,
+            summary: run.summary,
+            pools: run.pools,
+        };
+        for core in [runner::Core::InOrder, runner::Core::OutOfOrder] {
+            let a = runner::simulate(&run, core, runner::pipelined());
+            let b = runner::simulate(&reloaded_run, core, runner::pipelined());
+            if a != b {
+                eprintln!("MISMATCH {bench}/{pattern} on {core:?}: {a:?}\n  vs reloaded {b:?}");
+                cell_ok = false;
+            }
+        }
+        let bpo = bytes as f64 / ops.max(1) as f64;
+        if ops > 0 && bytes > MAX_BYTES_PER_OP * ops {
+            eprintln!(
+                "BUDGET {bench}/{pattern}: {bpo:.2} B/op exceeds the {MAX_BYTES_PER_OP} B/op budget"
+            );
+            cell_ok = false;
+        }
+        println!(
+            "{:>4}/{:<6} {:>9} ops  {:>10} bytes  {bpo:>5.2} B/op  {}",
+            bench.abbrev(),
+            pattern.label(),
+            ops,
+            bytes,
+            if cell_ok { "ok" } else { "FAILED" }
+        );
+        failures += u32::from(!cell_ok);
+    }
+    if cleanup {
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+    eprintln!(
+        "[trace-roundtrip @ {scale:?}] completed in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    std::process::exit(i32::from(failures > 0));
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(artifact) = args.next() else { usage() };
@@ -336,6 +473,9 @@ fn main() {
     }
     if artifact == "crash-sweep" {
         crash_sweep_main(args);
+    }
+    if artifact == "trace-roundtrip" {
+        trace_roundtrip_main(args);
     }
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;

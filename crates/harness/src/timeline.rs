@@ -97,7 +97,7 @@ pub fn collect(scale: Scale) -> Vec<WorkloadTimeline> {
             rec.clear();
         }
         let base = runner::run_micro(bench, Pattern::Random, ExpConfig::Base, scale);
-        let w = window_for(base.trace.ops().len() as u64);
+        let w = window_for(base.trace.len() as u64);
         out.push(WorkloadTimeline {
             bench,
             design: TraceDesign::Software,

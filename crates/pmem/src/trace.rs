@@ -15,6 +15,31 @@
 //! rather than unbounded — memory-level parallelism. This is why, as in the
 //! paper, hardware translation helps an in-order core more than an
 //! out-of-order core.
+//!
+//! # Compact columnar encoding
+//!
+//! Full-scale traces run to hundreds of millions of dynamic ops, and the
+//! harness fans simulations out over a worker pool, so the in-memory
+//! representation is the scaling bottleneck of the whole pipeline. A
+//! [`Trace`] therefore does **not** store `Vec<TraceOp>` (~40 B per op);
+//! it stores two byte columns targeting ≲ 12 B per op in the worst case
+//! and ~3-6 B on real workloads:
+//!
+//! * **tag spine** — one `u8` per op: the op kind in the low 3 bits,
+//!   kind-specific flags in the high 5 (small `Exec` batch sizes,
+//!   dep-present, branch outcome);
+//! * **payload column** — LEB128 varints, in op order: addresses are
+//!   **delta-encoded** against the previous address in the stream
+//!   (zigzag, so both directions stay short), ObjectIDs against the
+//!   previous ObjectID, and dependency edges as **backreferences**
+//!   (`id − dep`) — deps are pointer-chase producers, so they are almost
+//!   always a handful of ops back.
+//!
+//! Both recording ([`Trace::push`]) and replay ([`Trace::ops`], a
+//! streaming iterator) work directly on this encoding; the `TraceOp` enum
+//! exists only as the item type flowing between the two, never as a
+//! materialized vector. See `DESIGN.md` ("Trace encoding") for the exact
+//! byte layout and its bytes-per-op accounting.
 
 use poat_core::{ObjectId, VirtAddr};
 
@@ -125,7 +150,209 @@ pub struct TraceSummary {
     pub mispredictions: u64,
 }
 
-/// A recorded dynamic instruction stream.
+impl TraceSummary {
+    fn account(&mut self, op: &TraceOp) {
+        self.instructions += op.instructions();
+        match op {
+            TraceOp::Load { .. } => self.loads += 1,
+            TraceOp::Store { .. } => self.stores += 1,
+            TraceOp::NvLoad { .. } => self.nvloads += 1,
+            TraceOp::NvStore { .. } => self.nvstores += 1,
+            TraceOp::Clwb { .. } => self.clwbs += 1,
+            TraceOp::Fence => self.fences += 1,
+            TraceOp::Branch { mispredicted } => {
+                self.branches += 1;
+                if *mispredicted {
+                    self.mispredictions += 1;
+                }
+            }
+            TraceOp::Exec { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------
+
+/// Op kinds, stored in the low 3 bits of a tag byte. Every 3-bit value is
+/// a defined kind; corruption shows up as undefined *flag* bits instead.
+const K_EXEC: u8 = 0;
+const K_LOAD: u8 = 1;
+const K_STORE: u8 = 2;
+const K_NVLOAD: u8 = 3;
+const K_NVSTORE: u8 = 4;
+const K_CLWB: u8 = 5;
+const K_FENCE: u8 = 6;
+const K_BRANCH: u8 = 7;
+
+/// Flag bit (shifted into the high 5 bits of the tag): a dependency edge
+/// follows in the payload (memory ops) / the branch mispredicted.
+const F_BIT0: u8 = 1 << 3;
+/// Largest `Exec` batch size representable inline in the tag's flag bits.
+const EXEC_INLINE_MAX: u32 = 31;
+
+/// Ways a raw encoded trace (from disk) can be malformed. Traces built
+/// through [`Trace::push`] are valid by construction; this is the error
+/// surface of [`Trace::from_encoded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceCorruption {
+    /// The payload column ended before the tag spine was fully decoded.
+    Truncated,
+    /// A tag byte carries flag bits undefined for its kind.
+    BadTag(u8),
+    /// A dependency backreference points before op 0.
+    BadDep,
+    /// A varint field is overlong or overflows its target width.
+    BadVarint,
+    /// Payload bytes remain after the last op decoded.
+    TrailingData,
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn put_svarint(buf: &mut Vec<u8>, v: u64) {
+    // Zigzag over the wrapping difference: small deltas in either
+    // direction encode in one or two bytes.
+    let s = v as i64;
+    put_varint(buf, ((s << 1) ^ (s >> 63)) as u64);
+}
+
+fn get_varint(data: &[u8], off: &mut usize) -> Result<u64, TraceCorruption> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*off).ok_or(TraceCorruption::Truncated)?;
+        *off += 1;
+        if shift == 63 && b > 1 {
+            return Err(TraceCorruption::BadVarint);
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceCorruption::BadVarint);
+        }
+    }
+}
+
+fn get_svarint(data: &[u8], off: &mut usize) -> Result<u64, TraceCorruption> {
+    let z = get_varint(data, off)?;
+    Ok(((z >> 1) as i64 ^ -((z & 1) as i64)) as u64)
+}
+
+/// Shared decoder state: the delta bases the encoder and every decoder
+/// (streaming iterator, validator) advance in lockstep.
+#[derive(Clone, Copy, Debug, Default)]
+struct DeltaState {
+    prev_va: u64,
+    prev_oid: u64,
+}
+
+impl DeltaState {
+    /// Decodes the op with index `id` whose tag is `tag`, consuming
+    /// payload bytes from `data` at `*off`.
+    fn decode(
+        &mut self,
+        tag: u8,
+        data: &[u8],
+        off: &mut usize,
+        id: u64,
+    ) -> Result<TraceOp, TraceCorruption> {
+        let kind = tag & 0x07;
+        let flags = tag >> 3;
+        let op = match kind {
+            K_EXEC => {
+                let n = if flags == 0 {
+                    let v = get_varint(data, off)?;
+                    u32::try_from(v).map_err(|_| TraceCorruption::BadVarint)?
+                } else {
+                    flags as u32
+                };
+                TraceOp::Exec { n }
+            }
+            K_LOAD | K_STORE | K_NVLOAD | K_NVSTORE => {
+                if flags > 1 {
+                    return Err(TraceCorruption::BadTag(tag));
+                }
+                let oid = if kind == K_NVLOAD || kind == K_NVSTORE {
+                    let o = self.prev_oid.wrapping_add(get_svarint(data, off)?);
+                    self.prev_oid = o;
+                    Some(ObjectId::from_raw(o))
+                } else {
+                    None
+                };
+                let va = self.prev_va.wrapping_add(get_svarint(data, off)?);
+                self.prev_va = va;
+                let dep = if flags & 1 != 0 {
+                    let back = get_varint(data, off)?;
+                    // backref is encoded as (id - dep - 1); dep must land
+                    // in [0, id).
+                    let dep = id.checked_sub(back + 1).ok_or(TraceCorruption::BadDep)?;
+                    Some(dep)
+                } else {
+                    None
+                };
+                let va = VirtAddr::new(va);
+                match (kind, oid) {
+                    (K_LOAD, _) => TraceOp::Load { va, dep },
+                    (K_STORE, _) => TraceOp::Store { va, dep },
+                    (K_NVLOAD, Some(oid)) => TraceOp::NvLoad { oid, va, dep },
+                    (K_NVSTORE, Some(oid)) => TraceOp::NvStore { oid, va, dep },
+                    // kind is one of the four memory kinds and oid is
+                    // Some exactly for the Nv kinds.
+                    _ => unreachable!("oid presence tracks the kind"),
+                }
+            }
+            K_CLWB => {
+                if flags != 0 {
+                    return Err(TraceCorruption::BadTag(tag));
+                }
+                let va = self.prev_va.wrapping_add(get_svarint(data, off)?);
+                self.prev_va = va;
+                TraceOp::Clwb {
+                    va: VirtAddr::new(va),
+                }
+            }
+            K_FENCE => {
+                if flags != 0 {
+                    return Err(TraceCorruption::BadTag(tag));
+                }
+                TraceOp::Fence
+            }
+            K_BRANCH => {
+                if flags > 1 {
+                    return Err(TraceCorruption::BadTag(tag));
+                }
+                TraceOp::Branch {
+                    mispredicted: flags & 1 != 0,
+                }
+            }
+            // kind is 3 bits; all eight values are matched above.
+            _ => unreachable!("3-bit kind"),
+        };
+        Ok(op)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------
+
+/// A recorded dynamic instruction stream, stored compactly (see the
+/// module docs for the encoding).
 ///
 /// ```
 /// use poat_core::VirtAddr;
@@ -137,11 +364,32 @@ pub struct TraceSummary {
 /// t.push(TraceOp::Exec { n: 5 });
 /// assert_eq!(t.len(), 3);
 /// assert_eq!(t.summary().instructions, 7);
+/// assert!(t.encoded_bytes() <= 12 * t.len());
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    ops: Vec<TraceOp>,
+    /// One tag byte per op (the spine); `tags.len()` is the op count.
+    tags: Vec<u8>,
+    /// Varint payload bytes, in op order.
+    data: Vec<u8>,
+    /// Aggregate counts, maintained incrementally by `push`.
+    summary: TraceSummary,
+    /// Encoder delta bases (mirrored by every decoder).
+    state: DeltaState,
+    /// `(payload offset, n)` of the trailing op iff it is an `Exec`
+    /// batch — enables in-place coalescing of adjacent batches.
+    last_exec: Option<(usize, u32)>,
 }
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        // The encoding is canonical for a given op sequence, so byte
+        // equality is op-sequence equality.
+        self.tags == other.tags && self.data == other.data
+    }
+}
+
+impl Eq for Trace {}
 
 impl Trace {
     /// Creates an empty trace.
@@ -150,58 +398,234 @@ impl Trace {
     }
 
     /// Appends an op, returning its [`OpId`].
+    ///
+    /// Two normalizations keep the stream canonical and the replay models
+    /// well-defined:
+    ///
+    /// * adjacent `Exec` batches coalesce (the returned id is the merged
+    ///   batch's), and **empty batches (`n == 0`) are dropped** — a
+    ///   zero-length batch has no dynamic effect, and letting it occupy a
+    ///   slot once underflowed the out-of-order model's dispatch clock.
+    ///   The returned id is the previous op's (empty batches cannot be
+    ///   dependency targets);
+    /// * a `dep` that does not reference an *earlier* op (`dep >= id`) is
+    ///   normalized to `None`: a producer must precede its consumer, and
+    ///   the replay models already treated such edges as ready-at-zero.
     pub fn push(&mut self, op: TraceOp) -> OpId {
-        let id = self.ops.len() as OpId;
-        // Coalesce adjacent Exec batches to keep traces compact.
-        if let (TraceOp::Exec { n }, Some(TraceOp::Exec { n: last })) = (&op, self.ops.last_mut()) {
-            if let Some(sum) = last.checked_add(*n) {
-                *last = sum;
-                return id - 1;
+        let id = self.tags.len() as OpId;
+        match op {
+            TraceOp::Exec { n: 0 } => return id.saturating_sub(1),
+            TraceOp::Exec { n } => {
+                if let Some((off, last_n)) = self.last_exec {
+                    if let Some(sum) = last_n.checked_add(n) {
+                        // Re-encode the trailing batch in place.
+                        self.data.truncate(off);
+                        let tag = Self::encode_exec(&mut self.data, sum);
+                        // invariant: last_exec is Some only when tags is
+                        // non-empty (set right after a push).
+                        *self
+                            .tags
+                            .last_mut()
+                            .expect("invariant: last_exec implies non-empty spine") = tag;
+                        self.last_exec = Some((off, sum));
+                        self.summary.instructions += n as u64;
+                        return id - 1;
+                    }
+                }
+                let off = self.data.len();
+                let tag = Self::encode_exec(&mut self.data, n);
+                self.tags.push(tag);
+                self.last_exec = Some((off, n));
+                self.summary.instructions += n as u64;
+            }
+            TraceOp::Load { va, dep } => {
+                self.encode_mem(K_LOAD, None, va.raw(), dep, id);
+            }
+            TraceOp::Store { va, dep } => {
+                self.encode_mem(K_STORE, None, va.raw(), dep, id);
+            }
+            TraceOp::NvLoad { oid, va, dep } => {
+                self.encode_mem(K_NVLOAD, Some(oid.raw()), va.raw(), dep, id);
+            }
+            TraceOp::NvStore { oid, va, dep } => {
+                self.encode_mem(K_NVSTORE, Some(oid.raw()), va.raw(), dep, id);
+            }
+            TraceOp::Clwb { va } => {
+                self.tags.push(K_CLWB);
+                put_svarint(&mut self.data, va.raw().wrapping_sub(self.state.prev_va));
+                self.state.prev_va = va.raw();
+                self.last_exec = None;
+            }
+            TraceOp::Fence => {
+                self.tags.push(K_FENCE);
+                self.last_exec = None;
+            }
+            TraceOp::Branch { mispredicted } => {
+                self.tags
+                    .push(K_BRANCH | if mispredicted { F_BIT0 } else { 0 });
+                self.last_exec = None;
             }
         }
-        self.ops.push(op);
+        self.summary.account(&self.normalized(op, id));
         id
     }
 
-    /// The ops in program order.
-    pub fn ops(&self) -> &[TraceOp] {
-        &self.ops
+    /// The op as it will be decoded back (deps normalized), for summary
+    /// accounting. Exec ops are accounted inline by `push`.
+    fn normalized(&self, op: TraceOp, id: OpId) -> TraceOp {
+        let norm = |dep: Option<OpId>| dep.filter(|&d| d < id);
+        match op {
+            TraceOp::Load { va, dep } => TraceOp::Load { va, dep: norm(dep) },
+            TraceOp::Store { va, dep } => TraceOp::Store { va, dep: norm(dep) },
+            TraceOp::NvLoad { oid, va, dep } => TraceOp::NvLoad {
+                oid,
+                va,
+                dep: norm(dep),
+            },
+            TraceOp::NvStore { oid, va, dep } => TraceOp::NvStore {
+                oid,
+                va,
+                dep: norm(dep),
+            },
+            // Exec batches are accounted by the coalescing arms; emit a
+            // zero-instruction stand-in so `account` adds nothing twice.
+            TraceOp::Exec { .. } => TraceOp::Exec { n: 0 },
+            other => other,
+        }
+    }
+
+    fn encode_exec(data: &mut Vec<u8>, n: u32) -> u8 {
+        if n >= 1 && n <= EXEC_INLINE_MAX {
+            K_EXEC | ((n as u8) << 3)
+        } else {
+            put_varint(data, n as u64);
+            K_EXEC
+        }
+    }
+
+    fn encode_mem(&mut self, kind: u8, oid: Option<u64>, va: u64, dep: Option<OpId>, id: OpId) {
+        let dep = dep.filter(|&d| d < id);
+        self.tags
+            .push(kind | if dep.is_some() { F_BIT0 } else { 0 });
+        if let Some(o) = oid {
+            put_svarint(&mut self.data, o.wrapping_sub(self.state.prev_oid));
+            self.state.prev_oid = o;
+        }
+        put_svarint(&mut self.data, va.wrapping_sub(self.state.prev_va));
+        self.state.prev_va = va;
+        if let Some(d) = dep {
+            put_varint(&mut self.data, id - d - 1);
+        }
+        self.last_exec = None;
+    }
+
+    /// Streams the ops in program order, decoding on the fly; nothing is
+    /// materialized. The iterator is exact-sized ([`Trace::len`] items).
+    pub fn ops(&self) -> Ops<'_> {
+        Ops {
+            tags: &self.tags,
+            data: &self.data,
+            pos: 0,
+            off: 0,
+            state: DeltaState::default(),
+        }
     }
 
     /// Number of trace entries (batches count once).
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.tags.len()
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.tags.is_empty()
     }
 
-    /// Computes aggregate counts.
+    /// Bytes of encoded trace data held in memory (tag spine + payload).
+    /// Divide by [`Trace::len`] for the bytes-per-op figure the encoding
+    /// is budgeted against (≤ 12 B/op; see `DESIGN.md`).
+    pub fn encoded_bytes(&self) -> usize {
+        self.tags.len() + self.data.len()
+    }
+
+    /// Aggregate counts (maintained incrementally; O(1)).
     pub fn summary(&self) -> TraceSummary {
-        let mut s = TraceSummary::default();
-        for op in &self.ops {
-            s.instructions += op.instructions();
-            match op {
-                TraceOp::Load { .. } => s.loads += 1,
-                TraceOp::Store { .. } => s.stores += 1,
-                TraceOp::NvLoad { .. } => s.nvloads += 1,
-                TraceOp::NvStore { .. } => s.nvstores += 1,
-                TraceOp::Clwb { .. } => s.clwbs += 1,
-                TraceOp::Fence => s.fences += 1,
-                TraceOp::Branch { mispredicted } => {
-                    s.branches += 1;
-                    if *mispredicted {
-                        s.mispredictions += 1;
-                    }
-                }
-                TraceOp::Exec { .. } => {}
-            }
+        self.summary
+    }
+
+    /// The raw encoded columns, for serialization.
+    pub(crate) fn encoded_columns(&self) -> (&[u8], &[u8]) {
+        (&self.tags, &self.data)
+    }
+
+    /// Reassembles a trace from its raw encoded columns (the inverse of
+    /// `Trace::encoded_columns`), validating the whole stream eagerly:
+    /// every varint, flag combination, and dependency backreference is
+    /// checked, and the summary and encoder state are rebuilt, so later
+    /// streaming via [`Trace::ops`] cannot fail.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceCorruption`] describing the first malformed byte sequence.
+    pub fn from_encoded(tags: Vec<u8>, data: Vec<u8>) -> Result<Self, TraceCorruption> {
+        let mut state = DeltaState::default();
+        let mut summary = TraceSummary::default();
+        let mut off = 0usize;
+        let mut last_exec = None;
+        for (id, &tag) in tags.iter().enumerate() {
+            let before = off;
+            let op = state.decode(tag, &data, &mut off, id as u64)?;
+            summary.account(&op);
+            last_exec = match op {
+                TraceOp::Exec { n } => Some((before, n)),
+                _ => None,
+            };
         }
-        s
+        if off != data.len() {
+            return Err(TraceCorruption::TrailingData);
+        }
+        Ok(Trace {
+            tags,
+            data,
+            summary,
+            state,
+            last_exec,
+        })
     }
 }
+
+/// Streaming decoder over a [`Trace`] (see [`Trace::ops`]).
+#[derive(Clone, Debug)]
+pub struct Ops<'a> {
+    tags: &'a [u8],
+    data: &'a [u8],
+    pos: usize,
+    off: usize,
+    state: DeltaState,
+}
+
+impl Iterator for Ops<'_> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        let &tag = self.tags.get(self.pos)?;
+        let op = self
+            .state
+            .decode(tag, self.data, &mut self.off, self.pos as u64)
+            // invariant: the columns were produced by `push` or validated
+            // by `from_encoded`, so every op decodes.
+            .expect("invariant: trace columns are validated at construction");
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.tags.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Ops<'_> {}
 
 impl FromIterator<TraceOp> for Trace {
     fn from_iter<I: IntoIterator<Item = TraceOp>>(iter: I) -> Self {
@@ -222,10 +646,10 @@ impl Extend<TraceOp> for Trace {
 }
 
 impl<'a> IntoIterator for &'a Trace {
-    type Item = &'a TraceOp;
-    type IntoIter = std::slice::Iter<'a, TraceOp>;
+    type Item = TraceOp;
+    type IntoIter = Ops<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.ops.iter()
+        self.ops()
     }
 }
 
@@ -235,6 +659,10 @@ mod tests {
 
     fn va(x: u64) -> VirtAddr {
         VirtAddr::new(x)
+    }
+
+    fn collect(t: &Trace) -> Vec<TraceOp> {
+        t.ops().collect()
     }
 
     #[test]
@@ -250,6 +678,19 @@ mod tests {
         });
         assert_eq!(a, 0);
         assert_eq!(b, 1);
+        assert_eq!(
+            collect(&t),
+            vec![
+                TraceOp::Load {
+                    va: va(1),
+                    dep: None
+                },
+                TraceOp::Store {
+                    va: va(2),
+                    dep: Some(0)
+                },
+            ]
+        );
     }
 
     #[test]
@@ -259,9 +700,81 @@ mod tests {
         t.push(TraceOp::Exec { n: 4 });
         assert_eq!(t.len(), 1);
         assert_eq!(t.summary().instructions, 7);
+        assert_eq!(collect(&t), vec![TraceOp::Exec { n: 7 }]);
         t.push(TraceOp::Fence);
         t.push(TraceOp::Exec { n: 1 });
         assert_eq!(t.len(), 3, "fence breaks coalescing");
+    }
+
+    #[test]
+    fn exec_coalesces_across_inline_boundary() {
+        // 20 + 20 = 40 crosses the 31-instruction inline-tag limit, so
+        // the merged batch must be re-encoded with a payload varint.
+        let mut t = Trace::new();
+        t.push(TraceOp::Exec { n: 20 });
+        t.push(TraceOp::Exec { n: 20 });
+        assert_eq!(t.len(), 1);
+        assert_eq!(collect(&t), vec![TraceOp::Exec { n: 40 }]);
+        // And a large batch followed by a small one merges in place.
+        t.push(TraceOp::Exec { n: 2 });
+        assert_eq!(collect(&t), vec![TraceOp::Exec { n: 42 }]);
+        assert_eq!(t.summary().instructions, 42);
+    }
+
+    #[test]
+    fn exec_overflow_splits_batches() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Exec { n: u32::MAX });
+        t.push(TraceOp::Exec { n: 5 });
+        assert_eq!(t.len(), 2, "u32 overflow starts a new batch");
+        assert_eq!(t.summary().instructions, u32::MAX as u64 + 5);
+    }
+
+    #[test]
+    fn empty_exec_batches_are_dropped() {
+        let mut t = Trace::new();
+        assert_eq!(t.push(TraceOp::Exec { n: 0 }), 0, "no-op on empty trace");
+        assert!(t.is_empty());
+        let a = t.push(TraceOp::Load {
+            va: va(8),
+            dep: None,
+        });
+        assert_eq!(t.push(TraceOp::Exec { n: 0 }), a, "returns previous id");
+        assert_eq!(t.len(), 1);
+        let b = t.push(TraceOp::Load {
+            va: va(16),
+            dep: Some(a),
+        });
+        assert_eq!(b, 1, "ids unaffected by dropped batches");
+        assert_eq!(t.summary().instructions, 2);
+    }
+
+    #[test]
+    fn forward_deps_normalize_to_none() {
+        // A dep must reference an earlier op; self/forward references are
+        // recorded as None (the models treated them as ready-at-zero).
+        let mut t = Trace::new();
+        t.push(TraceOp::Load {
+            va: va(8),
+            dep: Some(0), // self-reference at id 0
+        });
+        t.push(TraceOp::Store {
+            va: va(16),
+            dep: Some(99), // forward reference
+        });
+        assert_eq!(
+            collect(&t),
+            vec![
+                TraceOp::Load {
+                    va: va(8),
+                    dep: None
+                },
+                TraceOp::Store {
+                    va: va(16),
+                    dep: None
+                },
+            ]
+        );
     }
 
     #[test]
@@ -302,6 +815,12 @@ mod tests {
         assert_eq!(s.fences, 1);
         assert_eq!(s.branches, 2);
         assert_eq!(s.mispredictions, 1);
+        // The incremental summary matches a recomputation from the stream.
+        let mut recomputed = TraceSummary::default();
+        for op in t.ops() {
+            recomputed.account(&op);
+        }
+        assert_eq!(s, recomputed);
     }
 
     #[test]
@@ -328,5 +847,133 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(t.summary().instructions, 3);
+    }
+
+    #[test]
+    fn roundtrip_every_kind_with_extreme_values() {
+        let ops = vec![
+            TraceOp::Exec { n: 1 },
+            TraceOp::Load {
+                va: va(u64::MAX),
+                dep: None,
+            },
+            TraceOp::Store {
+                va: va(0),
+                dep: Some(1),
+            },
+            TraceOp::NvLoad {
+                oid: ObjectId::from_raw(u64::MAX),
+                va: va(0x7FFF_FFFF_FFFF),
+                dep: Some(0),
+            },
+            TraceOp::NvStore {
+                oid: ObjectId::from_raw(0),
+                va: va(1),
+                dep: Some(3),
+            },
+            TraceOp::Clwb { va: va(1 << 47) },
+            TraceOp::Fence,
+            TraceOp::Branch { mispredicted: true },
+            TraceOp::Exec { n: u32::MAX },
+        ];
+        let t: Trace = ops.iter().copied().collect();
+        assert_eq!(collect(&t), ops);
+    }
+
+    #[test]
+    fn bytes_per_op_stays_in_budget() {
+        // A pointer-chase-like stream: nearby addresses, near deps.
+        let mut t = Trace::new();
+        let mut prev = None;
+        for i in 0..1000u64 {
+            t.push(TraceOp::Exec { n: 4 });
+            prev = Some(t.push(TraceOp::Load {
+                va: va(0x2000_0000_0000 + i * 64),
+                dep: prev,
+            }));
+        }
+        assert!(
+            t.encoded_bytes() <= 12 * t.len(),
+            "{} bytes for {} ops",
+            t.encoded_bytes(),
+            t.len()
+        );
+    }
+
+    #[test]
+    fn from_encoded_validates() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Load {
+            va: va(0x1000),
+            dep: None,
+        });
+        t.push(TraceOp::Exec { n: 100 });
+        let (tags, data) = t.encoded_columns();
+        let rebuilt = Trace::from_encoded(tags.to_vec(), data.to_vec()).unwrap();
+        assert_eq!(rebuilt, t);
+        assert_eq!(rebuilt.summary(), t.summary());
+
+        // Truncated payload.
+        let r = Trace::from_encoded(tags.to_vec(), data[..data.len() - 1].to_vec());
+        assert_eq!(r, Err(TraceCorruption::Truncated));
+        // Trailing payload.
+        let mut fat = data.to_vec();
+        fat.push(0);
+        assert_eq!(
+            Trace::from_encoded(tags.to_vec(), fat),
+            Err(TraceCorruption::TrailingData)
+        );
+        // Undefined flag bits on a Fence.
+        assert_eq!(
+            Trace::from_encoded(vec![K_FENCE | F_BIT0], Vec::new()),
+            Err(TraceCorruption::BadTag(K_FENCE | F_BIT0))
+        );
+        // A dep backreference before op 0.
+        assert_eq!(
+            Trace::from_encoded(vec![K_LOAD | F_BIT0], vec![0, 5]),
+            Err(TraceCorruption::BadDep)
+        );
+        // An overlong varint.
+        assert_eq!(
+            Trace::from_encoded(vec![K_LOAD], vec![0x80; 11]),
+            Err(TraceCorruption::BadVarint)
+        );
+    }
+
+    #[test]
+    fn from_encoded_continues_coalescing() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Fence);
+        t.push(TraceOp::Exec { n: 3 });
+        let (tags, data) = t.encoded_columns();
+        let mut rebuilt = Trace::from_encoded(tags.to_vec(), data.to_vec()).unwrap();
+        rebuilt.push(TraceOp::Exec { n: 4 });
+        assert_eq!(rebuilt.len(), 2, "trailing batch still coalesces");
+        assert_eq!(
+            rebuilt.ops().last(),
+            Some(TraceOp::Exec { n: 7 }),
+            "merged across from_encoded"
+        );
+    }
+
+    #[test]
+    fn pushing_after_iteration_keeps_deltas_consistent() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Load {
+            va: va(0x5000),
+            dep: None,
+        });
+        let _ = collect(&t);
+        t.push(TraceOp::Load {
+            va: va(0x5008),
+            dep: None,
+        });
+        assert_eq!(
+            collect(&t)[1],
+            TraceOp::Load {
+                va: va(0x5008),
+                dep: None
+            }
+        );
     }
 }

@@ -224,7 +224,7 @@ impl SoftTranslator {
         self.telemetry.calls.inc();
         // Software translation runs at trace-generation time, before any
         // cycle model exists; the trace position stands in for both clocks.
-        let at = trace.ops().len() as u64;
+        let at = trace.len() as u64;
         events::begin_access(
             EventKind::SoftCall,
             TraceDesign::Software,
@@ -451,7 +451,7 @@ mod tests {
         x.insert(pool(3), VirtAddr::new(0x3000)).unwrap();
         let mut t = Trace::new();
         x.translate(ObjectId::new(pool(3), 0), None, &mut t);
-        let touches_table = t.ops().iter().any(|op| match op {
+        let touches_table = t.ops().any(|op| match op {
             TraceOp::Load { va, .. } => va.raw() >= costs::XLAT_TABLE_VA.raw(),
             _ => false,
         });

@@ -45,12 +45,32 @@ pub(crate) fn phys_of(pt: &PageTable, va: VirtAddr) -> u64 {
 
 /// Replays `trace` on the in-order core, returning cycle and event counts.
 ///
+/// Streams straight off the trace's compact encoding; equivalent to
+/// `simulate_inorder_ops(trace.ops(), …)`.
+///
 /// # Errors
 ///
 /// Currently infallible for the in-order core (both POLB designs are
 /// supported); the `Result` mirrors [`crate::ooo::simulate_ooo`].
 pub fn simulate_inorder(
     trace: &Trace,
+    state: &MachineState,
+    cfg: &SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_inorder_ops(trace.ops(), state, cfg)
+}
+
+/// Replays any stream of [`TraceOp`]s on the in-order core.
+///
+/// The ops are consumed one at a time — the model never materializes the
+/// stream, so replay memory is O(ops) only for the per-op completion
+/// times (8 B each), not the ops themselves.
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` mirrors [`crate::ooo::simulate_ooo`].
+pub fn simulate_inorder_ops(
+    ops: impl IntoIterator<Item = TraceOp>,
     state: &MachineState,
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
@@ -68,23 +88,26 @@ pub fn simulate_inorder(
         TraceDesign::Pipelined
     };
 
-    let ops = trace.ops();
+    let ops = ops.into_iter();
     // Completion (value-ready) time of each op, for load-to-use stalls.
-    let mut complete: Vec<u64> = vec![0; ops.len()];
+    // Grown as the stream is consumed; a dep outside the recorded range
+    // (or on a non-memory op) reads as ready-at-zero.
+    let mut complete: Vec<u64> = Vec::with_capacity(ops.size_hint().0);
 
     let mut cycles: u64 = 0;
     let mut instructions: u64 = 0;
 
-    for (i, op) in ops.iter().enumerate() {
+    for op in ops {
         instructions += op.instructions();
-        let dep = match *op {
+        let dep = match op {
             TraceOp::Load { dep, .. }
             | TraceOp::Store { dep, .. }
             | TraceOp::NvLoad { dep, .. }
             | TraceOp::NvStore { dep, .. } => dep,
             _ => None,
         };
-        match *op {
+        let mut done: u64 = 0;
+        match op {
             TraceOp::Exec { n } => cycles += n as u64,
             TraceOp::Branch { mispredicted } => {
                 cycles += 1;
@@ -96,10 +119,10 @@ pub fn simulate_inorder(
                 cycles += 1;
                 // Address generation waits for the producing load.
                 if let Some(d) = dep {
-                    cycles = cycles.max(complete[d as usize]);
+                    cycles = cycles.max(complete.get(d as usize).copied().unwrap_or(0));
                 }
                 let mut value_latency = l1;
-                if let TraceOp::NvLoad { oid, .. } = *op {
+                if let TraceOp::NvLoad { oid, .. } = op {
                     events::begin_access(
                         EventKind::NvLoad,
                         tdesign,
@@ -127,14 +150,14 @@ pub fn simulate_inorder(
                 let lat = hier.access(phys_of(pt, va));
                 // Beyond-L1 latency stalls a scalar in-order pipe.
                 cycles += lat - l1.min(lat);
-                complete[i] = cycles + value_latency;
+                done = cycles + value_latency;
             }
             TraceOp::Store { va, .. } | TraceOp::NvStore { va, .. } => {
                 cycles += 1;
                 if let Some(d) = dep {
-                    cycles = cycles.max(complete[d as usize]);
+                    cycles = cycles.max(complete.get(d as usize).copied().unwrap_or(0));
                 }
-                if let TraceOp::NvStore { oid, .. } = *op {
+                if let TraceOp::NvStore { oid, .. } = op {
                     events::begin_access(
                         EventKind::NvStore,
                         tdesign,
@@ -158,7 +181,7 @@ pub fn simulate_inorder(
                 // Stores retire through the store buffer: the cache is
                 // updated but the pipe does not wait for it.
                 hier.access(phys_of(pt, va));
-                complete[i] = cycles;
+                done = cycles;
             }
             TraceOp::Clwb { va } => {
                 cycles += cfg.mem.clwb_latency;
@@ -166,6 +189,7 @@ pub fn simulate_inorder(
             }
             TraceOp::Fence => cycles += 1,
         }
+        complete.push(done);
     }
 
     Ok(SimResult {

@@ -48,6 +48,6 @@ pub mod tlb;
 pub mod xlate;
 
 pub use config::{CoreConfig, MemoryConfig, SimConfig};
-pub use inorder::simulate_inorder;
-pub use ooo::simulate_ooo;
+pub use inorder::{simulate_inorder, simulate_inorder_ops};
+pub use ooo::{simulate_ooo, simulate_ooo_ops};
 pub use result::{SimError, SimResult};

@@ -35,12 +35,33 @@ use crate::xlate::{TranslateOutcome, TranslationUnit};
 
 /// Replays `trace` on the out-of-order core.
 ///
+/// Streams straight off the trace's compact encoding; equivalent to
+/// `simulate_ooo_ops(trace.ops(), …)`.
+///
 /// # Errors
 ///
 /// [`SimError::ParallelOnOutOfOrder`] if the translation configuration
 /// selects the Parallel POLB design (unsupported by construction).
 pub fn simulate_ooo(
     trace: &Trace,
+    state: &MachineState,
+    cfg: &SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_ooo_ops(trace.ops(), state, cfg)
+}
+
+/// Replays any stream of [`TraceOp`]s on the out-of-order core.
+///
+/// The ops are consumed one at a time — the model never materializes the
+/// stream, so replay memory is O(ops) only for the per-op completion
+/// times (8 B each), not the ops themselves.
+///
+/// # Errors
+///
+/// [`SimError::ParallelOnOutOfOrder`] if the translation configuration
+/// selects the Parallel POLB design (unsupported by construction).
+pub fn simulate_ooo_ops(
+    ops: impl IntoIterator<Item = TraceOp>,
     state: &MachineState,
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
@@ -61,9 +82,11 @@ pub fn simulate_ooo(
     let misp = cfg.core.branch_misp_penalty;
     let hit_extra = cfg.translation.hit_latency_cycles();
 
-    let ops = trace.ops();
-    // Completion time of each op, for dependency resolution.
-    let mut complete: Vec<u64> = vec![0; ops.len()];
+    let ops = ops.into_iter();
+    // Completion time of each op, for dependency resolution. Grown as the
+    // stream is consumed; a dep outside the recorded range reads as
+    // ready-at-zero.
+    let mut complete: Vec<u64> = Vec::with_capacity(ops.size_hint().0);
 
     let mut slot: u64 = 0; // next free dispatch slot (cycle * width + lane)
     let mut dispatch_block: u64 = 0; // earliest cycle dispatch may resume
@@ -78,7 +101,7 @@ pub fn simulate_ooo(
     let mut last_mem_complete: u64 = 0;
     let mut instructions: u64 = 0;
 
-    for (i, op) in ops.iter().enumerate() {
+    for op in ops {
         let k = op.instructions();
         instructions += k;
         // An Exec batch can exceed the ROB; it streams through, so its ROB
@@ -117,19 +140,24 @@ pub fn simulate_ooo(
         // Dispatch.
         let disp_cycle = (slot / width).max(dispatch_block);
         slot = slot.max(disp_cycle * width) + k;
-        let dep = match *op {
+        let dep = match op {
             TraceOp::Load { dep, .. }
             | TraceOp::Store { dep, .. }
             | TraceOp::NvLoad { dep, .. }
             | TraceOp::NvStore { dep, .. } => dep,
             _ => None,
         };
-        let dep_ready = dep.map(|d| complete[d as usize]).unwrap_or(0);
+        let dep_ready = dep
+            .map(|d| complete.get(d as usize).copied().unwrap_or(0))
+            .unwrap_or(0);
         let start = (disp_cycle + 1).max(dep_ready);
 
         // Execute.
-        let done = match *op {
-            TraceOp::Exec { .. } => (slot - 1) / width + 2,
+        let done = match op {
+            // `saturating_sub` guards the degenerate zero-width batch a
+            // hand-built op stream can feed in (`Trace::push` drops them):
+            // at slot 0 the subtraction would otherwise wrap.
+            TraceOp::Exec { .. } => slot.saturating_sub(1) / width + 2,
             TraceOp::Branch { mispredicted } => {
                 let done = start + 1;
                 if mispredicted {
@@ -144,15 +172,16 @@ pub fn simulate_ooo(
                     cfg.mem.tlb_miss_penalty
                 };
                 // Store-to-load forwarding: a queued store to the same
-                // word supplies the data without a cache access delay.
+                // word supplies the data without a cache access — the
+                // hierarchy (counters and LRU state) is only touched on
+                // the non-forwarded path.
                 let fwd = sq.iter().rev().find(|&&(_, w, _)| w == va.raw() / 8);
-                let lat = hier.access(phys_of(pt, va));
                 match fwd {
                     Some(&(_, _, data_ready)) => {
                         forwarded += 1;
                         start.max(data_ready) + 1
                     }
-                    None => start + t + lat,
+                    None => start + t + hier.access(phys_of(pt, va)),
                 }
             }
             TraceOp::Store { va, .. } => {
@@ -186,15 +215,16 @@ pub fn simulate_ooo(
                     cfg.mem.tlb_miss_penalty
                 };
                 // After translation the LSQ holds a virtual address, so
-                // forwarding works across instruction kinds (§4.4).
+                // forwarding works across instruction kinds (§4.4). As
+                // with regular loads, a forwarded nvld must not touch the
+                // cache hierarchy.
                 let fwd = sq.iter().rev().find(|&&(_, w, _)| w == va.raw() / 8);
-                let lat = hier.access(phys_of(pt, va));
                 match fwd {
                     Some(&(_, _, data_ready)) => {
                         forwarded += 1;
                         start.max(data_ready) + extra + 1
                     }
-                    None => start + extra + t + lat,
+                    None => start + extra + t + hier.access(phys_of(pt, va)),
                 }
             }
             TraceOp::NvStore { oid, va, .. } => {
@@ -231,7 +261,7 @@ pub fn simulate_ooo(
             }
         };
 
-        complete[i] = done;
+        complete.push(done);
         if op.is_memory() || matches!(op, TraceOp::Clwb { .. }) {
             last_mem_complete = last_mem_complete.max(done);
         }
@@ -243,7 +273,7 @@ pub fn simulate_ooo(
             lq.push_back(last_retire);
         }
         if is_store {
-            let word = match *op {
+            let word = match op {
                 TraceOp::Store { va, .. } | TraceOp::NvStore { va, .. } => va.raw() / 8,
                 _ => unreachable!("is_store implies a store op"),
             };
@@ -412,6 +442,93 @@ mod tests {
             r_narrow.cycles,
             r_wide.cycles
         );
+    }
+
+    #[test]
+    fn forwarded_load_leaves_cache_untouched() {
+        // A forwarded load gets its data from the store queue, so it must
+        // not inflate hit/miss counters or touch cache LRU state: the
+        // store-only trace and the store+forwarded-load trace see
+        // identical cache statistics.
+        let state = machine();
+        let cfg = SimConfig::default();
+        let va = VirtAddr::new(0x2000_0000_0000);
+
+        let mut store_only = Trace::new();
+        store_only.push(TraceOp::Store { va, dep: None });
+        let r_store = simulate_ooo(&store_only, &state, &cfg).unwrap();
+        assert_eq!(r_store.store_forwards, 0);
+
+        let mut with_load = Trace::new();
+        with_load.push(TraceOp::Store { va, dep: None });
+        with_load.push(TraceOp::Load { va, dep: None });
+        let r_fwd = simulate_ooo(&with_load, &state, &cfg).unwrap();
+        assert_eq!(r_fwd.store_forwards, 1, "the load must forward");
+        assert_eq!(
+            r_fwd.cache, r_store.cache,
+            "forwarded load perturbed the cache"
+        );
+    }
+
+    #[test]
+    fn forwarded_nvload_leaves_cache_untouched() {
+        // Same property through the nvld path: an nvst to a word followed
+        // by an nvld of it forwards, and the nvld leaves the hierarchy
+        // exactly as the store-only run left it.
+        let mut rt = Runtime::new(RuntimeConfig::opt());
+        let pool = rt.pool_create("p", 1 << 16).unwrap();
+        let oid = rt.pmalloc(pool, 64).unwrap();
+        let r = rt.deref(oid, None).unwrap();
+        rt.take_trace();
+        rt.write_u64_at(&r, 0, 7).unwrap(); // nvst
+        let state = rt.machine_state();
+        let store_only = rt.trace().clone();
+        let mut with_load = store_only.clone();
+        let _ = rt.take_trace();
+        with_load.push(TraceOp::NvLoad {
+            oid,
+            va: r.va(),
+            dep: None,
+        });
+        let cfg = SimConfig::default();
+        let r_store = simulate_ooo(&store_only, &state, &cfg).unwrap();
+        let r_fwd = simulate_ooo(&with_load, &state, &cfg).unwrap();
+        assert_eq!(r_fwd.store_forwards, 1, "the nvld must forward");
+        assert_eq!(
+            r_fwd.cache, r_store.cache,
+            "forwarded nvld perturbed the cache"
+        );
+    }
+
+    #[test]
+    fn zero_length_exec_first_op_is_harmless() {
+        // `rt.exec(0)` must not underflow the dispatch clock when it is
+        // the first thing a trace would record. The runtime drops it, the
+        // trace drops it at push, and the model guards the raw-stream case.
+        let state = machine();
+        let cfg = SimConfig::default();
+
+        let mut rt = Runtime::new(RuntimeConfig::opt());
+        rt.exec(0);
+        rt.exec(3);
+        let t = rt.take_trace();
+        let r = simulate_ooo(&t, &state, &cfg).unwrap();
+        assert_eq!(r.instructions, 3);
+
+        // Trace::push drops the empty batch outright.
+        let mut t2 = Trace::new();
+        t2.push(TraceOp::Exec { n: 0 });
+        assert!(t2.is_empty());
+
+        // And even a hand-built stream that bypasses Trace entirely must
+        // not wrap `slot - 1` in the Exec arm.
+        let r3 = super::simulate_ooo_ops(
+            [TraceOp::Exec { n: 0 }, TraceOp::Exec { n: 4 }],
+            &state,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r3.instructions, 4);
     }
 
     #[test]

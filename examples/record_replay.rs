@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Replay the *file* against a sweep of POLB sizes.
     let replayed = trace_io::load(&path)?;
-    assert_eq!(replayed.ops(), trace.ops());
+    assert!(replayed.ops().eq(trace.ops()), "replayed trace differs");
     println!("\nPOLB size sweep over the saved trace (in-order):");
     for entries in [0usize, 1, 4, 32, 128] {
         let cfg = SimConfig::with_translation(TranslationConfig {

@@ -36,6 +36,14 @@ grep -q '"traceEvents"' "$trace_dir/trace.json"
 grep -q '"polb_miss"' "$trace_dir/trace.json"
 grep -q '"pot_walk"' "$trace_dir/trace.json"
 
+echo "==> repro trace-roundtrip smoke (offline)"
+# Quick-scale trace save -> load -> simulate round trip: the loaded
+# trace must equal the recorded one, both must simulate bit-identically
+# on every core, and the encoding must stay within its 12 B/op budget
+# (DESIGN.md "Trace encoding"). Exits non-zero on any mismatch.
+cargo run --release -p poat-harness --bin repro --locked --offline -- \
+  trace-roundtrip --scale quick --dir "$trace_dir"
+
 echo "==> repro crash-sweep smoke (offline)"
 # Quick-scale crash campaign, evenly-spaced point sample to bound CI
 # time; exits non-zero on any recovery-invariant violation
