@@ -1,0 +1,74 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! `bench-compare` — diff two `BENCH_<n>.json` reports and enforce the
+//! perf trajectory (docs/BENCHMARKS.md).
+//!
+//! ```text
+//! bench-compare OLD.json NEW.json [--threshold PCT] [--warn-only]
+//! ```
+//!
+//! Exit status: 0 when nothing failed (or `--warn-only` was given),
+//! 1 on a regression / missing benchmark / blown budget, 2 on usage or
+//! I/O errors.
+
+use poat_bench::{compare, BenchReport, DEFAULT_THRESHOLD_PCT};
+
+const USAGE: &str = "usage: bench-compare OLD.json NEW.json [--threshold PCT] [--warn-only]\n\n\
+  OLD.json          committed baseline (e.g. the latest BENCH_<n>.json)\n\
+  NEW.json          freshly measured report to judge\n\
+  --threshold PCT   median regression tolerance in percent (default 10)\n\
+  --warn-only       report failures but exit 0 (the CI smoke pass)";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BenchReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    BenchReport::from_json_str(&text).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")))
+}
+
+fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut warn_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--threshold" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("missing value for --threshold"));
+                threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| die(&format!("bad value `{v}` for --threshold")));
+            }
+            "--warn-only" => warn_only = true,
+            other if other.starts_with('-') => die(&format!("unknown argument `{other}`")),
+            _ => positional.push(a),
+        }
+    }
+    let [old_path, new_path] = positional.as_slice() else {
+        die("expected exactly two report paths");
+    };
+
+    let old = load(old_path);
+    let new = load(new_path);
+    let cmp = compare(&old, &new, threshold);
+    print!("{}", cmp.text());
+
+    if cmp.failed() {
+        if warn_only {
+            eprintln!("bench-compare: failures above reported as warnings (--warn-only)");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! `bench-run` — measure the hot-path suite and write a `BENCH_<n>.json`
+//! report (docs/BENCHMARKS.md).
+//!
+//! ```text
+//! bench-run [--mode smoke|committed] [--out PATH] [--filter SUBSTR]
+//!           [--no-budget] [--list]
+//! ```
+
+use poat_bench::{suite, BenchOptions};
+
+const USAGE: &str = "usage: bench-run [--mode smoke|committed] [--out PATH] [--filter SUBSTR] [--no-budget] [--list]\n\n\
+  --mode smoke      CI preset: short windows, fast, noisy\n\
+  --mode committed  baseline preset (default): what scripts/bench.sh commits\n\
+  --out PATH        write the JSON report here (default: stdout)\n\
+  --filter SUBSTR   only run benchmarks whose group/name id contains SUBSTR\n\
+  --no-budget       skip the fig9 quick-matrix wall-clock budget check\n\
+  --list            print benchmark ids without measuring and exit";
+
+fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("error: missing value for {flag}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut mode = "committed".to_string();
+    let mut out: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut include_budget = true;
+    let mut list = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--mode" => {
+                mode = value_of("--mode", &mut args);
+                if mode != "smoke" && mode != "committed" {
+                    eprintln!("error: bad value `{mode}` for --mode\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => out = Some(value_of("--out", &mut args)),
+            "--filter" => filter = Some(value_of("--filter", &mut args)),
+            "--no-budget" => include_budget = false,
+            "--list" => list = true,
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if cfg!(debug_assertions) && mode == "committed" {
+        eprintln!(
+            "warning: committed-mode numbers from a debug build are meaningless; \
+             use `cargo run --release` (the report will be stamped profile=debug)"
+        );
+    }
+
+    let opts = match mode.as_str() {
+        "smoke" => BenchOptions::smoke(),
+        _ => BenchOptions::committed(),
+    };
+
+    if list {
+        let listing = suite::list_suite(include_budget);
+        for r in &listing.records {
+            println!("{}", r.id);
+        }
+        for b in &listing.budgets {
+            println!("{}", b.id);
+        }
+        return;
+    }
+
+    let started = std::time::Instant::now();
+    let report = suite::run_suite(
+        opts,
+        &mode,
+        filter,
+        include_budget,
+        Some(Box::new(|r: &poat_bench::BenchRecord| {
+            let bpo = r
+                .bytes_per_op
+                .map(|b| format!("  {b:.2} B/op"))
+                .unwrap_or_default();
+            eprintln!(
+                "{:<40} median {:>12.1} ns/iter  p10 {:>10.1}  p90 {:>10.1}  {:>14.0} ops/s{bpo}",
+                r.id, r.median_ns, r.p10_ns, r.p90_ns, r.ops_per_sec
+            );
+        })),
+    );
+
+    for b in &report.budgets {
+        eprintln!(
+            "{:<40} wall {:>10.2} s  budget {:>7.2} s  {}",
+            b.id,
+            b.wall_ns as f64 * 1e-9,
+            b.budget_ns as f64 * 1e-9,
+            if b.within_budget { "ok" } else { "EXCEEDED" }
+        );
+    }
+
+    let json = report.to_json_string();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, json + "\n").unwrap_or_else(|e| {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "bench report ({} benchmarks, {} budget checks, mode {}) written to {path} in {:.1}s",
+                report.records.len(),
+                report.budgets.len(),
+                report.mode,
+                started.elapsed().as_secs_f64()
+            );
+        }
+        None => println!("{json}"),
+    }
+
+    // A blown budget fails a committed run: the baseline being minted
+    // must not certify an over-budget pipeline. Smoke runs only warn —
+    // CI machines are arbitrarily loaded (docs/BENCHMARKS.md).
+    let blown = report.budgets.iter().any(|b| !b.within_budget);
+    if blown && mode == "committed" {
+        eprintln!("error: wall-clock budget exceeded (see above)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,223 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! The regression comparator: joins two [`BenchReport`]s on benchmark
+//! id and classifies each median delta.
+//!
+//! This is what makes the committed `BENCH_<n>.json` *enforceable*: the
+//! `bench-compare` binary exits non-zero when a median regresses past
+//! the threshold, a benchmark disappears, or a wall-clock budget is
+//! blown (docs/BENCHMARKS.md, "The comparator").
+
+use crate::report::BenchReport;
+
+/// Default regression threshold: a new median more than this many
+/// percent above the old one fails the comparison. Generous enough to
+/// absorb run-to-run noise on one host (medians over outlier-fenced
+/// samples are stable to a few percent), tight enough to catch a real
+/// hot-path slip.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Classification of one benchmark's old→new delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// New median is more than `threshold_pct` slower: fails.
+    Regression,
+    /// New median is more than `threshold_pct` faster.
+    Improvement,
+    /// Within the threshold either way.
+    Unchanged,
+    /// Present in the old report, absent from the new: fails — a
+    /// silently dropped benchmark is an unenforced hot path.
+    MissingInNew,
+    /// Present only in the new report: informational (a freshly added
+    /// benchmark has no baseline yet).
+    Added,
+}
+
+/// One joined row of the comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// Benchmark id (`group/name`).
+    pub id: String,
+    /// Old median ns/iter (0 when [`DeltaKind::Added`]).
+    pub old_median_ns: f64,
+    /// New median ns/iter (0 when [`DeltaKind::MissingInNew`]).
+    pub new_median_ns: f64,
+    /// Signed percent change, `(new − old) / old · 100`; 0 when either
+    /// side is absent.
+    pub delta_pct: f64,
+    /// Classification against the threshold.
+    pub kind: DeltaKind,
+}
+
+/// The outcome of comparing two reports.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Threshold used for classification, percent.
+    pub threshold_pct: f64,
+    /// One row per benchmark id present in either report, old-report
+    /// order first, then added ids in new-report order.
+    pub deltas: Vec<Delta>,
+    /// Budget checks in the new report that exceeded their budget.
+    pub blown_budgets: Vec<String>,
+    /// Human-readable caveats (schema/profile mismatches) that do not
+    /// fail the comparison by themselves.
+    pub warnings: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether this comparison should fail an enforcing caller:
+    /// any regression, missing benchmark, or blown budget.
+    pub fn failed(&self) -> bool {
+        !self.blown_budgets.is_empty()
+            || self
+                .deltas
+                .iter()
+                .any(|d| matches!(d.kind, DeltaKind::Regression | DeltaKind::MissingInNew))
+    }
+
+    /// Rows classified as regressions.
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.kind == DeltaKind::Regression)
+    }
+
+    /// Renders the comparison as an aligned text table plus a verdict
+    /// line (the `bench-compare` binary prints this verbatim).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        out.push_str(&format!(
+            "{:<40} {:>12} {:>12} {:>9}  {}\n",
+            "benchmark", "old ns/iter", "new ns/iter", "delta", "verdict"
+        ));
+        for d in &self.deltas {
+            let verdict = match d.kind {
+                DeltaKind::Regression => "REGRESSION",
+                DeltaKind::Improvement => "improved",
+                DeltaKind::Unchanged => "ok",
+                DeltaKind::MissingInNew => "MISSING",
+                DeltaKind::Added => "added",
+            };
+            let delta = match d.kind {
+                DeltaKind::MissingInNew | DeltaKind::Added => "-".to_string(),
+                _ => format!("{:+.1}%", d.delta_pct),
+            };
+            out.push_str(&format!(
+                "{:<40} {:>12.1} {:>12.1} {:>9}  {}\n",
+                d.id, d.old_median_ns, d.new_median_ns, delta, verdict
+            ));
+        }
+        for b in &self.blown_budgets {
+            out.push_str(&format!("{b}\n"));
+        }
+        let regressions = self.regressions().count();
+        let missing = self
+            .deltas
+            .iter()
+            .filter(|d| d.kind == DeltaKind::MissingInNew)
+            .count();
+        out.push_str(&format!(
+            "summary: {} benchmarks, {} regression(s), {} missing, {} blown budget(s) at ±{:.0}% threshold\n",
+            self.deltas.len(),
+            regressions,
+            missing,
+            self.blown_budgets.len(),
+            self.threshold_pct
+        ));
+        out
+    }
+}
+
+/// Compares `new` against the `old` baseline at the given threshold.
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comparison {
+    let mut warnings = Vec::new();
+    if old.schema_version != new.schema_version {
+        warnings.push(format!(
+            "schema versions differ (old {}, new {}); field semantics may have changed",
+            old.schema_version, new.schema_version
+        ));
+    }
+    for (side, report) in [("old", old), ("new", new)] {
+        if report.build.profile != "release" {
+            warnings.push(format!(
+                "{side} report was measured under the `{}` profile; numbers are not comparable to release baselines",
+                report.build.profile
+            ));
+        }
+    }
+    if old.build.host_parallelism != new.build.host_parallelism {
+        warnings.push(format!(
+            "host parallelism differs (old {}, new {}); reports may come from different machines",
+            old.build.host_parallelism, new.build.host_parallelism
+        ));
+    }
+
+    let mut deltas = Vec::new();
+    for o in &old.records {
+        match new.record(&o.id) {
+            Some(n) => {
+                let delta_pct = if o.median_ns > 0.0 {
+                    (n.median_ns - o.median_ns) / o.median_ns * 100.0
+                } else {
+                    0.0
+                };
+                let kind = if delta_pct > threshold_pct {
+                    DeltaKind::Regression
+                } else if delta_pct < -threshold_pct {
+                    DeltaKind::Improvement
+                } else {
+                    DeltaKind::Unchanged
+                };
+                deltas.push(Delta {
+                    id: o.id.clone(),
+                    old_median_ns: o.median_ns,
+                    new_median_ns: n.median_ns,
+                    delta_pct,
+                    kind,
+                });
+            }
+            None => deltas.push(Delta {
+                id: o.id.clone(),
+                old_median_ns: o.median_ns,
+                new_median_ns: 0.0,
+                delta_pct: 0.0,
+                kind: DeltaKind::MissingInNew,
+            }),
+        }
+    }
+    for n in &new.records {
+        if old.record(&n.id).is_none() {
+            deltas.push(Delta {
+                id: n.id.clone(),
+                old_median_ns: 0.0,
+                new_median_ns: n.median_ns,
+                delta_pct: 0.0,
+                kind: DeltaKind::Added,
+            });
+        }
+    }
+
+    let blown_budgets = new
+        .budgets
+        .iter()
+        .filter(|b| !b.within_budget)
+        .map(|b| {
+            format!(
+                "BUDGET {}: {:.2}s exceeds the {:.2}s budget",
+                b.id,
+                b.wall_ns as f64 * 1e-9,
+                b.budget_ns as f64 * 1e-9
+            )
+        })
+        .collect();
+
+    Comparison {
+        threshold_pct,
+        deltas,
+        blown_budgets,
+        warnings,
+    }
+}

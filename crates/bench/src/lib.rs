@@ -1,16 +1,39 @@
 // SPDX-License-Identifier: MIT OR Apache-2.0
-//! # poat-bench — Criterion benchmarks
+//! # poat-bench — the offline benchmark harness and perf trajectory
 //!
-//! Two benchmark suites:
+//! This crate is the repository's enforceable performance backbone
+//! (docs/BENCHMARKS.md):
 //!
-//! * `benches/experiments.rs` — one Criterion target per paper artifact
-//!   (Table 2, Figure 9a/9b + Table 8, Figure 10, Figure 11 + Table 9,
-//!   Figure 12), each regenerating the artifact at smoke scale. Run the
-//!   `repro` binary for paper-scale numbers; these targets track the
-//!   wall-clock cost of the reproduction pipeline itself.
-//! * `benches/components.rs` — microbenchmarks of the building blocks:
-//!   POLB look-ups, POT walks, software `oid_direct`, cache accesses,
-//!   runtime allocation/transaction primitives, and core-model replay
-//!   throughput.
+//! * [`runner`] — a hand-rolled, fully offline benchmark runner
+//!   (calibration → warmup → fixed-count sampling → outlier rejection);
+//!   no criterion dependency, so the measurement protocol is pinned in
+//!   this repo rather than in a vendored stub.
+//! * [`stats`] — the order-statistics kernel (median/percentiles,
+//!   one-sided Tukey outlier fence).
+//! * [`suite`] — the hot-path benchmark definitions: POLB look-ups,
+//!   POT walks, cache/TLB hierarchy (including the PR-5 MRU fast
+//!   paths), trace encode/decode, `oid_direct`, in-order/OoO replay,
+//!   and the Figure-9 quick-matrix wall-clock budget.
+//! * [`report`] — the schema-versioned `BENCH_<n>.json` layout.
+//! * [`mod@compare`] — the regression comparator the CI gate and release
+//!   runs use against the last committed baseline.
+//!
+//! Binaries: `bench-run` (measure, write a report) and `bench-compare`
+//! (diff two reports, non-zero exit on regression). `scripts/bench.sh`
+//! drives both; `scripts/ci.sh` runs a smoke pass per commit.
+//!
+//! Two legacy criterion-compatible targets remain under `benches/`
+//! (`experiments.rs`, `components.rs`) for quick interactive use via
+//! `cargo bench`; the committed trajectory comes from `bench-run` only.
 
 #![warn(missing_docs)]
+
+pub mod compare;
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod suite;
+
+pub use compare::{compare, Comparison, DeltaKind, DEFAULT_THRESHOLD_PCT};
+pub use report::{BenchRecord, BenchReport, BudgetRecord, BuildMeta, BENCH_SCHEMA_VERSION};
+pub use runner::{BenchOptions, Runner};

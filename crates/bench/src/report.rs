@@ -1,0 +1,146 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! The `BENCH_<n>.json` schema: what a bench run commits to disk.
+//!
+//! A [`BenchReport`] is the durable perf trajectory of this repository —
+//! `scripts/bench.sh` emits one per baseline PR (committed at the repo
+//! root as `BENCH_<n>.json`), and the comparator ([`crate::compare()`])
+//! regresses every later run against the last committed file. The JSON
+//! layout is versioned by [`BENCH_SCHEMA_VERSION`] and documented
+//! field-by-field in docs/BENCHMARKS.md; bump the version on any
+//! breaking change to these structs.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the `BENCH_<n>.json` layout. Bumped on any breaking
+/// change; the comparator refuses to compare across versions.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Build/run provenance for one bench report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildMeta {
+    /// Git revision of the source tree (`"unknown"` outside a checkout).
+    pub git_revision: String,
+    /// Compilation profile the suite ran under (`"release"`/`"debug"`).
+    /// Committed baselines must be `"release"`; the comparator warns
+    /// when either side is not.
+    pub profile: String,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// context for judging whether two reports came from comparable
+    /// machines, not an input to any statistic.
+    pub host_parallelism: u32,
+}
+
+impl BuildMeta {
+    /// Collects provenance for the current process.
+    pub fn collect() -> Self {
+        BuildMeta {
+            git_revision: poat_telemetry::git_revision().unwrap_or_else(|| "unknown".to_string()),
+            profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+            host_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// One benchmark's result: order statistics over its per-iteration
+/// samples plus derived throughput.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Stable identity, `group/name` (e.g. `translation/polb_pipelined_hit`).
+    /// The comparator joins old and new reports on this field.
+    pub id: String,
+    /// Median nanoseconds per iteration — the primary statistic.
+    pub median_ns: f64,
+    /// 10th-percentile nanoseconds per iteration (fast tail).
+    pub p10_ns: f64,
+    /// 90th-percentile nanoseconds per iteration (slow tail).
+    pub p90_ns: f64,
+    /// Fastest sample that survived the outlier fence.
+    pub min_ns: f64,
+    /// Slowest sample that survived the outlier fence.
+    pub max_ns: f64,
+    /// Timing samples kept (after outlier rejection).
+    pub samples: u32,
+    /// Samples discarded by the outlier fence.
+    pub outliers_dropped: u32,
+    /// Iterations per timing sample (chosen by calibration).
+    pub iters: u64,
+    /// Logical operations one iteration performs (e.g. 32 POLB look-ups).
+    pub ops_per_iter: u64,
+    /// Derived throughput: `ops_per_iter / (median_ns · 1e-9)`.
+    pub ops_per_sec: f64,
+    /// Payload bytes per logical operation, for benchmarks with a
+    /// declared byte throughput (the trace encode/decode family reports
+    /// its measured B/op here); `null` otherwise.
+    pub bytes_per_op: Option<f64>,
+}
+
+/// One wall-clock budget check: a pipeline run that must complete within
+/// a fixed time box rather than be sampled repeatedly.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetRecord {
+    /// Stable identity, `budget/<name>` (e.g. `budget/fig9_quick_matrix`).
+    pub id: String,
+    /// Measured wall-clock of the single run, nanoseconds.
+    pub wall_ns: u64,
+    /// The budget, nanoseconds. Exceeding it fails `bench-run` in
+    /// `--mode committed` and is flagged by the comparator.
+    pub budget_ns: u64,
+    /// `wall_ns <= budget_ns`.
+    pub within_budget: bool,
+}
+
+/// A full bench run: provenance plus every record, in suite order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Layout version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Runner preset: `"committed"` (baseline scale) or `"smoke"` (CI).
+    pub mode: String,
+    /// Build/run provenance.
+    pub build: BuildMeta,
+    /// Microbenchmark results.
+    pub records: Vec<BenchRecord>,
+    /// Wall-clock budget checks.
+    pub budgets: Vec<BudgetRecord>,
+}
+
+impl BenchReport {
+    /// Renders the report as pretty-printed JSON (the committed format).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serialization is infallible")
+    }
+
+    /// Parses a report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or a shape mismatch with the current schema; a
+    /// `schema_version` newer than [`BENCH_SCHEMA_VERSION`] is rejected
+    /// so stale binaries cannot misread future layouts.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let report: BenchReport = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if report.schema_version > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench schema version {} is newer than this binary understands ({})",
+                report.schema_version, BENCH_SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Looks up a record by its `group/name` id.
+    pub fn record(&self, id: &str) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Looks up a budget check by id.
+    pub fn budget(&self, id: &str) -> Option<&BudgetRecord> {
+        self.budgets.iter().find(|b| b.id == id)
+    }
+}

@@ -1,0 +1,195 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! The statistics kernel behind every benchmark record.
+//!
+//! Everything here is deliberately boring: sorted-copy order statistics
+//! with linear interpolation, and a one-sided Tukey fence for outlier
+//! rejection. The bench harness reports **medians** as its primary
+//! statistic (docs/BENCHMARKS.md, "Noise and variance") because a median
+//! is insensitive to the long right tail that scheduler preemption and
+//! cache-warmup effects put on wall-clock samples.
+
+/// Median of a sample set (linear interpolation between the two middle
+/// elements for even counts). Returns 0 for an empty slice.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// The `q`-th percentile (`0 ≤ q ≤ 100`) of a sample set, by sorting a
+/// copy and interpolating linearly between the two nearest ranks (the
+/// same "linear" method as numpy's default). Returns 0 for an empty
+/// slice; `q` outside `[0, 100]` clamps to the extremes.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    percentile_sorted(&sorted, q)
+}
+
+/// [`percentile`] over an already ascending-sorted slice (no copy).
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Order statistics over one benchmark's per-iteration timing samples,
+/// after outlier rejection. All times are nanoseconds per iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleSummary {
+    /// Median time per iteration.
+    pub median_ns: f64,
+    /// 10th percentile (fast tail).
+    pub p10_ns: f64,
+    /// 90th percentile (slow tail).
+    pub p90_ns: f64,
+    /// Fastest surviving sample.
+    pub min_ns: f64,
+    /// Slowest surviving sample.
+    pub max_ns: f64,
+    /// Samples kept after the outlier fence.
+    pub samples_kept: u32,
+    /// Samples discarded by the outlier fence.
+    pub outliers_dropped: u32,
+}
+
+/// Summarizes raw per-iteration samples: sorts them, drops high-side
+/// outliers beyond the Tukey fence `Q3 + 1.5·IQR`, and computes the
+/// order statistics over the survivors.
+///
+/// The fence is one-sided on purpose. A wall-clock sample can only be
+/// *slower* than the true cost (preemption, interrupt, cold frequency
+/// governor), never meaningfully faster, so low samples are signal and
+/// high stragglers are noise. At least four samples are always kept so
+/// the percentiles stay defined even when the fence is tight.
+pub fn summarize(samples_ns: &[f64]) -> SampleSummary {
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    if sorted.is_empty() {
+        return SampleSummary {
+            median_ns: 0.0,
+            p10_ns: 0.0,
+            p90_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+            samples_kept: 0,
+            outliers_dropped: 0,
+        };
+    }
+    let q1 = percentile_sorted(&sorted, 25.0);
+    let q3 = percentile_sorted(&sorted, 75.0);
+    let fence = q3 + 1.5 * (q3 - q1);
+    let mut keep = sorted.iter().take_while(|&&s| s <= fence).count();
+    keep = keep.max(4.min(sorted.len()));
+    let dropped = sorted.len() - keep;
+    let kept = &sorted[..keep];
+    SampleSummary {
+        median_ns: percentile_sorted(kept, 50.0),
+        p10_ns: percentile_sorted(kept, 10.0),
+        p90_ns: percentile_sorted(kept, 90.0),
+        min_ns: kept[0],
+        max_ns: kept[keep - 1],
+        samples_kept: keep as u32,
+        outliers_dropped: dropped as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_is_middle_element() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn median_even_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn median_empty_is_zero() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(percentile(&[], 90.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_known_inputs() {
+        // 0..=100 inclusive: the q-th percentile is exactly q.
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 0.0);
+        assert_eq!(percentile(&xs, 10.0), 10.0);
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 90.0), 90.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // [10, 20]: the 25th percentile sits a quarter of the way up.
+        assert_eq!(percentile(&[20.0, 10.0], 25.0), 12.5);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_q() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+        assert_eq!(percentile(&xs, 250.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn summarize_drops_high_outliers_only() {
+        // 19 tight samples and one 100× straggler: the straggler is
+        // fenced out, the fast minimum survives.
+        let mut xs: Vec<f64> = (0..19).map(|i| 100.0 + i as f64).collect();
+        xs.push(10_000.0);
+        let s = summarize(&xs);
+        assert_eq!(s.outliers_dropped, 1);
+        assert_eq!(s.samples_kept, 19);
+        assert_eq!(s.min_ns, 100.0);
+        assert_eq!(s.max_ns, 118.0);
+        assert_eq!(s.median_ns, 109.0);
+        assert!(s.p10_ns >= 100.0 && s.p10_ns <= s.median_ns);
+        assert!(s.p90_ns >= s.median_ns && s.p90_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn summarize_keeps_at_least_four_samples() {
+        // A pathological set where the fence would cut to one sample.
+        let s = summarize(&[1.0, 1000.0, 2000.0, 3000.0, 4000.0]);
+        assert!(s.samples_kept >= 4);
+    }
+
+    #[test]
+    fn summarize_uniform_samples_unchanged() {
+        let s = summarize(&[50.0; 10]);
+        assert_eq!(s.outliers_dropped, 0);
+        assert_eq!(s.median_ns, 50.0);
+        assert_eq!(s.p10_ns, 50.0);
+        assert_eq!(s.p90_ns, 50.0);
+    }
+
+    #[test]
+    fn summarize_empty_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.samples_kept, 0);
+        assert_eq!(s.median_ns, 0.0);
+    }
+}

@@ -13,6 +13,10 @@
 //!
 //! Both use true-LRU replacement, which is practical at the modeled sizes
 //! (1–128 entries).
+//!
+//! Look-up cost on the host is a tracked hot path: the
+//! `translation/polb_*` benchmarks pin it in the committed
+//! `BENCH_<n>.json` baseline (docs/BENCHMARKS.md).
 
 use crate::addr::PAGE_BYTES;
 use crate::oid::{ObjectId, PoolId};

@@ -15,6 +15,11 @@
 //! * encountering an invalid entry during a walk means the translation is
 //!   missing and an exception must be raised (the OS may abort the program
 //!   or let a signal handler map the pool).
+//!
+//! Walk cost on the host is a tracked hot path: the
+//! `translation/pot_walk_*` benchmarks pin it at paper size (16384
+//! entries, 1000 pools) in the committed `BENCH_<n>.json` baseline
+//! (docs/BENCHMARKS.md).
 
 use std::fmt;
 

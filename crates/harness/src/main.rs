@@ -318,11 +318,7 @@ fn crash_sweep_main(mut args: impl Iterator<Item = String>) -> ! {
         write_trace(path);
     }
     if let Some(path) = &metrics_path {
-        let scale_label = match scale {
-            Scale::Full => "full",
-            Scale::Quick => "quick",
-        };
-        let manifest = poat_telemetry::RunManifest::collect("crash-sweep", scale_label, started);
+        let manifest = poat_telemetry::RunManifest::collect("crash-sweep", scale.label(), started);
         std::fs::write(
             path,
             poat_telemetry::global().snapshot(manifest).to_json_string(),
@@ -649,11 +645,7 @@ fn main() {
         eprintln!("timelines written to {}", dir.display());
     }
 
-    let scale_label = match scale {
-        Scale::Full => "full",
-        Scale::Quick => "quick",
-    };
-    let manifest = poat_telemetry::RunManifest::collect(&artifact, scale_label, started);
+    let manifest = poat_telemetry::RunManifest::collect(&artifact, scale.label(), started);
     let snapshot = poat_telemetry::global().snapshot(manifest.clone());
     let phases = phase_latency_text(&snapshot);
     if !phases.is_empty() {

@@ -45,6 +45,15 @@ impl Scale {
             Scale::Quick => 50,
         }
     }
+
+    /// The scale's name as it appears in run manifests and CLI flags
+    /// (`--scale quick`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+        }
+    }
 }
 
 /// The product of executing one workload natively: its dynamic trace and

@@ -553,8 +553,12 @@ impl Trace {
         self.summary
     }
 
-    /// The raw encoded columns, for serialization.
-    pub(crate) fn encoded_columns(&self) -> (&[u8], &[u8]) {
+    /// The raw encoded columns — `(tag spine, payload)` — for
+    /// serialization and offline tooling (`trace_io` writes them
+    /// verbatim; the bench suite measures `from_encoded` validation
+    /// over them). The byte layout is specified in DESIGN.md §5a,
+    /// including a worked single-op example.
+    pub fn encoded_columns(&self) -> (&[u8], &[u8]) {
         (&self.tags, &self.data)
     }
 
@@ -659,6 +663,44 @@ mod tests {
 
     fn va(x: u64) -> VirtAddr {
         VirtAddr::new(x)
+    }
+
+    #[test]
+    fn design_5a_worked_example_bytes() {
+        // DESIGN.md §5a's worked single-op example, pinned byte for
+        // byte: if this test breaks, the encoding changed and the doc
+        // must be updated in the same commit.
+        let pool3 = poat_core::PoolId::new(3).unwrap();
+        let mut t = Trace::new();
+        for _ in 0..7 {
+            t.push(TraceOp::Fence); // ids 0..=6
+        }
+        t.push(TraceOp::Load {
+            va: va(0x7F33_2000_1000),
+            dep: None,
+        }); // id 7: leaves prev_va = 0x7F33_2000_1000
+        t.push(TraceOp::NvLoad {
+            oid: ObjectId::new(pool3, 0x40),
+            va: va(0x7F33_2000_1000),
+            dep: None,
+        }); // id 8: leaves prev_oid = 0x3_0000_0040
+        let (tags_before, data_before) = {
+            let (tg, d) = t.encoded_columns();
+            (tg.len(), d.len())
+        };
+        let id = t.push(TraceOp::NvLoad {
+            oid: ObjectId::new(pool3, 0x80),
+            va: va(0x7F33_2000_1040),
+            dep: Some(7),
+        });
+        assert_eq!(id, 9);
+        let (tags, data) = t.encoded_columns();
+        assert_eq!(tags[tags_before..], [0x0B], "tag: flags=00001, kind=011");
+        assert_eq!(
+            data[data_before..],
+            [0x80, 0x01, 0x80, 0x01, 0x01],
+            "oid delta +64, va delta +64 (zigzag 128 each), dep backref 1"
+        );
     }
 
     fn collect(t: &Trace) -> Vec<TraceOp> {

@@ -4,6 +4,11 @@
 //! hierarchy returns the *total* access latency: the sum of the level
 //! latencies down to the hitting level, plus main memory on a full miss
 //! (3 / 11 / 38 / 158 cycles with the Table 4 defaults).
+//!
+//! `access` runs once per replayed memory op, so its host cost bounds
+//! replay throughput: the `memory/cache_*` benchmarks pin both the MRU
+//! way-hint hit path and the full miss/evict path in the committed
+//! `BENCH_<n>.json` baseline (docs/BENCHMARKS.md).
 
 use crate::config::{CacheLevelConfig, MemoryConfig};
 

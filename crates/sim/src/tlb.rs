@@ -1,4 +1,9 @@
 //! Data TLB model: fully associative, true-LRU over 4 KB page numbers.
+//!
+//! `access` runs once per replayed memory op, so its host cost bounds
+//! replay throughput: the `memory/tlb_*` benchmarks pin both the MRU
+//! entry-hint hit path and the full-scan miss path in the committed
+//! `BENCH_<n>.json` baseline (docs/BENCHMARKS.md).
 
 /// Hit/miss counters for the TLB.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

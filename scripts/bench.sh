@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Mint a committed perf baseline (BENCH_<n>.json) — docs/BENCHMARKS.md.
+#
+#   scripts/bench.sh [OUT.json] [--no-compare]
+#
+# Runs the full suite in committed mode (release build, long windows),
+# then — release discipline — hard-fails if the fresh numbers regress
+# against the latest committed BENCH_*.json before replacing it. Pass
+# --no-compare when minting on a different machine than the previous
+# baseline (cross-host medians are not comparable; the comparator
+# would warn about that anyway).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_6.json"
+do_compare=1
+for a in "$@"; do
+  case "$a" in
+    --no-compare) do_compare=0 ;;
+    -h|--help) sed -n '2,12p' "$0"; exit 0 ;;
+    *) out="$a" ;;
+  esac
+done
+
+echo "==> cargo build --release -p poat-bench (offline)"
+cargo build --release -p poat-bench --locked --offline
+
+# shellcheck disable=SC2012
+latest="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> bench-run --mode committed"
+./target/release/bench-run --mode committed --out "$tmp"
+
+if [[ "$do_compare" == 1 && -n "$latest" ]]; then
+  echo "==> bench-compare $latest (hard-fail on regression)"
+  ./target/release/bench-compare "$latest" "$tmp"
+fi
+
+mv "$tmp" "$out"
+trap - EXIT
+echo "==> baseline written to $out — commit it with the change it certifies"

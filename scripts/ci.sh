@@ -52,4 +52,19 @@ echo "==> repro crash-sweep smoke (offline)"
 cargo run --release -p poat-harness --bin repro --locked --offline -- \
   crash-sweep --scale quick --max-points 40
 
+echo "==> bench smoke + comparator (non-blocking, offline)"
+# Smoke-scale pass over the full suite: proves every benchmark body
+# still runs, then diffs against the latest committed BENCH_*.json.
+# --warn-only because CI machines are arbitrarily loaded and smoke
+# windows are short — regressions print but do not fail the gate.
+# Release runs enforce for real via scripts/bench.sh, which hard-fails
+# on regression before a new baseline is minted (docs/BENCHMARKS.md).
+cargo run --release -p poat-bench --bin bench-run --locked --offline -- \
+  --mode smoke --out "$trace_dir/bench_smoke.json"
+bench_baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -n "$bench_baseline" ]]; then
+  cargo run --release -p poat-bench --bin bench-compare --locked --offline -- \
+    "$bench_baseline" "$trace_dir/bench_smoke.json" --warn-only
+fi
+
 echo "==> ci.sh: all green"
