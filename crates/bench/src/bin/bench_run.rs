@@ -4,18 +4,21 @@
 //!
 //! ```text
 //! bench-run [--mode smoke|committed] [--out PATH] [--filter SUBSTR]
-//!           [--no-budget] [--list]
+//!           [--no-budget] [--list] [--ledger PATH]
 //! ```
 
 use poat_bench::{suite, BenchOptions};
 
-const USAGE: &str = "usage: bench-run [--mode smoke|committed] [--out PATH] [--filter SUBSTR] [--no-budget] [--list]\n\n\
+const USAGE: &str = "usage: bench-run [--mode smoke|committed] [--out PATH] [--filter SUBSTR] [--no-budget] [--list] [--ledger PATH]\n\n\
   --mode smoke      CI preset: short windows, fast, noisy\n\
   --mode committed  baseline preset (default): what scripts/bench.sh commits\n\
   --out PATH        write the JSON report here (default: stdout)\n\
   --filter SUBSTR   only run benchmarks whose group/name id contains SUBSTR\n\
   --no-budget       skip the fig9 quick-matrix wall-clock budget check\n\
-  --list            print benchmark ids without measuring and exit";
+  --list            print benchmark ids without measuring and exit\n\
+  --ledger PATH     append the report to the run ledger at PATH\n                    \
+(bench-compare --ledger reads its baseline back out;\n                    \
+docs/OBSERVABILITY.md)";
 
 fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
     args.next().unwrap_or_else(|| {
@@ -31,6 +34,7 @@ fn main() {
     let mut filter: Option<String> = None;
     let mut include_budget = true;
     let mut list = false;
+    let mut ledger: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "-h" | "--help" => {
@@ -48,6 +52,7 @@ fn main() {
             "--filter" => filter = Some(value_of("--filter", &mut args)),
             "--no-budget" => include_budget = false,
             "--list" => list = true,
+            "--ledger" => ledger = Some(value_of("--ledger", &mut args)),
             other => {
                 eprintln!("error: unknown argument `{other}`\n{USAGE}");
                 std::process::exit(2);
@@ -109,7 +114,7 @@ fn main() {
     let json = report.to_json_string();
     match &out {
         Some(path) => {
-            std::fs::write(path, json + "\n").unwrap_or_else(|e| {
+            std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
                 eprintln!("error: writing {path}: {e}");
                 std::process::exit(1);
             });
@@ -122,6 +127,41 @@ fn main() {
             );
         }
         None => println!("{json}"),
+    }
+
+    if let Some(path) = &ledger {
+        // One ledger record per bench run: the per-bench medians land as
+        // queryable gauges and the full report JSON rides in `extra`, so
+        // `bench-compare --ledger` can reconstruct the baseline.
+        let mut data = poat_ledger::RecordData {
+            timestamp_unix_secs: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            elapsed_micros: started.elapsed().as_micros() as u64,
+            command: "bench-run".to_string(),
+            scale: report.mode.clone(),
+            git_revision: poat_telemetry::git_revision().unwrap_or_else(|| "unknown".to_string()),
+            extra: json.clone().into_bytes(),
+            ..poat_ledger::RecordData::default()
+        };
+        for r in &report.records {
+            data.gauges.insert(
+                format!("bench.median_ns{{id={}}}", r.id),
+                r.median_ns as u64,
+            );
+        }
+        match poat_ledger::open_file(std::path::Path::new(path)) {
+            Ok(mut l) => match l.append(data) {
+                Ok(seq) => eprintln!(
+                    "ledger: appended {} ({} records in {path})",
+                    poat_ledger::run_id(seq),
+                    l.records().len()
+                ),
+                Err(e) => eprintln!("warning: ledger append to {path} failed: {e}"),
+            },
+            Err(e) => eprintln!("warning: opening ledger {path} failed: {e}"),
+        }
     }
 
     // A blown budget fails a committed run: the baseline being minted

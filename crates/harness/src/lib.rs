@@ -37,6 +37,7 @@ pub mod ablations;
 pub mod crash_sweep;
 pub mod csv;
 pub mod experiments;
+pub mod hud;
 pub mod report;
 pub mod runner;
 pub mod timeline;

@@ -4,6 +4,9 @@
 //! ```text
 //! repro <artifact> [--quick] [--json PATH] [--csv DIR] [--metrics PATH]
 //!                  [--trace PATH] [--trace-sample N] [--timeline DIR]
+//!                  [--profile] [--flame PATH] [--hud SECS]
+//!                  [--ledger PATH] [--no-ledger]
+//! repro report [--ledger PATH] [--last N] [--metric NAME] [--diff A:B]
 //!
 //! artifacts: table2 | fig9a | fig9b | table8 | instrs | fig10
 //!            | fig11 | table9 | fig12 | ablations | seeds | all
@@ -13,9 +16,12 @@
 //! gauge and histogram accumulated during the run, plus a run manifest)
 //! as versioned JSON — see `docs/METRICS.md` for the schema. `--trace`
 //! and `--timeline` enable event-level tracing — see `docs/TRACING.md`.
+//! Every run also appends one record to the durable run ledger
+//! (`repro report` queries it), `--profile`/`--flame` drive the
+//! span-tree profiler, and `--hud` the worker-pool HUD — see
+//! `docs/OBSERVABILITY.md`.
 
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::time::Instant;
 
 use poat_harness::experiments::{
@@ -28,10 +34,16 @@ use poat_harness::{ablations, csv, timeline};
 use poat_telemetry::events;
 
 const USAGE: &str = "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
-[--quick] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR]\n       \
+[--quick] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR] \
+[--profile] [--flame PATH] [--hud SECS] [--ledger PATH] [--no-ledger]\n       \
+repro report [--ledger PATH] [--last N] [--metric NAME] [--command FILTER] [--diff A:B]\n       \
 repro crash-sweep [--scale quick|full] [--workload BENCH:PATTERN] [--inject clean|torn|drop-clwb|all] \
-[--max-points N] [--replay POINT:SEED] [--metrics PATH] [--trace PATH] [--trace-sample N]\n       \
+[--max-points N] [--replay POINT:SEED] [--metrics PATH] [--trace PATH] [--trace-sample N] \
+[--ledger PATH] [--no-ledger]\n       \
 repro trace-roundtrip [--scale quick|full] [--workload BENCH:PATTERN] [--dir DIR]";
+
+/// Where runs land unless `--ledger`/`--no-ledger` says otherwise.
+const DEFAULT_LEDGER: &str = ".poat/ledger.poatlgr";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -65,6 +77,16 @@ fn help() -> ! {
          --max-points N           evenly-spaced sample of N points per workload\n  \
          --replay POINT:SEED      re-execute one crash point deterministically\n                           \
          (requires --workload; combine with --trace)\n\n\
+         report (docs/OBSERVABILITY.md):\n  \
+         queries the durable run ledger; every repro/bench run appends\n  \
+         one record (manifest, counters, gauges, histogram summaries).\n  \
+         --ledger PATH            ledger file (default: .poat/ledger.poatlgr)\n  \
+         --last N                 only the newest N records\n  \
+         --command FILTER         only records whose command contains FILTER\n  \
+         --metric NAME            print NAME per record (histograms as\n                           \
+         name:p50/p90/p99/mean/count/sum/max) and\n                           \
+         the delta between the two newest records\n  \
+         --diff A:B               diff two records (run ids or seq numbers)\n\n\
          trace-roundtrip:\n  \
          records workload traces, saves each to disk, loads it back, and\n  \
          replays both copies on both core models; non-zero exit if any\n  \
@@ -82,6 +104,15 @@ fn help() -> ! {
          Format JSON (load in Perfetto; docs/TRACING.md)\n  \
          --trace-sample N   trace every Nth access only (default: all)\n  \
          --timeline DIR     per-workload windowed timelines as CSV into DIR\n  \
+         --profile          span-tree profiler: per-phase self-time table\n                     \
+         (sampled per --trace-sample; docs/OBSERVABILITY.md)\n  \
+         --flame PATH       write a collapsed-stack flamegraph (inferno\n                     \
+         format; implies --profile)\n  \
+         --hud SECS         live worker-pool HUD: a progress line every\n                     \
+         SECS seconds plus the stall watchdog\n  \
+         --ledger PATH      append this run's record to the ledger at PATH\n                     \
+         (default: .poat/ledger.poatlgr; see `repro report`)\n  \
+         --no-ledger        skip the ledger append\n  \
          -h, --help         this help"
     );
     std::process::exit(0);
@@ -93,6 +124,318 @@ fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> String {
         eprintln!("error: missing value for {flag}\n{USAGE}");
         std::process::exit(2);
     })
+}
+
+/// Wall-clock seconds since the Unix epoch (for ledger records).
+fn unix_now_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// `results_full.json` + `run000007` → `results_full-run000007.json`:
+/// the per-run artifact name that stops successive runs clobbering each
+/// other (the plain name stays as the "latest" copy for scripts).
+fn with_run_id(path: &str, run_id: &str) -> String {
+    let p = std::path::Path::new(path);
+    match (
+        p.file_stem().and_then(|s| s.to_str()),
+        p.extension().and_then(|e| e.to_str()),
+    ) {
+        (Some(stem), Some(ext)) => p
+            .with_file_name(format!("{stem}-{run_id}.{ext}"))
+            .display()
+            .to_string(),
+        _ => format!("{path}-{run_id}"),
+    }
+}
+
+/// Writes an output artifact under its run-id name (when the run was
+/// ledgered) plus the plain "latest" name scripts rely on.
+fn write_artifact(what: &str, path: &str, run_id: Option<&str>, contents: &str) {
+    if let Some(id) = run_id {
+        let versioned = with_run_id(path, id);
+        std::fs::write(&versioned, contents).unwrap_or_else(|e| panic!("writing {versioned}: {e}"));
+        std::fs::write(path, contents).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("{what} written to {versioned} (latest copy: {path})");
+    } else {
+        std::fs::write(path, contents).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("{what} written to {path}");
+    }
+}
+
+/// Appends one record for this run to the ledger at `path`, returning
+/// the assigned run id. Ledger failures degrade to a warning — a broken
+/// ledger must not lose an hour-long experiment run.
+fn append_to_ledger(path: &str, snapshot: &poat_telemetry::MetricsSnapshot) -> Option<String> {
+    let data = poat_ledger::RecordData::from_snapshot(snapshot, unix_now_secs());
+    match poat_ledger::open_file(std::path::Path::new(path)) {
+        Ok(mut ledger) => match ledger.append(data) {
+            Ok(seq) => {
+                let id = poat_ledger::run_id(seq);
+                eprintln!(
+                    "ledger: appended {id} ({} records in {path})",
+                    ledger.records().len()
+                );
+                Some(id)
+            }
+            Err(e) => {
+                eprintln!("warning: ledger append to {path} failed: {e}");
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: opening ledger {path} failed: {e}");
+            None
+        }
+    }
+}
+
+/// Renders the span-tree profile: one row per path (indented by depth),
+/// self vs total time, and per-invocation self-time percentiles.
+fn profile_text(snap: &poat_telemetry::profile::ProfileSnapshot) -> String {
+    let mut t = TextTable::new(
+        "Span-tree profile (wall-clock; self excludes children; ns percentiles per invocation)",
+        &[
+            "Phase", "Count", "Total ms", "Self ms", "Self %", "p50", "p90", "p99",
+        ],
+    );
+    let root_total = snap.root_total_nanos().max(1);
+    for p in &snap.paths {
+        t.row(vec![
+            format!("{}{}", "  ".repeat(p.depth), p.name),
+            p.count.to_string(),
+            format!("{:.2}", p.total_nanos as f64 / 1e6),
+            format!("{:.2}", p.self_nanos as f64 / 1e6),
+            format!("{:.1}", 100.0 * p.self_nanos as f64 / root_total as f64),
+            p.self_p50.to_string(),
+            p.self_p90.to_string(),
+            p.self_p99.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Parses a `--diff` operand: a `run000007`-style id or a bare
+/// sequence number.
+fn parse_run_ref(s: &str) -> Option<u64> {
+    s.strip_prefix("run").unwrap_or(s).parse().ok()
+}
+
+/// Prints the metric-level diff between two ledger records: the named
+/// metric when one was given, otherwise the largest relative changes.
+fn print_record_diff(
+    a: &poat_ledger::LedgerRecord,
+    b: &poat_ledger::LedgerRecord,
+    metric: Option<&str>,
+) {
+    let delta_text = |va: u64, vb: u64| {
+        let d = vb as i128 - va as i128;
+        let rel = if va > 0 {
+            format!(" ({:+.1}%)", 100.0 * d as f64 / va as f64)
+        } else {
+            String::new()
+        };
+        format!("{d:+}{rel}")
+    };
+    println!(
+        "diff {} ({} @ {}) -> {} ({} @ {})",
+        a.run_id(),
+        a.data.command,
+        a.data.timestamp_unix_secs,
+        b.run_id(),
+        b.data.command,
+        b.data.timestamp_unix_secs
+    );
+    if let Some(name) = metric {
+        match (a.data.metric(name), b.data.metric(name)) {
+            (Some(va), Some(vb)) => {
+                println!("{name}: {va} -> {vb}  {}", delta_text(va, vb));
+            }
+            (va, vb) => {
+                eprintln!(
+                    "error: metric `{name}` missing ({}: {va:?}, {}: {vb:?})",
+                    a.run_id(),
+                    b.run_id()
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut changed: Vec<(String, u64, u64, f64)> = Vec::new();
+    let mut names: Vec<String> = a.data.metric_names();
+    names.extend(b.data.metric_names());
+    names.sort();
+    names.dedup();
+    let total = names.len();
+    for name in names {
+        let (va, vb) = (
+            a.data.metric(&name).unwrap_or(0),
+            b.data.metric(&name).unwrap_or(0),
+        );
+        if va != vb {
+            let rel = (vb as f64 - va as f64).abs() / (va.max(1) as f64);
+            changed.push((name, va, vb, rel));
+        }
+    }
+    changed.sort_by(|x, y| y.3.total_cmp(&x.3));
+    const SHOW: usize = 20;
+    for (name, va, vb, _) in changed.iter().take(SHOW) {
+        println!("{name}: {va} -> {vb}  {}", delta_text(*va, *vb));
+    }
+    println!(
+        "{} of {} metrics changed{}",
+        changed.len(),
+        total,
+        if changed.len() > SHOW {
+            format!(" (showing the {SHOW} largest relative changes)")
+        } else {
+            String::new()
+        }
+    );
+}
+
+/// The `repro report` entry point: lists, filters, and diffs the durable
+/// run ledger (docs/OBSERVABILITY.md).
+fn report_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut ledger_path = DEFAULT_LEDGER.to_string();
+    let mut last: Option<usize> = None;
+    let mut metric: Option<String> = None;
+    let mut command_filter: Option<String> = None;
+    let mut diff: Option<(u64, u64)> = None;
+    let bad = |flag: &str, v: &str| -> ! {
+        eprintln!("error: bad value `{v}` for {flag}\n{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => help(),
+            "--ledger" => ledger_path = value_of("--ledger", &mut args),
+            "--last" => {
+                let v = value_of("--last", &mut args);
+                last = Some(v.parse().unwrap_or_else(|_| bad("--last", &v)));
+            }
+            "--metric" => metric = Some(value_of("--metric", &mut args)),
+            "--command" => command_filter = Some(value_of("--command", &mut args)),
+            "--diff" => {
+                let v = value_of("--diff", &mut args);
+                let parsed = v
+                    .split_once(':')
+                    .and_then(|(x, y)| Some((parse_run_ref(x)?, parse_run_ref(y)?)));
+                diff = Some(parsed.unwrap_or_else(|| bad("--diff", &v)));
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ledger = poat_ledger::open_file(std::path::Path::new(&ledger_path)).unwrap_or_else(|e| {
+        eprintln!("error: opening ledger {ledger_path}: {e}");
+        std::process::exit(1);
+    });
+    let scan = ledger.scan_report();
+    if scan.torn_tail_bytes > 0 {
+        eprintln!(
+            "warning: truncated a torn tail of {} bytes ({})",
+            scan.torn_tail_bytes,
+            scan.torn_reason.as_deref().unwrap_or("unknown"),
+        );
+    }
+
+    if let Some((a, b)) = diff {
+        let (ra, rb) = (
+            ledger.get(a).unwrap_or_else(|| {
+                eprintln!("error: no record with sequence {a} in {ledger_path}");
+                std::process::exit(1);
+            }),
+            ledger.get(b).unwrap_or_else(|| {
+                eprintln!("error: no record with sequence {b} in {ledger_path}");
+                std::process::exit(1);
+            }),
+        );
+        print_record_diff(ra, rb, metric.as_deref());
+        std::process::exit(0);
+    }
+
+    let filtered: Vec<&poat_ledger::LedgerRecord> = ledger
+        .records()
+        .iter()
+        .filter(|r| {
+            command_filter
+                .as_deref()
+                .map_or(true, |f| r.data.command.contains(f))
+        })
+        .collect();
+    let shown = match last {
+        Some(n) => &filtered[filtered.len().saturating_sub(n)..],
+        None => &filtered[..],
+    };
+
+    match &metric {
+        Some(name) => {
+            let mut t = TextTable::new(
+                &format!("{name} by run ({ledger_path})"),
+                &["Run", "Command", "Scale", "Timestamp", name],
+            );
+            for r in shown {
+                t.row(vec![
+                    r.run_id(),
+                    r.data.command.clone(),
+                    r.data.scale.clone(),
+                    r.data.timestamp_unix_secs.to_string(),
+                    r.data
+                        .metric(name)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                ]);
+            }
+            println!("{}", t.render());
+            if let [.., prev, newest] = shown {
+                if let (Some(va), Some(vb)) = (prev.data.metric(name), newest.data.metric(name)) {
+                    let d = vb as i128 - va as i128;
+                    let rel = if va > 0 {
+                        format!(" ({:+.2}%)", 100.0 * d as f64 / va as f64)
+                    } else {
+                        String::new()
+                    };
+                    println!("delta {} -> {}: {d:+}{rel}", prev.run_id(), newest.run_id());
+                }
+            }
+        }
+        None => {
+            let mut t = TextTable::new(
+                &format!("Run ledger ({ledger_path})"),
+                &[
+                    "Run",
+                    "Command",
+                    "Scale",
+                    "Timestamp",
+                    "Elapsed s",
+                    "Revision",
+                    "Metrics",
+                ],
+            );
+            for r in shown {
+                t.row(vec![
+                    r.run_id(),
+                    r.data.command.clone(),
+                    r.data.scale.clone(),
+                    r.data.timestamp_unix_secs.to_string(),
+                    format!("{:.1}", r.data.elapsed_micros as f64 / 1e6),
+                    r.data.git_revision.chars().take(12).collect(),
+                    (r.data.counters.len() + r.data.gauges.len() + r.data.histograms.len())
+                        .to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+    }
+    println!("{} records in {ledger_path}", ledger.records().len());
+    std::process::exit(0);
 }
 
 /// Renders the phase-latency percentile table from the metrics registry
@@ -212,6 +555,7 @@ fn crash_sweep_main(mut args: impl Iterator<Item = String>) -> ! {
     let mut trace_path: Option<String> = None;
     let mut trace_sample: u64 = 1;
     let mut metrics_path: Option<String> = None;
+    let mut ledger_path: Option<String> = Some(DEFAULT_LEDGER.to_string());
     let bad = |flag: &str, v: &str| -> ! {
         eprintln!("error: bad value `{v}` for {flag}\n{USAGE}");
         std::process::exit(2);
@@ -254,6 +598,8 @@ fn crash_sweep_main(mut args: impl Iterator<Item = String>) -> ! {
                 trace_sample = v.parse().unwrap_or_else(|_| bad("--trace-sample", &v));
             }
             "--metrics" => metrics_path = Some(value_of("--metrics", &mut args)),
+            "--ledger" => ledger_path = Some(value_of("--ledger", &mut args)),
+            "--no-ledger" => ledger_path = None,
             other => {
                 eprintln!("error: unknown argument `{other}`\n{USAGE}");
                 std::process::exit(2);
@@ -317,14 +663,20 @@ fn crash_sweep_main(mut args: impl Iterator<Item = String>) -> ! {
     if let Some(path) = &trace_path {
         write_trace(path);
     }
-    if let Some(path) = &metrics_path {
+    if metrics_path.is_some() || ledger_path.is_some() {
         let manifest = poat_telemetry::RunManifest::collect("crash-sweep", scale.label(), started);
-        std::fs::write(
-            path,
-            poat_telemetry::global().snapshot(manifest).to_json_string(),
-        )
-        .expect("write metrics snapshot");
-        eprintln!("metrics snapshot written to {path}");
+        let snapshot = poat_telemetry::global().snapshot(manifest);
+        let run_id = ledger_path
+            .as_deref()
+            .and_then(|path| append_to_ledger(path, &snapshot));
+        if let Some(path) = &metrics_path {
+            write_artifact(
+                "metrics snapshot",
+                path,
+                run_id.as_deref(),
+                &snapshot.to_json_string(),
+            );
+        }
     }
     eprintln!(
         "[crash-sweep @ {scale:?}] completed in {:.1}s",
@@ -473,6 +825,9 @@ fn main() {
     if artifact == "trace-roundtrip" {
         trace_roundtrip_main(args);
     }
+    if artifact == "report" {
+        report_main(args);
+    }
     let mut scale = Scale::Full;
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
@@ -480,6 +835,10 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut trace_sample: u64 = 1;
     let mut timeline_dir: Option<std::path::PathBuf> = None;
+    let mut profile_on = false;
+    let mut flame_path: Option<String> = None;
+    let mut hud_secs: Option<u64> = None;
+    let mut ledger_path: Option<String> = Some(DEFAULT_LEDGER.to_string());
     while let Some(a) = args.next() {
         match a.as_str() {
             "-h" | "--help" => help(),
@@ -504,11 +863,35 @@ fn main() {
                 std::fs::create_dir_all(&d).expect("create timeline output directory");
                 timeline_dir = Some(d);
             }
+            "--profile" => profile_on = true,
+            "--flame" => {
+                flame_path = Some(value_of("--flame", &mut args));
+                profile_on = true;
+            }
+            "--hud" => {
+                let v = value_of("--hud", &mut args);
+                let secs: u64 = v.parse().ok().filter(|s| *s > 0).unwrap_or_else(|| {
+                    eprintln!("error: --hud expects a positive number of seconds, got `{v}`");
+                    std::process::exit(2);
+                });
+                hud_secs = Some(secs);
+            }
+            "--ledger" => ledger_path = Some(value_of("--ledger", &mut args)),
+            "--no-ledger" => ledger_path = None,
             other => {
                 eprintln!("error: unknown argument `{other}`\n{USAGE}");
                 std::process::exit(2);
             }
         }
+    }
+
+    if profile_on {
+        poat_telemetry::profile::set_sample(trace_sample);
+        poat_telemetry::profile::set_enabled(true);
+    }
+    if let Some(secs) = hud_secs {
+        poat_harness::hud::set_sink(Box::new(|line: &str| eprintln!("{line}")));
+        poat_harness::hud::set_interval(Some(std::time::Duration::from_secs(secs)));
     }
 
     if trace_path.is_some() || timeline_dir.is_some() {
@@ -645,30 +1028,64 @@ fn main() {
         eprintln!("timelines written to {}", dir.display());
     }
 
+    // The profile publishes into the registry *before* the snapshot is
+    // cut, so the metrics file and the ledger record both carry the
+    // per-phase `profile.*` counters.
+    let profile_snap = if profile_on {
+        poat_telemetry::profile::set_enabled(false);
+        let snap = poat_telemetry::profile::snapshot();
+        snap.publish(poat_telemetry::global());
+        Some(snap)
+    } else {
+        None
+    };
+
     let manifest = poat_telemetry::RunManifest::collect(&artifact, scale.label(), started);
     let snapshot = poat_telemetry::global().snapshot(manifest.clone());
     let phases = phase_latency_text(&snapshot);
     if !phases.is_empty() {
         println!("{phases}");
     }
+    if let Some(prof) = &profile_snap {
+        if prof.is_empty() {
+            eprintln!("profile: nothing recorded (no profiled scopes ran)");
+        } else {
+            println!("{}", profile_text(prof));
+            let (self_sum, root_total) = (prof.total_self_nanos(), prof.root_total_nanos());
+            eprintln!(
+                "profile: self-times cover {self_sum} of {root_total} root ns ({:.3}%)",
+                100.0 * self_sum as f64 / root_total.max(1) as f64
+            );
+        }
+        if let Some(path) = &flame_path {
+            std::fs::write(path, prof.collapsed()).expect("write collapsed-stack flamegraph");
+            eprintln!(
+                "flamegraph written to {path} ({} stacks, collapsed format — \
+                 feed to inferno-flamegraph)",
+                prof.collapsed().lines().count()
+            );
+        }
+    }
+
+    let run_id = ledger_path
+        .as_deref()
+        .and_then(|path| append_to_ledger(path, &snapshot));
 
     if let Some(path) = json_path {
         json.insert(
             "manifest".into(),
             serde_json::to_value(&manifest).expect("serialize manifest"),
         );
-        let mut f = std::fs::File::create(&path).expect("create json output");
-        f.write_all(
-            serde_json::to_string_pretty(&json)
-                .expect("serialize results")
-                .as_bytes(),
-        )
-        .expect("write json output");
-        eprintln!("results written to {path}");
+        let contents = serde_json::to_string_pretty(&json).expect("serialize results");
+        write_artifact("results", &path, run_id.as_deref(), &contents);
     }
     if let Some(path) = metrics_path {
-        std::fs::write(&path, snapshot.to_json_string()).expect("write metrics snapshot");
-        eprintln!("metrics snapshot written to {path}");
+        write_artifact(
+            "metrics snapshot",
+            &path,
+            run_id.as_deref(),
+            &snapshot.to_json_string(),
+        );
     }
     eprintln!(
         "[{artifact} @ {scale:?}] completed in {:.1}s",

@@ -134,11 +134,13 @@ pub fn run_micro_seeded(
     let mut rt = Runtime::new(cfg);
     let label = format!("{bench}/{pattern}/{config}");
     let _scope = poat_telemetry::run_scope(&label);
+    let exec_prof = poat_telemetry::profile::scope(poat_telemetry::PHASE_WORKLOAD_EXEC);
     let exec_span = poat_telemetry::global().span(poat_telemetry::PHASE_WORKLOAD_EXEC);
     let report = bench
         .run_ops(&mut rt, pattern, seed, scale.ops(bench))
         .unwrap_or_else(|e| panic!("{bench}/{pattern}/{config}: {e}"));
     drop(exec_span);
+    drop(exec_prof);
     let trace = rt.take_trace();
     let run = WorkloadRun {
         label,
@@ -190,10 +192,12 @@ pub fn run_tpcc(pattern: TpccPattern, config: ExpConfig, scale: Scale) -> Worklo
     let setup_xlat = rt.xlat_stats();
     let label = format!("TPCC/{pattern}/{config}");
     let _scope = poat_telemetry::run_scope(&label);
+    let exec_prof = poat_telemetry::profile::scope(poat_telemetry::PHASE_WORKLOAD_EXEC);
     let exec_span = poat_telemetry::global().span(poat_telemetry::PHASE_WORKLOAD_EXEC);
     tpcc.run(&mut rt, scale.tpcc_transactions())
         .unwrap_or_else(|e| panic!("tpcc run {pattern}/{config}: {e}"));
     drop(exec_span);
+    drop(exec_prof);
     let trace = rt.take_trace();
     let mut xlat = rt.xlat_stats();
     xlat.calls -= setup_xlat.calls;
@@ -242,6 +246,7 @@ pub fn simulate_with(run: &WorkloadRun, core: Core, cfg: SimConfig) -> SimResult
     // keeps this run's span samples out of every other run's
     // distribution (the unscoped series still aggregates all of them).
     let _scope = poat_telemetry::run_scope(&run.label);
+    let _sim_prof = poat_telemetry::profile::scope(poat_telemetry::PHASE_POLB_SIM);
     let _sim_span = poat_telemetry::global().span(poat_telemetry::PHASE_POLB_SIM);
     match core {
         Core::InOrder => simulate_inorder(&run.trace, &run.state, &cfg),
@@ -285,15 +290,28 @@ where
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let results_mutex = Mutex::new(&mut results);
     let workers = max_workers.max(1).min(n.max(1));
+    let monitor = crate::hud::PoolMonitor::new("map", workers, n as u64);
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let next = queue.lock().unwrap().pop_front();
-                let Some((i, item)) = next else { break };
-                let r = f(item);
-                results_mutex.lock().unwrap()[i] = Some(r);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (queue, results_mutex, monitor, f) = (&queue, &results_mutex, &monitor, &f);
+                s.spawn(move || loop {
+                    let next = queue.lock().unwrap().pop_front();
+                    let Some((i, item)) = next else { break };
+                    let task_started = monitor.begin(w);
+                    let r = f(item);
+                    monitor.end(w, task_started);
+                    results_mutex.lock().unwrap()[i] = Some(r);
+                })
+            })
+            .collect();
+        if crate::hud::interval().is_some() {
+            s.spawn(|| monitor.run_watchdog());
         }
+        for h in handles {
+            let _ = h.join();
+        }
+        monitor.finish();
     });
     results
         .into_iter()

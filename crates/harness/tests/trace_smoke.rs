@@ -18,6 +18,7 @@ fn repro_quick_trace_emits_wellformed_chrome_json() {
         .args([
             "fig9a",
             "--quick",
+            "--no-ledger",
             "--trace",
             trace.to_str().unwrap(),
             "--timeline",

@@ -26,6 +26,7 @@ use poat_core::VirtAddr;
 use poat_nvm::PageTable;
 use poat_pmem::{MachineState, Trace, TraceOp};
 use poat_telemetry::events::{self, EventKind, TraceDesign};
+use poat_telemetry::profile;
 
 use crate::cache::MemoryHierarchy;
 use crate::config::SimConfig;
@@ -40,6 +41,29 @@ pub(crate) fn phys_of(pt: &PageTable, va: VirtAddr) -> u64 {
     match pt.translate(va) {
         Some(pa) => pa.raw(),
         None => va.raw() | (1 << 47),
+    }
+}
+
+/// Wraps a replayed op stream so each pull — where the compact trace's
+/// LEB128 columns are actually parsed — is attributed to the
+/// `replay_decode` profile phase. Costs two relaxed atomic loads per op
+/// when profiling is off.
+pub(crate) struct DecodeProfiled<I> {
+    pub(crate) inner: I,
+}
+
+impl<I: Iterator<Item = TraceOp>> Iterator for DecodeProfiled<I> {
+    type Item = TraceOp;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceOp> {
+        let _op = profile::begin_op();
+        let _decode_prof = profile::hot_scope("replay_decode");
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
     }
 }
 
@@ -75,6 +99,7 @@ pub fn simulate_inorder_ops(
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
     let _replay_span = poat_telemetry::global().span(poat_telemetry::PHASE_TRACE_REPLAY);
+    let _replay_prof = profile::scope(poat_telemetry::PHASE_TRACE_REPLAY);
     let mut hier = MemoryHierarchy::new(&cfg.mem);
     let mut tlb = Tlb::new(cfg.mem.dtlb_entries);
     let mut xlate = TranslationUnit::new(cfg.translation, state);
@@ -88,7 +113,9 @@ pub fn simulate_inorder_ops(
         TraceDesign::Pipelined
     };
 
-    let ops = ops.into_iter();
+    let ops = DecodeProfiled {
+        inner: ops.into_iter(),
+    };
     // Completion (value-ready) time of each op, for load-to-use stalls.
     // Grown as the stream is consumed; a dep outside the recorded range
     // (or on a non-memory op) reads as ready-at-zero.
@@ -98,6 +125,7 @@ pub fn simulate_inorder_ops(
     let mut instructions: u64 = 0;
 
     for op in ops {
+        let _op_prof = profile::begin_op();
         instructions += op.instructions();
         let dep = match op {
             TraceOp::Load { dep, .. }
@@ -122,6 +150,7 @@ pub fn simulate_inorder_ops(
                     cycles = cycles.max(complete.get(d as usize).copied().unwrap_or(0));
                 }
                 let mut value_latency = l1;
+                let is_nv = matches!(op, TraceOp::NvLoad { .. });
                 if let TraceOp::NvLoad { oid, .. } = op {
                     events::begin_access(
                         EventKind::NvLoad,
@@ -130,6 +159,7 @@ pub fn simulate_inorder_ops(
                         cycles,
                         oid.pool_raw(),
                     );
+                    let _xlate_prof = profile::hot_scope("xlate");
                     let extra = match xlate.translate(oid, va) {
                         TranslateOutcome::Ok { extra_cycles }
                         | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -141,10 +171,11 @@ pub fn simulate_inorder_ops(
                         // POLB hit: lengthens the load-to-use latency.
                         value_latency += extra;
                     }
-                    if !parallel_design && !tlb.access(va.raw()) {
-                        cycles += cfg.mem.tlb_miss_penalty;
-                    }
-                } else if !tlb.access(va.raw()) {
+                }
+                let _mem_prof = profile::hot_scope("cache_tlb");
+                // The Parallel POLB holds physical frames, so an nvld
+                // hit skips the TLB.
+                if !(is_nv && parallel_design) && !tlb.access(va.raw()) {
                     cycles += cfg.mem.tlb_miss_penalty;
                 }
                 let lat = hier.access(phys_of(pt, va));
@@ -157,6 +188,7 @@ pub fn simulate_inorder_ops(
                 if let Some(d) = dep {
                     cycles = cycles.max(complete.get(d as usize).copied().unwrap_or(0));
                 }
+                let is_nv = matches!(op, TraceOp::NvStore { .. });
                 if let TraceOp::NvStore { oid, .. } = op {
                     events::begin_access(
                         EventKind::NvStore,
@@ -165,6 +197,7 @@ pub fn simulate_inorder_ops(
                         cycles,
                         oid.pool_raw(),
                     );
+                    let _xlate_prof = profile::hot_scope("xlate");
                     let extra = match xlate.translate(oid, va) {
                         TranslateOutcome::Ok { extra_cycles }
                         | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
@@ -172,10 +205,9 @@ pub fn simulate_inorder_ops(
                     // Store addresses are buffered; only a POLB *miss*
                     // stalls (the POT walk blocks address generation).
                     cycles += extra.saturating_sub(hit_extra);
-                    if !parallel_design && !tlb.access(va.raw()) {
-                        cycles += cfg.mem.tlb_miss_penalty;
-                    }
-                } else if !tlb.access(va.raw()) {
+                }
+                let _mem_prof = profile::hot_scope("cache_tlb");
+                if !(is_nv && parallel_design) && !tlb.access(va.raw()) {
                     cycles += cfg.mem.tlb_miss_penalty;
                 }
                 // Stores retire through the store buffer: the cache is
@@ -185,6 +217,7 @@ pub fn simulate_inorder_ops(
             }
             TraceOp::Clwb { va } => {
                 cycles += cfg.mem.clwb_latency;
+                let _mem_prof = profile::hot_scope("cache_tlb");
                 hier.access(phys_of(pt, va));
             }
             TraceOp::Fence => cycles += 1,

@@ -25,10 +25,11 @@ use std::collections::VecDeque;
 use poat_core::PolbDesign;
 use poat_pmem::{MachineState, Trace, TraceOp};
 use poat_telemetry::events::{self, EventKind, TraceDesign};
+use poat_telemetry::profile;
 
 use crate::cache::MemoryHierarchy;
 use crate::config::SimConfig;
-use crate::inorder::phys_of;
+use crate::inorder::{phys_of, DecodeProfiled};
 use crate::result::{SimError, SimResult};
 use crate::tlb::Tlb;
 use crate::xlate::{TranslateOutcome, TranslationUnit};
@@ -70,6 +71,7 @@ pub fn simulate_ooo_ops(
     }
 
     let _replay_span = poat_telemetry::global().span(poat_telemetry::PHASE_TRACE_REPLAY);
+    let _replay_prof = profile::scope(poat_telemetry::PHASE_TRACE_REPLAY);
     let mut hier = MemoryHierarchy::new(&cfg.mem);
     let mut tlb = Tlb::new(cfg.mem.dtlb_entries);
     let mut xlate = TranslationUnit::new(cfg.translation, state);
@@ -82,7 +84,9 @@ pub fn simulate_ooo_ops(
     let misp = cfg.core.branch_misp_penalty;
     let hit_extra = cfg.translation.hit_latency_cycles();
 
-    let ops = ops.into_iter();
+    let ops = DecodeProfiled {
+        inner: ops.into_iter(),
+    };
     // Completion time of each op, for dependency resolution. Grown as the
     // stream is consumed; a dep outside the recorded range reads as
     // ready-at-zero.
@@ -102,6 +106,7 @@ pub fn simulate_ooo_ops(
     let mut instructions: u64 = 0;
 
     for op in ops {
+        let _op_prof = profile::begin_op();
         let k = op.instructions();
         instructions += k;
         // An Exec batch can exceed the ROB; it streams through, so its ROB
@@ -166,6 +171,7 @@ pub fn simulate_ooo_ops(
                 done
             }
             TraceOp::Load { va, .. } => {
+                let _mem_prof = profile::hot_scope("cache_tlb");
                 let t = if tlb.access(va.raw()) {
                     0
                 } else {
@@ -185,6 +191,7 @@ pub fn simulate_ooo_ops(
                 }
             }
             TraceOp::Store { va, .. } => {
+                let _mem_prof = profile::hot_scope("cache_tlb");
                 let t = if tlb.access(va.raw()) {
                     0
                 } else {
@@ -201,14 +208,18 @@ pub fn simulate_ooo_ops(
                     start,
                     oid.pool_raw(),
                 );
-                let extra = match xlate.translate(oid, va) {
-                    TranslateOutcome::Ok { extra_cycles }
-                    | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
+                let extra = {
+                    let _xlate_prof = profile::hot_scope("xlate");
+                    match xlate.translate(oid, va) {
+                        TranslateOutcome::Ok { extra_cycles }
+                        | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
+                    }
                 };
                 if extra > hit_extra {
                     // POLB miss: the POT walk blocks address generation.
                     dispatch_block = dispatch_block.max(start + extra);
                 }
+                let _mem_prof = profile::hot_scope("cache_tlb");
                 let t = if tlb.access(va.raw()) {
                     0
                 } else {
@@ -235,13 +246,17 @@ pub fn simulate_ooo_ops(
                     start,
                     oid.pool_raw(),
                 );
-                let extra = match xlate.translate(oid, va) {
-                    TranslateOutcome::Ok { extra_cycles }
-                    | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
+                let extra = {
+                    let _xlate_prof = profile::hot_scope("xlate");
+                    match xlate.translate(oid, va) {
+                        TranslateOutcome::Ok { extra_cycles }
+                        | TranslateOutcome::Fault { extra_cycles } => extra_cycles,
+                    }
                 };
                 if extra > hit_extra {
                     dispatch_block = dispatch_block.max(start + extra);
                 }
+                let _mem_prof = profile::hot_scope("cache_tlb");
                 let t = if tlb.access(va.raw()) {
                     0
                 } else {
@@ -251,6 +266,7 @@ pub fn simulate_ooo_ops(
                 start + extra + t + cfg.mem.l1d.latency
             }
             TraceOp::Clwb { va } => {
+                let _mem_prof = profile::hot_scope("cache_tlb");
                 hier.access(phys_of(pt, va));
                 start + cfg.mem.clwb_latency
             }

@@ -458,6 +458,13 @@ impl EventRecorder {
         self.flight_dumps.load(Ordering::Relaxed)
     }
 
+    /// Forces a flight-recorder dump immediately (the worker-pool stall
+    /// watchdog uses this when a worker goes silent); a no-op when no
+    /// flight path is configured.
+    pub fn dump_flight_now(&self) {
+        self.flight_dump();
+    }
+
     fn flight_dump(&self) {
         let guard = self.flight.lock().unwrap();
         if let Some(path) = guard.as_ref() {

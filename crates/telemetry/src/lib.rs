@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod profile;
 pub mod timeline;
 
 use std::cell::RefCell;

@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
 # Mint a committed perf baseline (BENCH_<n>.json) — docs/BENCHMARKS.md.
 #
-#   scripts/bench.sh [OUT.json] [--no-compare]
+#   scripts/bench.sh [OUT.json] [--no-compare] [--no-ledger]
 #
 # Runs the full suite in committed mode (release build, long windows),
 # then — release discipline — hard-fails if the fresh numbers regress
 # against the latest committed BENCH_*.json before replacing it. Pass
 # --no-compare when minting on a different machine than the previous
 # baseline (cross-host medians are not comparable; the comparator
-# would warn about that anyway).
+# would warn about that anyway). Each minting run is also appended to
+# the durable run ledger (.poat/ledger.poatlgr) so the perf trajectory
+# is queryable with `repro report` and `bench-compare --ledger`
+# (docs/OBSERVABILITY.md); --no-ledger skips that.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_6.json"
 do_compare=1
+ledger=".poat/ledger.poatlgr"
 for a in "$@"; do
   case "$a" in
     --no-compare) do_compare=0 ;;
-    -h|--help) sed -n '2,12p' "$0"; exit 0 ;;
+    --no-ledger) ledger="" ;;
+    -h|--help) sed -n '2,15p' "$0"; exit 0 ;;
     *) out="$a" ;;
   esac
 done
@@ -31,7 +36,11 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "==> bench-run --mode committed"
-./target/release/bench-run --mode committed --out "$tmp"
+if [[ -n "$ledger" ]]; then
+  ./target/release/bench-run --mode committed --out "$tmp" --ledger "$ledger"
+else
+  ./target/release/bench-run --mode committed --out "$tmp"
+fi
 
 if [[ "$do_compare" == 1 && -n "$latest" ]]; then
   echo "==> bench-compare $latest (hard-fail on regression)"

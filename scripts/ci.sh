@@ -29,12 +29,27 @@ cargo run -p poat-analyzer --bin poat-analyze --locked --offline -- --deny-warni
 echo "==> repro --trace smoke (offline)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
+ledger="$trace_dir/ledger.poatlgr"
 cargo run --release -p poat-harness --bin repro --locked --offline -- \
-  fig9a --quick --trace "$trace_dir/trace.json" >/dev/null
+  fig9a --quick --trace "$trace_dir/trace.json" --ledger "$ledger" >/dev/null
 test -s "$trace_dir/trace.json"
 grep -q '"traceEvents"' "$trace_dir/trace.json"
 grep -q '"polb_miss"' "$trace_dir/trace.json"
 grep -q '"pot_walk"' "$trace_dir/trace.json"
+
+echo "==> repro report + flamegraph smoke (offline)"
+# Second run into the same ledger (with the profiler on), then the
+# cross-run loop must close: `repro report` sees both records and the
+# collapsed-stack export is a real multi-frame flamegraph
+# (docs/OBSERVABILITY.md).
+cargo run --release -p poat-harness --bin repro --locked --offline -- \
+  fig9a --quick --ledger "$ledger" --flame "$trace_dir/profile.folded" >/dev/null
+test -s "$trace_dir/profile.folded"
+grep -q ';' "$trace_dir/profile.folded"
+cargo run --release -p poat-harness --bin repro --locked --offline -- \
+  report --ledger "$ledger" | tee "$trace_dir/report.txt"
+grep -q '2 records in' "$trace_dir/report.txt"
+grep -q 'run000002' "$trace_dir/report.txt"
 
 echo "==> repro trace-roundtrip smoke (offline)"
 # Quick-scale trace save -> load -> simulate round trip: the loaded
@@ -50,7 +65,7 @@ echo "==> repro crash-sweep smoke (offline)"
 # (EXPERIMENTS.md, "Crash-point sweep"). The full per-point sweep runs
 # in the harness e2e tests and via `repro crash-sweep --scale quick`.
 cargo run --release -p poat-harness --bin repro --locked --offline -- \
-  crash-sweep --scale quick --max-points 40
+  crash-sweep --scale quick --max-points 40 --ledger "$ledger"
 
 echo "==> bench smoke + comparator (non-blocking, offline)"
 # Smoke-scale pass over the full suite: proves every benchmark body
@@ -60,11 +75,15 @@ echo "==> bench smoke + comparator (non-blocking, offline)"
 # Release runs enforce for real via scripts/bench.sh, which hard-fails
 # on regression before a new baseline is minted (docs/BENCHMARKS.md).
 cargo run --release -p poat-bench --bin bench-run --locked --offline -- \
-  --mode smoke --out "$trace_dir/bench_smoke.json"
+  --mode smoke --out "$trace_dir/bench_smoke.json" --ledger "$ledger"
 bench_baseline="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
 if [[ -n "$bench_baseline" ]]; then
   cargo run --release -p poat-bench --bin bench-compare --locked --offline -- \
     "$bench_baseline" "$trace_dir/bench_smoke.json" --warn-only
 fi
+# Ledger round trip: the baseline read back out of the bench-run record
+# just appended must compare clean against the identical report file.
+cargo run --release -p poat-bench --bin bench-compare --locked --offline -- \
+  --ledger "$ledger" "$trace_dir/bench_smoke.json"
 
 echo "==> ci.sh: all green"
