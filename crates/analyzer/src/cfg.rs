@@ -1,0 +1,260 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! Per-function control-flow graphs lowered from the [`crate::ir`]
+//! statement tree.
+//!
+//! The CFG is the substrate for the flow-sensitive rules (R7/R8): each
+//! basic block carries the [`CallEvent`]s that execute when control
+//! passes through it, and edges encode the branch/loop/match/early-exit
+//! skeleton. Lowering is conservative for *may*-analyses:
+//!
+//! * `?` adds an edge to the *error* exit block after the statement's
+//!   events — the statement may complete or may leave the function
+//!   with an `Err`. Error exits are kept separate from the normal exit
+//!   so exit-obligation rules (R7's "commit must be persisted before
+//!   returning") do not fire on paths where the operation itself
+//!   failed and reported so.
+//! * loops get a header block with a back edge from the body and a
+//!   skip edge past the body (zero iterations), which also
+//!   over-approximates `break`.
+//! * `match` arms all merge at a join block; a missing `else` gets a
+//!   fall-through edge.
+
+use crate::ir::{Block, CallEvent, Function, Stmt};
+
+/// A basic block: straight-line events plus successor edges.
+#[derive(Clone, Debug, Default)]
+pub struct BasicBlock {
+    /// Events executed, in order, when control passes through.
+    pub events: Vec<CallEvent>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// A per-function control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks; indices are stable.
+    pub blocks: Vec<BasicBlock>,
+    /// Index of the entry block.
+    pub entry: usize,
+    /// Index of the normal exit block: fall-off-the-end, tail
+    /// expressions and `return` statements land here (always empty of
+    /// events).
+    pub exit: usize,
+    /// Index of the error exit block: `?` early exits land here
+    /// (always empty of events).
+    pub err_exit: usize,
+}
+
+impl Cfg {
+    /// Lowers a parsed function body into a CFG.
+    pub fn build(f: &Function) -> Cfg {
+        let mut b = Builder {
+            blocks: vec![
+                BasicBlock::default(),
+                BasicBlock::default(),
+                BasicBlock::default(),
+            ],
+            err_exit: 2,
+        };
+        let entry = 0;
+        let exit = 1;
+        let last = b.lower_block(&f.body, entry, exit);
+        b.edge(last, exit);
+        Cfg {
+            blocks: b.blocks,
+            entry,
+            exit,
+            err_exit: 2,
+        }
+    }
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    err_exit: usize,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Lowers `blk` starting in block `cur`; returns the block where
+    /// control continues after the last statement.
+    fn lower_block(&mut self, blk: &Block, mut cur: usize, exit: usize) -> usize {
+        for s in &blk.stmts {
+            cur = self.lower_stmt(s, cur, exit);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, cur: usize, exit: usize) -> usize {
+        match s {
+            Stmt::Linear { events, early_exit } => {
+                self.blocks[cur].events.extend(events.iter().cloned());
+                if *early_exit {
+                    // The statement may bail with `Err` after its
+                    // events; continue in a fresh block on the
+                    // completed path.
+                    let err = self.err_exit;
+                    self.edge(cur, err);
+                    let next = self.fresh();
+                    self.edge(cur, next);
+                    next
+                } else {
+                    cur
+                }
+            }
+            Stmt::Return { events } => {
+                self.blocks[cur].events.extend(events.iter().cloned());
+                self.edge(cur, exit);
+                // Fresh, unreachable-from-here block for anything after
+                // the return in the same block (dead code).
+                self.fresh()
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.blocks[cur].events.extend(cond.iter().cloned());
+                let join = self.fresh();
+                let t = self.fresh();
+                self.edge(cur, t);
+                let t_end = self.lower_block(then_blk, t, exit);
+                self.edge(t_end, join);
+                match else_blk {
+                    Some(e) => {
+                        let eb = self.fresh();
+                        self.edge(cur, eb);
+                        let e_end = self.lower_block(e, eb, exit);
+                        self.edge(e_end, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            Stmt::Loop { header, body } => {
+                let h = self.fresh();
+                self.edge(cur, h);
+                self.blocks[h].events.extend(header.iter().cloned());
+                let after = self.fresh();
+                let bstart = self.fresh();
+                self.edge(h, bstart);
+                // Exit edge: condition false / iterator dry / `break`
+                // (over-approximated as exiting from the header).
+                self.edge(h, after);
+                let b_end = self.lower_block(body, bstart, exit);
+                self.edge(b_end, h);
+                after
+            }
+            Stmt::Match { scrutinee, arms } => {
+                self.blocks[cur].events.extend(scrutinee.iter().cloned());
+                let join = self.fresh();
+                if arms.is_empty() {
+                    self.edge(cur, join);
+                }
+                for arm in arms {
+                    let a = self.fresh();
+                    self.edge(cur, a);
+                    let a_end = self.lower_block(arm, a, exit);
+                    self.edge(a_end, join);
+                }
+                join
+            }
+            Stmt::Sub(b) => self.lower_block(b, cur, exit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::functions;
+    use crate::lexer::lex;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let fns = functions(&lex(src).tokens);
+        Cfg::build(&fns[0])
+    }
+
+    /// Depth-first enumeration of every event-callee sequence from
+    /// entry to exit, with loop bodies taken at most once.
+    fn paths(cfg: &Cfg) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![(cfg.entry, Vec::new(), vec![0u8; cfg.blocks.len()])];
+        while let Some((b, mut evs, mut seen)) = stack.pop() {
+            if seen[b] >= 2 {
+                continue;
+            }
+            seen[b] += 1;
+            evs.extend(cfg.blocks[b].events.iter().map(|e| e.callee.clone()));
+            if b == cfg.exit || b == cfg.err_exit {
+                out.push(evs);
+                continue;
+            }
+            for &s in &cfg.blocks[b].succs {
+                stack.push((s, evs.clone(), seen.clone()));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn if_without_else_has_skip_path() {
+        let cfg = cfg_of("fn f() { a(); if c { b(); } d(); }");
+        let ps = paths(&cfg);
+        assert!(ps.contains(&vec!["a".into(), "d".into()]));
+        assert!(ps.contains(&vec!["a".into(), "b".into(), "d".into()]));
+    }
+
+    #[test]
+    fn question_mark_creates_early_exit_path() {
+        let cfg = cfg_of("fn f() -> R { a()?; b(); Ok(()) }");
+        let ps = paths(&cfg);
+        // One path stops after a()'s events, one continues through b().
+        assert!(ps.iter().any(|p| p == &vec!["a".to_string()]));
+        assert!(ps
+            .iter()
+            .any(|p| p.first().map(String::as_str) == Some("a") && p.contains(&"b".to_string())));
+    }
+
+    #[test]
+    fn loop_has_zero_iteration_path_and_back_edge() {
+        let cfg = cfg_of("fn f() { for x in it() { a(x); } b(); }");
+        let ps = paths(&cfg);
+        assert!(ps.contains(&vec!["it".into(), "b".into()]));
+        assert!(ps
+            .iter()
+            .any(|p| p.contains(&"a".to_string()) && p.last().map(String::as_str) == Some("b")));
+    }
+
+    #[test]
+    fn match_arms_are_alternative_paths() {
+        let cfg = cfg_of("fn f() { match k() { A => a(), B => { b(); } } z(); }");
+        let ps = paths(&cfg);
+        assert!(ps.contains(&vec!["k".into(), "a".into(), "z".into()]));
+        assert!(ps.contains(&vec!["k".into(), "b".into(), "z".into()]));
+        assert!(!ps.contains(&vec!["k".into(), "z".into()]));
+    }
+
+    #[test]
+    fn return_cuts_fall_through() {
+        let cfg = cfg_of("fn f() { if c { return a(); } b(); }");
+        let ps = paths(&cfg);
+        assert!(ps.contains(&vec!["a".into()]));
+        assert!(ps.contains(&vec!["b".into()]));
+        assert!(!ps
+            .iter()
+            .any(|p| p.contains(&"a".to_string()) && p.contains(&"b".to_string())));
+    }
+}

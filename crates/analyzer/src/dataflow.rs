@@ -1,0 +1,119 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! A small forward-dataflow engine over [`crate::cfg::Cfg`].
+//!
+//! Rules describe themselves as a [`Flow`]: a lattice state, a transfer
+//! function over call events, and a join. [`solve`] runs the classic
+//! worklist fixpoint and hands back the state at each block *entry*;
+//! rules then re-walk the events of interesting blocks with the solved
+//! entry state to produce line-accurate diagnostics.
+//!
+//! The engine is generic but currently only instantiated with
+//! union-of-sets *may*-analyses (R7 `persist-before-commit`), for
+//! which termination is guaranteed because states grow monotonically
+//! and the event alphabet per function is finite.
+
+use crate::cfg::Cfg;
+use crate::ir::CallEvent;
+
+/// A forward dataflow problem.
+pub trait Flow {
+    /// The abstract state attached to block entries.
+    type State: Clone + PartialEq;
+
+    /// State at the function entry.
+    fn entry_state(&self) -> Self::State;
+
+    /// Applies one call event to the state, in place.
+    fn transfer(&self, ev: &CallEvent, state: &mut Self::State);
+
+    /// Merges `from` into `into`; returns `true` if `into` changed.
+    fn join(&self, into: &mut Self::State, from: &Self::State) -> bool;
+}
+
+/// Runs the worklist fixpoint; returns the solved state at each block's
+/// entry (`None` for blocks never reached from the entry).
+pub fn solve<F: Flow>(cfg: &Cfg, flow: &F) -> Vec<Option<F::State>> {
+    let mut entry_states: Vec<Option<F::State>> = vec![None; cfg.blocks.len()];
+    entry_states[cfg.entry] = Some(flow.entry_state());
+    let mut work = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        let mut state = entry_states[b]
+            .clone()
+            .expect("worklist blocks always have an entry state");
+        for ev in &cfg.blocks[b].events {
+            flow.transfer(ev, &mut state);
+        }
+        for &s in &cfg.blocks[b].succs {
+            let changed = match &mut entry_states[s] {
+                Some(existing) => flow.join(existing, &state),
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    true
+                }
+            };
+            if changed && !work.contains(&s) {
+                work.push(s);
+            }
+        }
+    }
+    entry_states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::ir::functions;
+    use crate::lexer::lex;
+    use std::collections::BTreeSet;
+
+    /// Toy may-analysis: the set of callees that may have been called.
+    struct Called;
+
+    impl Flow for Called {
+        type State = BTreeSet<String>;
+
+        fn entry_state(&self) -> Self::State {
+            BTreeSet::new()
+        }
+
+        fn transfer(&self, ev: &CallEvent, state: &mut Self::State) {
+            state.insert(ev.callee.clone());
+        }
+
+        fn join(&self, into: &mut Self::State, from: &Self::State) -> bool {
+            let before = into.len();
+            into.extend(from.iter().cloned());
+            into.len() != before
+        }
+    }
+
+    #[test]
+    fn fixpoint_unions_over_branches_and_loops() {
+        let src = "fn f() { a(); if c { b(); } while t() { l(); } }";
+        let fns = functions(&lex(src).tokens);
+        let cfg = Cfg::build(&fns[0]);
+        let states = solve(&cfg, &Called);
+        let at_exit = states[cfg.exit].as_ref().expect("exit reachable");
+        for callee in ["a", "b", "t", "l"] {
+            assert!(at_exit.contains(callee), "missing {callee}");
+        }
+        // Loop body block's entry must include its own effect via the
+        // back edge (l may already have run on a second iteration).
+        let body_entry_has_l = states
+            .iter()
+            .flatten()
+            .any(|s| s.contains("l") && s.contains("t"));
+        assert!(body_entry_has_l);
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_none() {
+        let src = "fn f() { return a(); }";
+        let fns = functions(&lex(src).tokens);
+        let cfg = Cfg::build(&fns[0]);
+        let states = solve(&cfg, &Called);
+        assert!(states.iter().any(Option::is_none));
+        assert!(states[cfg.exit].as_ref().unwrap().contains("a"));
+    }
+}

@@ -1,0 +1,553 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! A lightweight statement/branch IR lifted straight from the token
+//! stream — the middle layer between [`crate::lexer`] and
+//! [`crate::cfg`].
+//!
+//! This is deliberately not a Rust parser. It recovers exactly the
+//! structure the flow-sensitive rules need and nothing more:
+//!
+//! * function boundaries (`fn name … { body }`),
+//! * statement sequencing inside a body,
+//! * the branch/loop/match skeleton (`if`/`else`, `while`/`for`/`loop`,
+//!   `match` arms, `return`, `?` early exits),
+//! * the ordered [`CallEvent`]s inside each statement — callee name
+//!   plus the identifiers appearing in the argument list.
+//!
+//! Everything else (expressions, types, patterns, operator structure)
+//! is skipped over with depth counting. Control flow that this layer
+//! does not model — `break`/`continue` targets, `if`/`match` used in
+//! expression position — degrades soundly for the *may*-analyses built
+//! on top: events are still observed in source order, only with fewer
+//! merge points, which can at worst add paths (conservative for
+//! bug-finding rules that look for "some path without X").
+
+use crate::lexer::{Tok, TokKind};
+
+/// One call (or macro invocation) observed in a statement, in source
+/// order.
+#[derive(Clone, Debug)]
+pub struct CallEvent {
+    /// The called name: the identifier directly before the `(` — method
+    /// name for `recv.m(…)`, last path segment for `a::b::m(…)`, macro
+    /// name for `m!(…)`.
+    pub callee: String,
+    /// Identifier texts appearing inside the call's parentheses,
+    /// including path segments of nested expressions (used for
+    /// argument-marker classification, e.g. `log_layout::STATUS`).
+    pub args: Vec<String>,
+    /// 1-indexed source line of the callee token.
+    pub line: u32,
+}
+
+/// A `{ … }` statement sequence.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement in the IR.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// A linear statement: its call events in order. `early_exit` is
+    /// set when the statement contains `?` (it may leave the function
+    /// after any of its events).
+    Linear {
+        /// Call events, in token order.
+        events: Vec<CallEvent>,
+        /// Whether the statement can return early (`?`).
+        early_exit: bool,
+    },
+    /// `if cond { then } else { else }`; `else if` chains nest inside
+    /// `else_blk`.
+    If {
+        /// Events in the condition, evaluated before the branch.
+        cond: Vec<CallEvent>,
+        /// The then-block.
+        then_blk: Block,
+        /// The else-block, if any.
+        else_blk: Option<Block>,
+    },
+    /// `while`/`for`/`loop`. Header events are evaluated each
+    /// iteration before the body.
+    Loop {
+        /// Events in the loop header (empty for bare `loop`).
+        header: Vec<CallEvent>,
+        /// The loop body.
+        body: Block,
+    },
+    /// `match scrutinee { arms }` — scrutinee events, then exactly one
+    /// arm runs.
+    Match {
+        /// Events in the scrutinee expression.
+        scrutinee: Vec<CallEvent>,
+        /// One block per arm (guard + body events together).
+        arms: Vec<Block>,
+    },
+    /// `return …;` — events, then function exit.
+    Return {
+        /// Events in the returned expression.
+        events: Vec<CallEvent>,
+    },
+    /// A nested `{ … }` (or `unsafe { … }`) in statement position.
+    Sub(Block),
+}
+
+/// One function with its parsed body.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// The parsed body.
+    pub body: Block,
+}
+
+impl Function {
+    /// All call events of the function, in source order (pre-order over
+    /// the statement tree).
+    pub fn all_events(&self) -> Vec<&CallEvent> {
+        let mut out = Vec::new();
+        collect_events(&self.body, &mut out);
+        out
+    }
+}
+
+fn collect_events<'a>(b: &'a Block, out: &mut Vec<&'a CallEvent>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Linear { events, .. } | Stmt::Return { events } => out.extend(events.iter()),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                out.extend(cond.iter());
+                collect_events(then_blk, out);
+                if let Some(e) = else_blk {
+                    collect_events(e, out);
+                }
+            }
+            Stmt::Loop { header, body } => {
+                out.extend(header.iter());
+                collect_events(body, out);
+            }
+            Stmt::Match { scrutinee, arms } => {
+                out.extend(scrutinee.iter());
+                for a in arms {
+                    collect_events(a, out);
+                }
+            }
+            Stmt::Sub(b) => collect_events(b, out),
+        }
+    }
+}
+
+/// Parses every `fn` with a body out of a token stream. Trait-method
+/// signatures without bodies are skipped; nested functions are returned
+/// as their own entries (their bodies also remain part of the enclosing
+/// function's body, which is harmless for may-analyses).
+pub fn functions(toks: &[Tok]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            // Find the body `{` — or a `;` (no body) — at paren depth 0.
+            let mut j = i + 2;
+            let mut depth = 0usize;
+            let mut body_at = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && t.is_punct('{') {
+                    body_at = Some(j);
+                    break;
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body_at {
+                let mut p = Parser {
+                    toks,
+                    pos: open + 1,
+                };
+                let body = p.block();
+                out.push(Function { name, line, body });
+                // Continue scanning *inside* the body too (nested fns),
+                // so only advance past the signature.
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Tok> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// Parses statements until the matching `}` (consumed) or EOF.
+    fn block(&mut self) -> Block {
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek(0).is_none() {
+                break;
+            }
+            if self.at_punct('}') {
+                self.pos += 1;
+                break;
+            }
+            if self.at_punct(';') {
+                self.pos += 1;
+                continue;
+            }
+            if self.at_ident("if") {
+                stmts.push(self.if_stmt());
+            } else if self.at_ident("while") || self.at_ident("for") {
+                self.pos += 1;
+                let header = self.consume_until_open_brace();
+                let body = self.block();
+                stmts.push(Stmt::Loop { header, body });
+            } else if self.at_ident("loop") && self.peek(1).is_some_and(|t| t.is_punct('{')) {
+                self.pos += 2;
+                let body = self.block();
+                stmts.push(Stmt::Loop {
+                    header: Vec::new(),
+                    body,
+                });
+            } else if self.at_ident("match") {
+                self.pos += 1;
+                let scrutinee = self.consume_until_open_brace();
+                let arms = self.match_arms();
+                stmts.push(Stmt::Match { scrutinee, arms });
+            } else if self.at_ident("return") {
+                self.pos += 1;
+                let (events, _) = self.consume_statement_tail();
+                stmts.push(Stmt::Return { events });
+            } else if self.at_punct('{') {
+                self.pos += 1;
+                stmts.push(Stmt::Sub(self.block()));
+            } else if self.at_ident("unsafe") && self.peek(1).is_some_and(|t| t.is_punct('{')) {
+                self.pos += 2;
+                stmts.push(Stmt::Sub(self.block()));
+            } else {
+                let (events, early_exit) = self.consume_statement_tail();
+                stmts.push(Stmt::Linear { events, early_exit });
+            }
+        }
+        Block { stmts }
+    }
+
+    fn if_stmt(&mut self) -> Stmt {
+        self.pos += 1; // `if`
+        let cond = self.consume_until_open_brace();
+        let then_blk = self.block();
+        let else_blk = if self.at_ident("else") {
+            self.pos += 1;
+            if self.at_ident("if") {
+                Some(Block {
+                    stmts: vec![self.if_stmt()],
+                })
+            } else if self.at_punct('{') {
+                self.pos += 1;
+                Some(self.block())
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        }
+    }
+
+    /// Consumes tokens up to (and including) the next `{` at depth 0,
+    /// returning the call events seen. Used for `if`/`while`/`for`
+    /// conditions and `match` scrutinees, where Rust forbids bare
+    /// struct literals so the first depth-0 `{` is the block.
+    fn consume_until_open_brace(&mut self) -> Vec<CallEvent> {
+        let start = self.pos;
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct('{') {
+                break;
+            }
+            self.pos += 1;
+        }
+        let events = events_in(&self.toks[start..self.pos]);
+        if self.at_punct('{') {
+            self.pos += 1;
+        }
+        events
+    }
+
+    /// Consumes a linear statement: everything up to the `;` at depth 0
+    /// (consumed) or the enclosing block's `}` (not consumed, for tail
+    /// expressions). Braces inside the statement (closures, struct
+    /// literals, `match`/`if` in expression position, let-else) are
+    /// depth-tracked and their events kept in order.
+    fn consume_statement_tail(&mut self) -> (Vec<CallEvent>, bool) {
+        let start = self.pos;
+        let mut depth = 0usize;
+        let mut early_exit = false;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct('}') {
+                if depth == 0 {
+                    break; // tail expression: leave `}` for block()
+                }
+                depth -= 1;
+            } else if t.is_punct('?') {
+                early_exit = true;
+            } else if depth == 0 && t.is_punct(';') {
+                self.pos += 1;
+                break;
+            }
+            self.pos += 1;
+        }
+        (events_in(&self.toks[start..self.pos]), early_exit)
+    }
+
+    /// Parses `match` arms until the matching `}` (consumed). Each arm
+    /// becomes one block: `pat (if guard)? => body`, where the body is
+    /// either a `{ … }` block or an expression up to the `,`.
+    fn match_arms(&mut self) -> Vec<Block> {
+        let mut arms = Vec::new();
+        loop {
+            if self.peek(0).is_none() || self.at_punct('}') {
+                self.pos += 1;
+                break;
+            }
+            // Pattern + optional guard: consume until `=>` at depth 0.
+            let pat_start = self.pos;
+            let mut depth = 0usize;
+            while let Some(t) = self.peek(0) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0
+                    && t.is_punct('=')
+                    && self.peek(1).is_some_and(|n| n.is_punct('>'))
+                {
+                    break;
+                }
+                self.pos += 1;
+            }
+            let guard_events = events_in(&self.toks[pat_start..self.pos]);
+            if self.peek(0).is_some() {
+                self.pos += 2; // `=>`
+            }
+            let mut arm = if self.at_punct('{') {
+                self.pos += 1;
+                self.block()
+            } else {
+                // Expression arm: consume until `,` at depth 0 or the
+                // match's closing `}`.
+                let start = self.pos;
+                let mut depth = 0usize;
+                while let Some(t) = self.peek(0) {
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth = depth.saturating_sub(1);
+                    } else if t.is_punct('}') {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(',') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Block {
+                    stmts: vec![Stmt::Linear {
+                        events: events_in(&self.toks[start..self.pos]),
+                        early_exit: self.toks[start..self.pos].iter().any(|t| t.is_punct('?')),
+                    }],
+                }
+            };
+            if !guard_events.is_empty() {
+                arm.stmts.insert(
+                    0,
+                    Stmt::Linear {
+                        events: guard_events,
+                        early_exit: false,
+                    },
+                );
+            }
+            arms.push(arm);
+            if self.at_punct(',') {
+                self.pos += 1;
+            }
+        }
+        arms
+    }
+}
+
+/// Extracts call events from a flat token slice: every `ident (` and
+/// `ident ! (`/`ident ! [` starts an event; the identifiers inside its
+/// delimiters become `args`. Events are emitted in token order (an
+/// outer call precedes its nested calls).
+pub fn events_in(toks: &[Tok]) -> Vec<CallEvent> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let (open_at, open, close) = match toks.get(i + 1) {
+            Some(n) if n.is_punct('(') => (i + 1, '(', ')'),
+            Some(n) if n.is_punct('!') => match toks.get(i + 2) {
+                Some(m) if m.is_punct('(') => (i + 2, '(', ')'),
+                Some(m) if m.is_punct('[') => (i + 2, '[', ']'),
+                _ => continue,
+            },
+            _ => continue,
+        };
+        let mut depth = 0usize;
+        let mut args = Vec::new();
+        let mut j = open_at;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct(open) || u.is_punct(if open == '(' { '[' } else { '(' }) {
+                depth += 1;
+            } else if u.is_punct(close) || u.is_punct(if close == ')' { ']' } else { ')' }) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if u.kind == TokKind::Ident {
+                args.push(u.text.clone());
+            }
+            j += 1;
+        }
+        out.push(CallEvent {
+            callee: t.text.clone(),
+            args,
+            line: t.line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Function> {
+        functions(&lex(src).tokens)
+    }
+
+    #[test]
+    fn function_extraction_skips_bodyless_signatures() {
+        let fns = parse(
+            "trait T { fn sig(&mut self) -> Result<u64, E>; fn with_body(&self) { a(); } }\n\
+             fn free(x: u32) -> u32 { b(x) }\n",
+        );
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_body", "free"]);
+    }
+
+    #[test]
+    fn call_events_in_order_with_args() {
+        let fns = parse("fn f(&mut self) { self.write_u64_at(&log, log_layout::STATUS, status)?; self.persist_at(&log, 8)?; }");
+        let evs = fns[0].all_events();
+        let callees: Vec<&str> = evs.iter().map(|e| e.callee.as_str()).collect();
+        assert_eq!(callees, vec!["write_u64_at", "persist_at"]);
+        assert!(evs[0].args.iter().any(|a| a == "STATUS"));
+    }
+
+    #[test]
+    fn branch_and_loop_structure() {
+        let fns = parse(
+            "fn f() { if cond(x) { a(); } else { b(); } for i in it() { c(i); } match k { K::A => d(), K::B => { e(); } } }",
+        );
+        let body = &fns[0].body;
+        assert_eq!(body.stmts.len(), 3);
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::If {
+                else_blk: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(&body.stmts[1], Stmt::Loop { .. }));
+        match &body.stmts[2] {
+            Stmt::Match { arms, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_exit_and_return_detected() {
+        let fns = parse("fn f() -> Result<(), E> { g()?; if x { return Err(E); } h(); Ok(()) }");
+        let body = &fns[0].body;
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Linear {
+                early_exit: true,
+                ..
+            }
+        ));
+        match &body.stmts[1] {
+            Stmt::If { then_blk, .. } => {
+                assert!(matches!(&then_blk.stmts[0], Stmt::Return { .. }))
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_else_and_expression_braces_stay_linear() {
+        let fns = parse(
+            "fn f() { let Some(k) = from(v) else { break; }; let x = if c { a() } else { b() }; }",
+        );
+        let body = &fns[0].body;
+        assert_eq!(body.stmts.len(), 2);
+        let evs = fns[0].all_events();
+        let callees: Vec<&str> = evs.iter().map(|e| e.callee.as_str()).collect();
+        assert_eq!(callees, vec!["Some", "from", "a", "b"]);
+    }
+
+    #[test]
+    fn nested_functions_both_extracted() {
+        let fns = parse("fn outer() { fn inner() { x(); } inner(); }");
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+}

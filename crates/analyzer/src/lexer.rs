@@ -206,6 +206,24 @@ impl Lexer {
         let c0 = self.peek(0);
         let c1 = self.peek(1);
         let c2 = self.peek(2);
+        // Raw identifier r#ident: one Ident token. The `r#` prefix is
+        // kept in the text so keyword-matching rules (e.g. R2 looking
+        // for `unsafe`) never fire on `r#unsafe`-style identifiers.
+        if c0 == Some('r') && c1 == Some('#') && c2.is_some_and(|c| c.is_alphabetic() || c == '_') {
+            let mut text = String::from("r#");
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, text, line, None);
+            return;
+        }
         match (c0, c1, c2) {
             (Some('r'), Some('"' | '#'), _)
                 if c1 == Some('"') || c2 == Some('"') || c2 == Some('#') =>
@@ -347,9 +365,14 @@ impl Lexer {
         self.bump();
         match self.peek(0) {
             Some('\\') => {
-                // Escaped char literal.
+                // Escaped char literal. The escaped character is
+                // consumed unconditionally so `'\''` (and `'\\'`) do not
+                // mistake it for the closing quote.
                 let mut text = String::from("\\");
                 self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
                 while let Some(c) = self.bump() {
                     if c == '\'' {
                         break;
@@ -484,6 +507,86 @@ mod tests {
         let l = lex(r#"let s = "unsafe { }";"#);
         assert!(!l.tokens.iter().any(|t| t.is_ident("unsafe")));
         assert_eq!(kinds(r#""unsafe""#), vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_leak() {
+        // `'\''` once terminated at the escaped quote, leaving a stray
+        // `'` that swallowed the rest of the line as a lifetime.
+        let l = lex(r"let c = '\''; let x = 1;");
+        let chars: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["\\'"]);
+        assert!(!l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(l.tokens.iter().any(|t| t.int_value == Some(1)));
+    }
+
+    #[test]
+    fn escaped_backslash_and_unicode_char_literals() {
+        let l = lex(r"('\\', '\u{1F600}', 'a')");
+        let chars: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec![r"\\", r"\u{1F600}", "a"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_disambiguation() {
+        // Lifetimes in generics/labels vs adjacent char literals.
+        let l =
+            lex("impl<'rt> S<'rt> { fn f(&'rt self) { 'outer: loop { g('x'); break 'outer; } } }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["rt", "rt", "rt", "outer", "outer"]);
+        let chars: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["x"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_token() {
+        // `r#fn` once split into `r`, `#`, `fn` — garbage for any
+        // token-stream walker. The prefix is retained so keyword rules
+        // never match raw identifiers.
+        let l = lex("let r#fn = r#unsafe + 1;");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "r#fn", "=", "r#unsafe", "+", "1", ";"]);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn many_hash_raw_strings() {
+        let l = lex(r####"f(r###"a"##b"###, r"c")"####);
+        let strs: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["a\"##b", "c"]);
+    }
+
+    #[test]
+    fn deeply_nested_and_adjacent_block_comments() {
+        let l = lex("/* a /* b /* c */ */ */ x /*/* */*/ y");
+        assert_eq!(l.comments.len(), 2);
+        let idents: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["x", "y"]);
     }
 
     #[test]

@@ -29,9 +29,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
+pub mod ir;
 pub mod lexer;
 pub mod rules;
 

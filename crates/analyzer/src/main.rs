@@ -3,11 +3,13 @@
 //!
 //! ```text
 //! poat-analyze [--root DIR] [--config PATH] [--json] [--deny-warnings]
-//!              [--write-baseline PATH] [--list-rules]
+//!              [--write-baseline PATH] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (errors always; warnings only
-//! under `--deny-warnings`), `2` usage or I/O error.
+//! under `--deny-warnings`), `2` usage or I/O error. `--explain` exits
+//! `0` after printing the rule's catalogue entry and rationale, or `2`
+//! for an unknown rule id.
 
 use poat_analyzer::{all_rules, Config, Severity, Workspace};
 use std::path::PathBuf;
@@ -20,17 +22,20 @@ struct Args {
     deny_warnings: bool,
     write_baseline: Option<PathBuf>,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 const USAGE: &str = "usage: poat-analyze [--root DIR] [--config PATH] [--json] \
-[--deny-warnings] [--write-baseline PATH] [--list-rules]\n\n\
+[--deny-warnings] [--write-baseline PATH] [--list-rules] [--explain RULE]\n\n\
 Static-analysis gate for the POAT workspace; see docs/ANALYZER.md.\n\
   --root DIR             workspace root to analyze (default: .)\n\
   --config PATH          analyzer.toml (default: <root>/analyzer.toml if present)\n\
   --json                 emit findings as JSON\n\
   --deny-warnings        exit non-zero on warnings, not just errors\n\
   --write-baseline PATH  append current findings to the allowlists and write PATH\n\
-  --list-rules           print the rule catalogue and exit\n";
+  --list-rules           print the rule catalogue and exit\n\
+  --explain RULE         print one rule's catalogue entry and paper rationale,\n\
+                         then exit (0 on success, 2 for an unknown rule id)\n";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -40,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         deny_warnings: false,
         write_baseline: None,
         list_rules: false,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
                 ))
             }
             "--list-rules" => args.list_rules = true,
+            "--explain" => args.explain = Some(it.next().ok_or("--explain needs a rule id")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -85,6 +92,21 @@ fn main() -> ExitCode {
                 r.description()
             );
         }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = &args.explain {
+        // Same strings as --list-rules, plus the rationale paragraph.
+        let Some(r) = rules.iter().find(|r| r.id() == id) else {
+            eprintln!("poat-analyze: unknown rule `{id}` (see --list-rules)");
+            return ExitCode::from(2);
+        };
+        println!(
+            "{:<24} {:<8} {}\n\n{}",
+            r.id(),
+            r.default_severity().to_string(),
+            r.description(),
+            r.rationale()
+        );
         return ExitCode::SUCCESS;
     }
 

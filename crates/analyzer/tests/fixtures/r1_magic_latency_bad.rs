@@ -1,0 +1,6 @@
+// R1 known-bad: hand-written cost constants outside the cost model.
+pub fn charge(state: &mut State) {
+    state.miss_penalty = 30;
+    state.cycles += 97;
+    advance_cycle(17);
+}

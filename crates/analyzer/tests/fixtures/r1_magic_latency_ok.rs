@@ -1,0 +1,9 @@
+// R1 known-good: costs come from the model/config; comparisons and
+// unit steps are structural, not modeling decisions.
+pub fn charge(state: &mut State, cfg: &SimConfig) {
+    state.miss_penalty = cfg.miss_penalty_cycles();
+    state.cycles += 1;
+    if state.cycles == 30 || latency_of() <= 60 {
+        state.cycles += cfg.hit_latency_cycles();
+    }
+}

@@ -1,0 +1,4 @@
+// R2 known-bad: unsafe without a soundness justification.
+pub fn poke(ptr: *mut u64) {
+    unsafe { *ptr = 1 };
+}

@@ -1,0 +1,11 @@
+// R2 known-good: the soundness argument precedes the block, and raw
+// identifiers never read as the `unsafe` keyword.
+pub fn poke(ptr: *mut u64) {
+    // SAFETY: `ptr` is non-null and exclusively owned by the caller.
+    unsafe { *ptr = 1 };
+}
+
+pub fn not_unsafe() -> u32 {
+    let r#unsafe = 1;
+    r#unsafe
+}

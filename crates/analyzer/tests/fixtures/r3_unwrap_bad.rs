@@ -1,0 +1,6 @@
+// R3 known-bad: panicking calls on the hot path.
+pub fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("oops");
+    a + b
+}

@@ -1,0 +1,14 @@
+// R3 known-good: invariant-documented expect, non-panicking fallback,
+// and test regions are all exempt.
+pub fn f(x: Option<u32>) -> u32 {
+    let c = x.expect("invariant: set in new()");
+    let d = x.unwrap_or(0);
+    c + d
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        None::<u32>.unwrap();
+    }
+}

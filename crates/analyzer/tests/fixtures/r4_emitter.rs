@@ -1,0 +1,4 @@
+// R4 fixture emitter: emits NvLoad but never PolbHit.
+pub fn f(t: &Recorder) {
+    t.emit(EventKind::NvLoad);
+}

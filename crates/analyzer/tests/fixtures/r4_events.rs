@@ -1,0 +1,5 @@
+// R4 fixture events side: PolbHit has no emission site.
+pub enum EventKind {
+    NvLoad,
+    PolbHit,
+}

@@ -1,0 +1,6 @@
+// R4 fixture code side: emits two metric-shaped names; only one is
+// documented by the paired METRICS.md fixture.
+pub fn f(r: &Registry) {
+    r.counter("core.polb.hits").inc();
+    r.counter("core.polb.ghost").inc();
+}

@@ -1,0 +1,5 @@
+// R5 known-bad: prints from library code.
+pub fn f() {
+    println!("hi");
+    dbg!(42);
+}

@@ -1,0 +1,2 @@
+//! Crate docs, but no SPDX header and no missing_docs lint.
+pub fn f() {}

@@ -1,0 +1,4 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! Crate docs.
+#![warn(missing_docs)]
+pub fn f() {}

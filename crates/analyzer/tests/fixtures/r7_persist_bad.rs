@@ -1,0 +1,22 @@
+// R7 known-bad: the PR-4 bug class, statically. This is
+// pool_create_with_mode from crates/pmem/src/runtime.rs with the
+// field-persist call deleted (the acceptance-criterion mutation), plus
+// a commit that only one branch persists.
+impl Runtime {
+    pub fn pool_create(&mut self, id: PoolId, size: u64) -> Result<PoolId, PmemError> {
+        let h = self.direct_ref(id, 0)?;
+        self.write_u64_at(&h, header::SIZE, size)?;
+        self.write_u64_at(&h, header::BUMP, size)?;
+        self.write_u64_at(&h, header::MAGIC, POOL_MAGIC)?;
+        self.raw_persist_direct(id, header::MAGIC, 8)?;
+        Ok(id)
+    }
+
+    pub fn branchy(&mut self, log: &LogRef, fast: bool) -> Result<(), PmemError> {
+        self.write_u64_at(log, log_layout::STATUS, 1)?;
+        if fast {
+            self.persist_at(log, log_layout::STATUS, 8)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,24 @@
+// R7 known-good: two-phase create (fields durable before the magic
+// publish, magic persisted on its own) and a branch where every path
+// persists the commit.
+impl Runtime {
+    pub fn pool_create(&mut self, id: PoolId, size: u64) -> Result<PoolId, PmemError> {
+        let h = self.direct_ref(id, 0)?;
+        self.write_u64_at(&h, header::SIZE, size)?;
+        self.write_u64_at(&h, header::BUMP, size)?;
+        self.raw_persist_direct(id, 0, header::SIZE_BYTES as u64)?;
+        self.write_u64_at(&h, header::MAGIC, POOL_MAGIC)?;
+        self.raw_persist_direct(id, header::MAGIC, 8)?;
+        Ok(id)
+    }
+
+    pub fn branchy(&mut self, log: &LogRef, fast: bool) -> Result<(), PmemError> {
+        self.write_u64_at(log, log_layout::STATUS, 1)?;
+        if fast {
+            self.persist_at(log, log_layout::STATUS, 8)?;
+        } else {
+            self.persist_at(log, log_layout::STATUS, 8)?;
+        }
+        Ok(())
+    }
+}

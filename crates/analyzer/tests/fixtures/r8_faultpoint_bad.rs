@@ -1,0 +1,16 @@
+// R8 known-bad: a persist call site with no faultpoint annotation (the
+// acceptance-criterion mutation: the annotation was deleted), and a
+// flush/fence path the crash sweep cannot inject into.
+impl Runtime {
+    pub fn commit(&mut self, log: &LogRef) -> Result<(), PmemError> {
+        self.write_u64_at(log, log_layout::STATUS, 1)?;
+        self.persist_at(log, log_layout::STATUS, 8)?;
+        Ok(())
+    }
+
+    fn flush_lines(&mut self, va: u64) -> Result<(), PmemError> {
+        self.mem.clwb(va)?;
+        self.mem.fence();
+        Ok(())
+    }
+}

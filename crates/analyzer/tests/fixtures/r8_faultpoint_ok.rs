@@ -1,0 +1,17 @@
+// R8 known-good: the persist site is annotated with its covering
+// sweep, and the flush path polls the injection hook.
+impl Runtime {
+    pub fn commit(&mut self, log: &LogRef) -> Result<(), PmemError> {
+        self.write_u64_at(log, log_layout::STATUS, 1)?;
+        // faultpoint: crash-sweep fixture (status publish)
+        self.persist_at(log, log_layout::STATUS, 8)?;
+        Ok(())
+    }
+
+    fn persist_lines(&mut self, va: u64) -> Result<(), PmemError> {
+        self.crash_pending(va)?;
+        self.mem.clwb(va)?;
+        self.mem.fence();
+        Ok(())
+    }
+}

@@ -1,0 +1,15 @@
+// R9 known-bad: a Relaxed hole in a seqlock publication word, and a
+// one-sided Acquire with no Release partner anywhere in the file.
+pub fn publish(slot: &Slot, head: &AtomicU64, v: u64) {
+    slot.seq.store(0, Ordering::Release);
+    slot.payload.store(v, Ordering::Relaxed);
+    slot.seq.store(1, Ordering::Relaxed);
+    let _ = head.load(Ordering::Acquire);
+}
+
+pub fn read(slot: &Slot) -> u64 {
+    if slot.seq.load(Ordering::Acquire) == 1 {
+        return slot.payload.load(Ordering::Relaxed);
+    }
+    0
+}

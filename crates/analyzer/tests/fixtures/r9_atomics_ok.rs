@@ -1,0 +1,16 @@
+// R9 known-good: the sequence word pairs Release/Acquire on every
+// access; the ticket counter and payload are coherently Relaxed.
+pub fn publish(slot: &Slot, head: &AtomicU64, v: u64) {
+    let _ = head.fetch_add(1, Ordering::Relaxed);
+    slot.seq.store(0, Ordering::Release);
+    slot.payload.store(v, Ordering::Relaxed);
+    slot.seq.store(1, Ordering::Release);
+}
+
+pub fn read(slot: &Slot, head: &AtomicU64) -> u64 {
+    let _ = head.load(Ordering::Relaxed);
+    if slot.seq.load(Ordering::Acquire) == 1 {
+        return slot.payload.load(Ordering::Relaxed);
+    }
+    0
+}

@@ -6,9 +6,10 @@
 //! POLB look-ups (both designs), the hardware POT walk, the cache/TLB
 //! hierarchy including the MRU fast paths, trace encode/decode (the
 //! canned mix encodes at ~2.6 B/op; recorded workload traces measure
-//! 3.3–3.8 B/op), software `oid_direct`, and full in-order/OoO
-//! replay — plus the wall-clock budget check for the quick-scale
-//! Figure-9 matrix. Benchmark ids (`group/name`) are the comparator's
+//! 3.3–3.8 B/op), software `oid_direct`, full in-order/OoO replay,
+//! and the static analyzer's lex + IR/CFG throughput over the
+//! workspace (the CI gate's own cost) — plus the wall-clock budget
+//! check for the quick-scale Figure-9 matrix. Benchmark ids (`group/name`) are the comparator's
 //! join key: renaming one shows up as MISSING + added, so treat ids as
 //! a stable public interface (docs/BENCHMARKS.md).
 
@@ -346,6 +347,37 @@ fn replay_benches(r: &mut Runner) {
     });
 }
 
+/// Registers the static-analyzer throughput benchmarks: lexing and
+/// IR+CFG construction over the real workspace sources. The analyzer
+/// runs on every CI pass, so its own cost is tracked here like any
+/// other hot path; `bytes_per_iter` is the total source footprint, so
+/// the B/op column reads as average file size and regressions show up
+/// as ns/file drift.
+fn analyzer_benches(r: &mut Runner) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = poat_analyzer::Workspace::load(&root)
+        .expect("workspace sources readable from the source tree");
+    let texts: Vec<String> = ws.rust_files().map(|f| f.text.clone()).collect();
+    let files = texts.len() as u64;
+    let bytes: u64 = texts.iter().map(|t| t.len() as u64).sum();
+    {
+        let texts = texts.clone();
+        r.bench_bytes("analyzer", "lex_workspace", files, bytes, move || {
+            for t in &texts {
+                std::hint::black_box(poat_analyzer::lexer::lex(t));
+            }
+        });
+    }
+    let lexed: Vec<_> = texts.iter().map(|t| poat_analyzer::lexer::lex(t)).collect();
+    r.bench_bytes("analyzer", "ir_cfg_workspace", files, bytes, move || {
+        for l in &lexed {
+            for f in poat_analyzer::ir::functions(&l.tokens) {
+                std::hint::black_box(poat_analyzer::cfg::Cfg::build(&f));
+            }
+        }
+    });
+}
+
 /// Registers every benchmark in the suite, plus (optionally) the
 /// Figure-9 quick-matrix wall-clock budget check.
 pub fn register(r: &mut Runner, include_budget: bool) {
@@ -354,6 +386,7 @@ pub fn register(r: &mut Runner, include_budget: bool) {
     trace_benches(r);
     runtime_benches(r);
     replay_benches(r);
+    analyzer_benches(r);
     if include_budget {
         r.budget("fig9_quick_matrix", FIG9_QUICK_BUDGET, || {
             std::hint::black_box(experiments::main_matrix(Scale::Quick));

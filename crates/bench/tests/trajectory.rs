@@ -156,17 +156,40 @@ fn comparator_warns_on_debug_profile_and_host_mismatch() {
     assert_eq!(cmp.warnings.len(), 2);
 }
 
+/// The newest `BENCH_<n>.json` at the repo root (highest `n`), the
+/// same pick `scripts/ci.sh` and `scripts/bench.sh` make with
+/// `ls | sort -V | tail -1`.
+fn latest_committed_baseline() -> Option<std::path::PathBuf> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(root).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().map_or(true, |(b, _)| n > *b) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
 #[test]
 fn committed_baseline_in_repo_parses_and_matches_suite() {
-    // BENCH_6.json is committed at the repo root; it must always parse
-    // under the current schema and cover the current suite's ids, so a
-    // renamed benchmark cannot slip past the comparator unnoticed.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    // The latest BENCH_<n>.json is committed at the repo root; it must
+    // always parse under the current schema and cover the current
+    // suite's ids, so a renamed benchmark cannot slip past the
+    // comparator unnoticed.
+    let text = match latest_committed_baseline().map(std::fs::read_to_string) {
+        Some(Ok(t)) => t,
         // Tolerate the brief window in which the baseline has not been
         // minted yet (first run of scripts/bench.sh on a fresh clone).
-        Err(_) => return,
+        _ => return,
     };
     let baseline = BenchReport::from_json_str(&text).expect("committed baseline must parse");
     assert_eq!(baseline.schema_version, BENCH_SCHEMA_VERSION);

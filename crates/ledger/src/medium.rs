@@ -173,6 +173,7 @@ impl<'rt> PmemMedium<'rt> {
     fn set_tail(&mut self, tail: u64) -> Result<(), LedgerError> {
         let r = self.rt.deref(self.oid, None)?;
         self.rt.write_u64_at(&r, TAIL_WORD_OFF, tail)?;
+        // faultpoint: ledger crash-sweep (tail-word commit publish)
         self.rt.persist(self.oid, 8)?;
         Ok(())
     }
@@ -204,6 +205,7 @@ impl Medium for PmemMedium<'_> {
         // Record bytes first: persist [0, DATA_OFF + new_tail) — this
         // covers the (still-old) tail word too, which is harmless, and
         // crucially fences the record bytes before the commit below.
+        // faultpoint: ledger crash-sweep (record bytes durable before tail)
         self.rt.persist(self.oid, DATA_OFF as u64 + new_tail)?;
         // Commit: advance the tail word and persist it.
         self.set_tail(new_tail)?;

@@ -90,6 +90,7 @@ impl Runtime {
         let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
         let status = log_status::encode(log_status::ACTIVE, log_layout::RECORDS);
         self.write_u64_at(&log, log_layout::STATUS, status)?;
+        // faultpoint: crash-sweep tx-begin (ACTIVE status publish)
         self.persist_at(&log, log_layout::STATUS, 8)?;
         self.tx = Some(TxState {
             pool,
@@ -134,11 +135,13 @@ impl Runtime {
             self.read_bytes_at(&src, 0, &mut buf)?;
             self.write_bytes_at(&log, tail + RECORD_HEADER_BYTES, &buf)?;
         }
+        // faultpoint: crash-sweep record-append (record bytes durable before tail)
         self.persist_at(&log, tail, (RECORD_HEADER_BYTES + len) as u64)?;
         // The record is invisible until the tail advance is durable.
         let new_tail = tail + entry;
         let status = log_status::encode(log_status::ACTIVE, new_tail);
         self.write_u64_at(&log, log_layout::STATUS, status)?;
+        // faultpoint: crash-sweep record-append (tail advance publish)
         self.persist_at(&log, log_layout::STATUS, 8)?;
         self.tx.as_mut().expect("checked above").tail = new_tail;
         Ok(new_tail)
@@ -239,17 +242,20 @@ impl Runtime {
             n: costs::TX_END_EXEC,
         });
         for (oid, len) in &tx.data_records {
+            // faultpoint: crash-sweep tx-end (logged ranges durable before COMMITTED)
             self.raw_persist(*oid, *len as u64)?;
         }
         let log = self.deref(ObjectId::new(tx.pool, Self::log_off(0)), None)?;
         let committed = log_status::encode(log_status::COMMITTED, tx.tail);
         self.write_u64_at(&log, log_layout::STATUS, committed)?;
+        // faultpoint: crash-sweep tx-end (COMMITTED status publish)
         self.persist_at(&log, log_layout::STATUS, 8)?;
         for oid in &tx.frees {
             self.pfree(*oid)?;
         }
         let idle = log_status::encode(log_status::IDLE, log_layout::RECORDS);
         self.write_u64_at(&log, log_layout::STATUS, idle)?;
+        // faultpoint: crash-sweep tx-end (IDLE status retire)
         self.persist_at(&log, log_layout::STATUS, 8)?;
         self.stats.tx_committed += 1;
         Ok(())
@@ -314,6 +320,7 @@ impl Runtime {
                         self.read_bytes_at(&log, off + RECORD_HEADER_BYTES, &mut buf)?;
                         let dst = self.deref(oid, None)?;
                         self.write_bytes_at(&dst, 0, &buf)?;
+                        // faultpoint: crash-sweep recovery (pre-image restore durable)
                         self.persist_at(&dst, 0, len as u64)?;
                     }
                     RecordKind::Alloc => {
@@ -343,6 +350,7 @@ impl Runtime {
         let log = self.deref(ObjectId::new(pool, Self::log_off(0)), None)?;
         let idle = log_status::encode(log_status::IDLE, log_layout::RECORDS);
         self.write_u64_at(&log, log_layout::STATUS, idle)?;
+        // faultpoint: crash-sweep recovery (IDLE status retire)
         self.persist_at(&log, log_layout::STATUS, 8)?;
         Ok(applied)
     }

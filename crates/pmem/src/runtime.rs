@@ -280,8 +280,10 @@ impl Runtime {
         self.write_u64_at(&h, header::BUMP, data_start)?;
         self.write_u64_at(&h, header::FREE_HEAD, 0)?;
         self.write_u64_at(&h, header::LOG_BYTES, self.log_bytes())?;
+        // faultpoint: crash-sweep pool-create (header fields durable before magic)
         self.raw_persist_direct(id, 0, header::SIZE_BYTES as u64)?;
         self.write_u64_at(&h, header::MAGIC, POOL_MAGIC)?;
+        // faultpoint: crash-sweep pool-create (magic publish)
         self.raw_persist_direct(id, header::MAGIC, 8)?;
         self.open.get_mut(&id.raw()).expect("just installed").mode = mode;
         self.stats.pools_created += 1;
@@ -427,6 +429,7 @@ impl Runtime {
         let h = self.direct_ref(pool, 0)?;
         self.write_u64_at(&h, header::ROOT_OFF, root.offset() as u64)?;
         self.write_u64_at(&h, header::ROOT_SIZE, size)?;
+        // faultpoint: crash-sweep root-install (root off/size published together)
         self.raw_persist_direct(pool, 0, header::SIZE_BYTES as u64)?;
         Ok(root)
     }

@@ -249,6 +249,12 @@ pub const MAX_ARG: u32 = (1 << 20) - 1;
 ///    the racing event either survives the drain or vanishes — both
 ///    acceptable for a drain; exactness is only promised when writers
 ///    are quiescent.
+/// 4. **`head` is a ticket counter, not a publication word.** It is
+///    advanced with relaxed `fetch_add` and read relaxed: it never
+///    carries payload visibility (that is `seq`'s job, per point 1), it
+///    only picks which window of tickets a reader attempts. A stale
+///    `head` just means a slightly older window — the per-slot `seq`
+///    check still rejects anything torn.
 #[derive(Debug, Default)]
 struct Slot {
     seq: AtomicU64,
@@ -415,7 +421,12 @@ impl EventRecorder {
     /// skipped (never returned torn); with writers quiescent the result is
     /// exact.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let head = self.head.load(Ordering::Acquire);
+        // Relaxed: `head` is only ever advanced with relaxed fetch_add
+        // (it is a ticket counter, not a publication word), so an
+        // Acquire here has no Release partner to synchronize with.
+        // Slot visibility is carried entirely by the per-slot `seq`
+        // Release/Acquire pair checked below.
+        let head = self.head.load(Ordering::Relaxed);
         let cap = self.slots.len() as u64;
         let mut out = Vec::with_capacity(head.min(cap) as usize);
         for i in head.saturating_sub(cap)..head {

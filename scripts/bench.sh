@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_6.json"
+out=""
 do_compare=1
 ledger=".poat/ledger.poatlgr"
 for a in "$@"; do
@@ -27,11 +27,23 @@ for a in "$@"; do
   esac
 done
 
+# shellcheck disable=SC2012
+latest="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [[ -z "$out" ]]; then
+  # Default: the next number in the BENCH_<n>.json sequence, so the
+  # committed trajectory accumulates instead of being overwritten.
+  if [[ -n "$latest" ]]; then
+    n="${latest#BENCH_}"
+    n="${n%.json}"
+    out="BENCH_$((n + 1)).json"
+  else
+    out="BENCH_1.json"
+  fi
+fi
+
 echo "==> cargo build --release -p poat-bench (offline)"
 cargo build --release -p poat-bench --locked --offline
 
-# shellcheck disable=SC2012
-latest="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 

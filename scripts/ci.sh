@@ -25,6 +25,13 @@ cargo fmt --all --check
 
 echo "==> poat-analyze (architectural invariants, see docs/ANALYZER.md)"
 cargo run -p poat-analyzer --bin poat-analyze --locked --offline -- --deny-warnings
+# Machine-readable findings artifact for downstream CI consumers (a
+# clean tree yields an empty findings list with zeroed counters).
+mkdir -p target
+cargo run -p poat-analyzer --bin poat-analyze --locked --offline -- \
+  --json --deny-warnings > target/poat-analyze.json
+test -s target/poat-analyze.json
+grep -q '"findings"' target/poat-analyze.json
 
 echo "==> repro --trace smoke (offline)"
 trace_dir="$(mktemp -d)"
