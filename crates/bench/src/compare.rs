@@ -154,6 +154,17 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comp
             old.build.host_parallelism, new.build.host_parallelism
         ));
     }
+    // Pre-schema reports carry no worker width; only a real mismatch
+    // between two recorded widths is worth a warning.
+    if let (Some(old_w), Some(new_w)) = (old.build.worker_parallelism, new.build.worker_parallelism)
+    {
+        if old_w != new_w {
+            warnings.push(format!(
+                "worker-pool width differs (old {old_w}, new {new_w}); \
+                 budget wall-clocks are not comparable across widths"
+            ));
+        }
+    }
 
     let mut deltas = Vec::new();
     for o in &old.records {

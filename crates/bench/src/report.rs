@@ -28,6 +28,13 @@ pub struct BuildMeta {
     /// context for judging whether two reports came from comparable
     /// machines, not an input to any statistic.
     pub host_parallelism: u32,
+    /// Worker-pool width the harness would use on this host
+    /// (`poat_harness::runner::default_workers()`: host parallelism
+    /// capped at 24, or the `--workers` override). Wider pools change
+    /// wall-clock but not results, so the comparator warns — never
+    /// fails — when two reports ran at different widths. `None` in
+    /// reports written before this field existed.
+    pub worker_parallelism: Option<u32>,
 }
 
 impl BuildMeta {
@@ -43,6 +50,7 @@ impl BuildMeta {
             host_parallelism: std::thread::available_parallelism()
                 .map(|n| n.get() as u32)
                 .unwrap_or(1),
+            worker_parallelism: Some(poat_harness::runner::default_workers() as u32),
         }
     }
 }

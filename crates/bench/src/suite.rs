@@ -40,6 +40,28 @@ use crate::runner::Runner;
 /// into the quick path), not on machine variance.
 pub const FIG9_QUICK_BUDGET: Duration = Duration::from_secs(30);
 
+/// Wall-clock budget for one full-scale (paper-exact) Figure-9/Table-8
+/// matrix. Full scale is ~10× the quick microbenchmark ops and ~20× the
+/// TPC-C transactions, so this check costs minutes, not seconds — it is
+/// therefore **opt-in** via [`FULL_BUDGET_ENV`] rather than part of
+/// every `bench-run`: CI stays fast by default, and a release run
+/// exports the flag to pin the full-matrix cost (docs/BENCHMARKS.md).
+/// Sized from a measured ~45 s on the 1-core baseline host (sharded
+/// replay with one-chunk warmup) with generous structural headroom.
+pub const FIG9_FULL_BUDGET: Duration = Duration::from_secs(1800);
+
+/// Environment variable that opts the full-scale matrix budget into a
+/// bench run (any non-empty value other than `0`). Checked at
+/// registration time by [`register`].
+pub const FULL_BUDGET_ENV: &str = "POAT_BENCH_FULL_BUDGET";
+
+/// Whether the [`FULL_BUDGET_ENV`] opt-in is active for this process.
+pub fn full_budget_requested() -> bool {
+    std::env::var(FULL_BUDGET_ENV)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 /// `pool(n)`, panicking only on the reserved id 0.
 fn pool(n: u32) -> PoolId {
     PoolId::new(n).expect("non-zero pool id")
@@ -391,6 +413,11 @@ pub fn register(r: &mut Runner, include_budget: bool) {
         r.budget("fig9_quick_matrix", FIG9_QUICK_BUDGET, || {
             std::hint::black_box(experiments::main_matrix(Scale::Quick));
         });
+        if full_budget_requested() {
+            r.budget("fig9_full_matrix", FIG9_FULL_BUDGET, || {
+                std::hint::black_box(experiments::main_matrix(Scale::Full));
+            });
+        }
     }
 }
 

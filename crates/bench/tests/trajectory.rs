@@ -33,6 +33,7 @@ fn report(records: Vec<BenchRecord>) -> BenchReport {
             git_revision: "deadbeef".to_string(),
             profile: "release".to_string(),
             host_parallelism: 8,
+            worker_parallelism: Some(8),
         },
         records,
         budgets: vec![BudgetRecord {
@@ -154,6 +155,41 @@ fn comparator_warns_on_debug_profile_and_host_mismatch() {
     let cmp = compare(&old, &new, DEFAULT_THRESHOLD_PCT);
     assert!(!cmp.failed(), "warnings alone must not fail the comparison");
     assert_eq!(cmp.warnings.len(), 2);
+}
+
+#[test]
+fn comparator_warns_on_worker_width_mismatch_only_when_both_recorded() {
+    let old = report(vec![record("a/b", 10.0)]);
+    let mut new = old.clone();
+    new.build.worker_parallelism = Some(24);
+    let cmp = compare(&old, &new, DEFAULT_THRESHOLD_PCT);
+    assert!(
+        !cmp.failed(),
+        "a width warning must not fail the comparison"
+    );
+    assert_eq!(cmp.warnings.len(), 1, "old 8 vs new 24 workers warns");
+
+    // A pre-schema baseline (no recorded width) produces no warning:
+    // there is nothing to compare against.
+    let mut legacy = old.clone();
+    legacy.build.worker_parallelism = None;
+    let cmp = compare(&legacy, &new, DEFAULT_THRESHOLD_PCT);
+    assert!(cmp.warnings.is_empty(), "got: {:?}", cmp.warnings);
+}
+
+#[test]
+fn report_without_worker_parallelism_still_parses() {
+    // Committed baselines predating the field (BENCH_6/BENCH_7) must
+    // keep loading; the field reads back as None.
+    let mut json = report(vec![record("a/b", 10.0)]).to_json_string();
+    assert!(json.contains("\"worker_parallelism\""), "field serializes");
+    json = json.replace(",\n    \"worker_parallelism\": 8", "");
+    assert!(
+        !json.contains("worker_parallelism"),
+        "the field was removed to mimic a pre-schema report"
+    );
+    let parsed = BenchReport::from_json_str(&json).expect("legacy layout parses");
+    assert_eq!(parsed.build.worker_parallelism, None);
 }
 
 /// The newest `BENCH_<n>.json` at the repo root (highest `n`), the

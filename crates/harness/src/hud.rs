@@ -16,10 +16,11 @@
 //! library code stays silent by default and the `repro` binary decides
 //! where HUD lines land (`--hud SECS` wires the sink to stderr). With no
 //! sink and no interval the monitor only maintains its gauges —
-//! `pool.queue.depth`, `pool.workers.active`, and the per-worker
-//! `pool.worker.tasks{worker=N}` / `pool.worker.busy_nanos{worker=N}`
-//! series (docs/METRICS.md) — at a cost of a few atomic stores per task,
-//! invisible next to a simulation.
+//! `pool.queue.depth{pool=L}`, `pool.workers.active{pool=L}` (labeled by
+//! pool, because the matrix pool and the nested sharded-replay pools
+//! coexist), and the per-worker `pool.worker.tasks{worker=N}` /
+//! `pool.worker.busy_nanos{worker=N}` series (docs/METRICS.md) — at a
+//! cost of a few atomic stores per task, invisible next to a simulation.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -87,6 +88,13 @@ struct WorkerSlot {
 /// task boundaries, the watchdog thread reads progress and heartbeats.
 pub struct PoolMonitor {
     label: String,
+    /// `pool.workers.active{pool=<label>}` — the liveness gauges carry
+    /// the pool label because pools nest (the experiment matrix pool
+    /// dispatches runs whose sharded replays each open a `shard` pool);
+    /// unlabeled gauges would clobber each other across levels.
+    workers_gauge: String,
+    /// `pool.queue.depth{pool=<label>}` (see `workers_gauge`).
+    queue_gauge: String,
     started: Instant,
     total: u64,
     completed: AtomicU64,
@@ -99,11 +107,16 @@ impl PoolMonitor {
     /// Creates a monitor for a pool of `workers` threads and `total`
     /// queued tasks, priming the `pool.*` gauges.
     pub fn new(label: &str, workers: usize, total: u64) -> Self {
+        let l = [("pool", label)];
+        let workers_gauge = labeled("pool.workers.active", &l);
+        let queue_gauge = labeled("pool.queue.depth", &l);
         let registry = poat_telemetry::global();
-        registry.gauge("pool.workers.active").set(workers as u64);
-        registry.gauge("pool.queue.depth").set(total);
+        registry.gauge(&workers_gauge).set(workers as u64);
+        registry.gauge(&queue_gauge).set(total);
         PoolMonitor {
             label: label.to_string(),
+            workers_gauge,
+            queue_gauge,
             started: Instant::now(),
             total,
             completed: AtomicU64::new(0),
@@ -128,7 +141,7 @@ impl PoolMonitor {
             .queued
             .fetch_sub(1, Ordering::Relaxed)
             .saturating_sub(1);
-        poat_telemetry::global().gauge("pool.queue.depth").set(left);
+        poat_telemetry::global().gauge(&self.queue_gauge).set(left);
         Instant::now()
     }
 
@@ -148,8 +161,8 @@ impl PoolMonitor {
     pub fn finish(&self) {
         self.done.store(true, Ordering::Relaxed);
         let registry = poat_telemetry::global();
-        registry.gauge("pool.workers.active").set(0);
-        registry.gauge("pool.queue.depth").set(0);
+        registry.gauge(&self.workers_gauge).set(0);
+        registry.gauge(&self.queue_gauge).set(0);
         for (i, w) in self.workers.iter().enumerate() {
             let id = i.to_string();
             let l = [("worker", id.as_str())];
@@ -259,9 +272,15 @@ mod tests {
         let line = m.render_line();
         assert!(line.contains("2/3 tasks done"), "got: {line}");
         assert!(line.contains("1 queued"), "got: {line}");
+        let queue_gauge = labeled("pool.queue.depth", &[("pool", "test")]);
+        assert_eq!(
+            poat_telemetry::global().gauge(&queue_gauge).get(),
+            1,
+            "the gauge is labeled by pool and tracks the queue"
+        );
         m.finish();
         assert_eq!(
-            poat_telemetry::global().gauge("pool.queue.depth").get(),
+            poat_telemetry::global().gauge(&queue_gauge).get(),
             0,
             "finish zeroes the queue gauge"
         );

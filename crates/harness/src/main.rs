@@ -2,10 +2,10 @@
 //! `repro` — regenerate the MICRO'17 tables and figures.
 //!
 //! ```text
-//! repro <artifact> [--quick] [--json PATH] [--csv DIR] [--metrics PATH]
-//!                  [--trace PATH] [--trace-sample N] [--timeline DIR]
-//!                  [--profile] [--flame PATH] [--hud SECS]
-//!                  [--ledger PATH] [--no-ledger]
+//! repro <artifact> [--quick] [--workers N] [--json PATH] [--csv DIR]
+//!                  [--metrics PATH] [--trace PATH] [--trace-sample N]
+//!                  [--timeline DIR] [--profile] [--flame PATH]
+//!                  [--hud SECS] [--ledger PATH] [--no-ledger]
 //! repro report [--ledger PATH] [--last N] [--metric NAME] [--diff A:B]
 //!
 //! artifacts: table2 | fig9a | fig9b | table8 | instrs | fig10
@@ -34,7 +34,7 @@ use poat_harness::{ablations, csv, timeline};
 use poat_telemetry::events;
 
 const USAGE: &str = "usage: repro <table2|fig9a|fig9b|table8|instrs|fig10|fig11|table9|fig12|ablations|seeds|all> \
-[--quick] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR] \
+[--quick] [--workers N] [--json PATH] [--csv DIR] [--metrics PATH] [--trace PATH] [--trace-sample N] [--timeline DIR] \
 [--profile] [--flame PATH] [--hud SECS] [--ledger PATH] [--no-ledger]\n       \
 repro report [--ledger PATH] [--last N] [--metric NAME] [--command FILTER] [--diff A:B]\n       \
 repro crash-sweep [--scale quick|full] [--workload BENCH:PATTERN] [--inject clean|torn|drop-clwb|all] \
@@ -97,6 +97,9 @@ fn help() -> ! {
          (default: a temp directory, removed afterwards)\n\n\
          options:\n  \
          --quick            ~10x smaller workloads (smoke-test scale)\n  \
+         --workers N        worker-pool width for the experiment matrix and\n                     \
+         sharded full-scale replay (default: host cores,\n                     \
+         capped at 24; results are identical at any width)\n  \
          --json PATH        write every artifact's rows as JSON\n  \
          --csv DIR          write per-artifact CSV files into DIR\n  \
          --metrics PATH     write the telemetry snapshot (docs/METRICS.md)\n  \
@@ -843,6 +846,14 @@ fn main() {
         match a.as_str() {
             "-h" | "--help" => help(),
             "--quick" => scale = Scale::Quick,
+            "--workers" => {
+                let v = value_of("--workers", &mut args);
+                let n: usize = v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    eprintln!("error: --workers expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                poat_harness::runner::set_worker_override(Some(n));
+            }
             "--json" => json_path = Some(value_of("--json", &mut args)),
             "--csv" => {
                 let d = std::path::PathBuf::from(value_of("--csv", &mut args));

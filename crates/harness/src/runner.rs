@@ -1,8 +1,15 @@
 //! Workload execution + simulation plumbing shared by all experiments.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use poat_core::{PolbDesign, TranslationConfig};
-use poat_pmem::{MachineState, Runtime, RuntimeConfig, Trace, TraceSummary, XlatStats};
-use poat_sim::{simulate_inorder, simulate_ooo, SimConfig, SimResult};
+use poat_pmem::{
+    ChunkBounds, MachineState, Runtime, RuntimeConfig, Trace, TraceSummary, XlatStats,
+};
+use poat_sim::{
+    simulate_inorder, simulate_inorder_ops_warm, simulate_ooo, simulate_ooo_ops_warm, SimConfig,
+    SimResult,
+};
 use poat_workloads::{ExpConfig, Micro, Pattern, Tpcc, TpccConfig, TpccPattern};
 
 /// Scale knob for every experiment: `full` reproduces the paper's exact
@@ -238,6 +245,11 @@ pub fn simulate(run: &WorkloadRun, core: Core, translation: TranslationConfig) -
 /// [`simulate`] with a full simulator configuration (cache/prefetch
 /// knobs for ablations).
 ///
+/// Traces of at least [`SHARD_MIN_OPS`] ops are replayed sharded (see
+/// [`simulate_sharded`]); smaller traces — everything at quick scale —
+/// take the whole-trace path, whose results are bit-identical to every
+/// earlier release.
+///
 /// # Panics
 ///
 /// Panics if the combination is unsupported (Parallel on out-of-order).
@@ -248,11 +260,107 @@ pub fn simulate_with(run: &WorkloadRun, core: Core, cfg: SimConfig) -> SimResult
     let _scope = poat_telemetry::run_scope(&run.label);
     let _sim_prof = poat_telemetry::profile::scope(poat_telemetry::PHASE_POLB_SIM);
     let _sim_span = poat_telemetry::global().span(poat_telemetry::PHASE_POLB_SIM);
+    if run.trace.len() >= SHARD_MIN_OPS {
+        return simulate_sharded(run, core, &cfg);
+    }
     match core {
         Core::InOrder => simulate_inorder(&run.trace, &run.state, &cfg),
         Core::OutOfOrder => simulate_ooo(&run.trace, &run.state, &cfg),
     }
     .expect("unsupported core/design combination")
+}
+
+/// Ops per shard of a sharded replay. Fixed — never derived from the
+/// worker count — so the shard geometry, and therefore the merged
+/// result, is identical at any `--workers` width. Sized so the one-chunk
+/// functional warmup (see [`warm_shard_span`]) amortizes over a long
+/// measured window: smaller shards expose more boundaries and more
+/// residual cold-structure distortion.
+pub const SHARD_OPS: usize = 1 << 19;
+
+/// Minimum trace length (ops) before [`simulate_with`] shards the
+/// replay. Quick-scale traces sit below this — the largest, TPC-C
+/// BASE, is ~270 K ops — and keep their historical whole-trace
+/// results; full-scale TPC-C (millions of ops) and the full-scale
+/// microbenchmarks (~860 K+) sit above it.
+pub const SHARD_MIN_OPS: usize = 1 << 19;
+
+/// The trace span shard `k` replays, plus its warmup length in ops.
+///
+/// Shard `k > 0` replays its own chunk *prefixed by the whole previous
+/// chunk* of functional warmup: the warmup ops run through the full
+/// detailed model to fill caches/TLB/POLB, the simulator snapshots
+/// every counter at the warmup/measure boundary, and the shard reports
+/// only the advance past the snapshot ([`SimResult::delta_since`]).
+/// Shard `0` has no predecessor and replays unwarmed. Chunks are
+/// contiguous in the encoded columns, so the two-chunk span is itself a
+/// well-formed [`ChunkBounds`].
+pub fn warm_shard_span(bounds: &[ChunkBounds], k: usize) -> (ChunkBounds, usize) {
+    if k == 0 {
+        return (bounds[0], 0);
+    }
+    let (prev, cur) = (bounds[k - 1], bounds[k]);
+    let span = ChunkBounds {
+        first_op: prev.first_op,
+        ops: prev.ops + cur.ops,
+        payload_off: prev.payload_off,
+        payload_len: cur.payload_off + cur.payload_len - prev.payload_off,
+        prev_va: prev.prev_va,
+        prev_oid: prev.prev_oid,
+    };
+    (span, prev.ops)
+}
+
+/// Replays one run split into [`SHARD_OPS`]-op chunk-aligned shards
+/// across the worker pool, merging the per-shard [`SimResult`]s in
+/// shard order with [`SimResult::absorb`].
+///
+/// Each shard warms up on the chunk preceding it ([`warm_shard_span`])
+/// and measures only its own chunk, with dependency edges into ops
+/// before its span treated as ready — the standard sampled-warmup
+/// approximation: the warmup window bounds how much history a shard
+/// sees, so sharded cycle counts differ slightly (pessimistically) from
+/// whole-trace replay, but are a pure function of the trace and
+/// [`SHARD_OPS`], never of the pool width. Publishes the
+/// `harness.shard.*` counters (docs/METRICS.md).
+///
+/// # Panics
+///
+/// Panics if the combination is unsupported (Parallel on out-of-order).
+pub fn simulate_sharded(run: &WorkloadRun, core: Core, cfg: &SimConfig) -> SimResult {
+    let bounds = run.trace.chunk_bounds(SHARD_OPS);
+    if bounds.len() < 2 {
+        return match core {
+            Core::InOrder => simulate_inorder(&run.trace, &run.state, cfg),
+            Core::OutOfOrder => simulate_ooo(&run.trace, &run.state, cfg),
+        }
+        .expect("unsupported core/design combination");
+    }
+    let registry = poat_telemetry::global();
+    registry.counter("harness.shard.replays").inc();
+    registry
+        .counter("harness.shard.shards")
+        .add(bounds.len() as u64);
+    registry
+        .counter("harness.shard.ops")
+        .add(run.trace.len() as u64);
+    let shards: Vec<(ChunkBounds, usize)> = (0..bounds.len())
+        .map(|k| warm_shard_span(&bounds, k))
+        .collect();
+    // The closure returns the Result so an unsupported combination
+    // panics on the merge below (in this thread), not inside a worker.
+    let results = parallel_map_labeled("shard", shards, default_workers(), |(span, warm)| {
+        let slice = run.trace.slice(&span);
+        match core {
+            Core::InOrder => simulate_inorder_ops_warm(slice.ops(), warm, &run.state, cfg),
+            Core::OutOfOrder => simulate_ooo_ops_warm(slice.ops(), warm, &run.state, cfg),
+        }
+    });
+    let mut total = SimResult::default();
+    for r in &results {
+        total.absorb(r.as_ref().expect("unsupported core/design combination"));
+    }
+    total
 }
 
 /// The three translation configurations Figure 9 compares.
@@ -282,6 +390,25 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_labeled("map", inputs, max_workers, f)
+}
+
+/// [`parallel_map`] with an explicit pool label. Pools nest — the
+/// experiment matrix pool dispatches runs whose sharded replays each
+/// open their own pool — and the label keeps each pool's
+/// `pool.workers.active{pool=...}` / `pool.queue.depth{pool=...}`
+/// gauges and HUD lines apart (docs/METRICS.md).
+pub fn parallel_map_labeled<T, R, F>(
+    label: &str,
+    inputs: Vec<T>,
+    max_workers: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     use std::collections::VecDeque;
     use std::sync::Mutex;
 
@@ -290,7 +417,7 @@ where
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let results_mutex = Mutex::new(&mut results);
     let workers = max_workers.max(1).min(n.max(1));
-    let monitor = crate::hud::PoolMonitor::new("map", workers, n as u64);
+    let monitor = crate::hud::PoolMonitor::new(label, workers, n as u64);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -319,15 +446,32 @@ where
         .collect()
 }
 
+/// `repro --workers N` override; 0 means "not set, use the host width".
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces every subsequent worker pool — the experiment matrix and the
+/// sharded-replay pools alike — to `workers` threads (`None` restores
+/// the host-derived default). Pool width never affects results (shard
+/// geometry and merge order are fixed), only wall-clock; the
+/// determinism test replays the same config at several widths through
+/// this knob.
+pub fn set_worker_override(workers: Option<usize>) {
+    WORKER_OVERRIDE.store(workers.unwrap_or(0), Ordering::Relaxed);
+}
+
 /// Default worker count: physical parallelism, loosely capped to bound
-/// memory. The cap was 8 when traces were ~40 B/op enum vectors; the
-/// compact encoding cut per-run footprint ~3-6×, so the pool now scales
-/// to wide machines.
+/// memory (or the [`set_worker_override`] width when one is set). The
+/// cap was 8 when traces were ~40 B/op enum vectors; the compact
+/// encoding cut per-run footprint ~3-6×, so the pool now scales to
+/// wide machines.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(24)
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(24),
+        n => n,
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +509,97 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..50).collect(), 4, |x: i32| x * 2);
         assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    /// A synthetic run big enough to trip [`SHARD_MIN_OPS`]: a plain
+    /// load/store/exec mix over a spread of pages, wrapped around the
+    /// machine state of a real (quick) run.
+    fn big_synthetic_run() -> WorkloadRun {
+        use poat_core::VirtAddr;
+        use poat_pmem::TraceOp;
+
+        let seed_run = run_micro(Micro::Ll, Pattern::All, ExpConfig::Opt, Scale::Quick);
+        let mut trace = Trace::new();
+        let mut x: u64 = 0xC0FFEE;
+        for i in 0..(SHARD_MIN_OPS as u64 + 10_000) {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let va = VirtAddr::new((x % (1 << 28)) & !0x7);
+            match i % 5 {
+                0 | 1 => trace.push(TraceOp::Load { va, dep: None }),
+                2 => trace.push(TraceOp::Store { va, dep: None }),
+                3 => trace.push(TraceOp::Exec {
+                    n: 1 + (x % 4) as u32,
+                }),
+                _ => trace.push(TraceOp::Load {
+                    va,
+                    // A backref that regularly crosses shard boundaries,
+                    // so rebasing is exercised.
+                    dep: Some(i.saturating_sub(x % 100_000)),
+                }),
+            };
+        }
+        WorkloadRun {
+            label: "synthetic/big".to_string(),
+            summary: trace.summary(),
+            state: seed_run.state.clone(),
+            xlat: seed_run.xlat,
+            pools: seed_run.pools,
+            trace,
+        }
+    }
+
+    #[test]
+    fn sharded_replay_is_deterministic_across_worker_widths() {
+        let run = big_synthetic_run();
+        assert!(
+            run.trace.len() >= SHARD_MIN_OPS,
+            "must take the sharded path"
+        );
+        let mut results = Vec::new();
+        for width in [1usize, 8, 24] {
+            set_worker_override(Some(width));
+            results.push(simulate(&run, Core::InOrder, pipelined()));
+        }
+        set_worker_override(None);
+        assert_eq!(results[0], results[1], "1 vs 8 workers");
+        assert_eq!(results[0], results[2], "1 vs 24 workers");
+    }
+
+    #[test]
+    fn sharded_replay_equals_manual_shard_merge() {
+        let run = big_synthetic_run();
+        let cfg = SimConfig::with_translation(pipelined());
+        let bounds = run.trace.chunk_bounds(SHARD_OPS);
+        assert!(bounds.len() >= 2, "must split into several shards");
+        let mut manual = SimResult::default();
+        for k in 0..bounds.len() {
+            let (span, warm) = warm_shard_span(&bounds, k);
+            let shard =
+                simulate_inorder_ops_warm(run.trace.slice(&span).ops(), warm, &run.state, &cfg)
+                    .expect("in-order supports every design");
+            manual.absorb(&shard);
+        }
+        assert_eq!(simulate_with(&run, Core::InOrder, cfg), manual);
+    }
+
+    #[test]
+    fn warm_shard_spans_cover_the_trace_contiguously() {
+        let run = big_synthetic_run();
+        let bounds = run.trace.chunk_bounds(SHARD_OPS);
+        assert!(bounds.len() >= 2);
+        let mut measured = 0usize;
+        for k in 0..bounds.len() {
+            let (span, warm) = warm_shard_span(&bounds, k);
+            // The measured window is exactly this shard's chunk.
+            assert_eq!(span.first_op as usize + warm, bounds[k].first_op as usize);
+            assert_eq!(span.ops - warm, bounds[k].ops);
+            // The span decodes: warm ops + measured ops stream out.
+            assert_eq!(run.trace.slice(&span).ops().count(), span.ops);
+            measured += span.ops - warm;
+        }
+        assert_eq!(measured, run.trace.len());
     }
 
     #[test]

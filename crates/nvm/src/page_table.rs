@@ -73,6 +73,14 @@ impl PageTable {
         self.entries.is_empty()
     }
 
+    /// Iterates over every `(virtual page number, frame base)` mapping,
+    /// in arbitrary order. This is how the simulator builds its flat
+    /// replay-time lookup structure without going through the hashed
+    /// `translate` path once per op.
+    pub fn mappings(&self) -> impl Iterator<Item = (u64, PhysAddr)> + '_ {
+        self.entries.iter().map(|(&page, &frame)| (page, frame))
+    }
+
     /// Iterates over the frames backing the pages of `[base, base+len)`.
     pub fn frames_in(&self, base: VirtAddr, len: u64) -> impl Iterator<Item = PhysAddr> + '_ {
         let first = base.page_number();

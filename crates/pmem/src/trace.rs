@@ -209,7 +209,7 @@ pub enum TraceCorruption {
     TrailingData,
 }
 
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let b = (v & 0x7F) as u8;
         v >>= 7;
@@ -228,7 +228,7 @@ fn put_svarint(buf: &mut Vec<u8>, v: u64) {
     put_varint(buf, ((s << 1) ^ (s >> 63)) as u64);
 }
 
-fn get_varint(data: &[u8], off: &mut usize) -> Result<u64, TraceCorruption> {
+pub(crate) fn get_varint(data: &[u8], off: &mut usize) -> Result<u64, TraceCorruption> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -595,6 +595,299 @@ impl Trace {
             state,
             last_exec,
         })
+    }
+}
+
+/// Byte-exact bounds of one chunk of a trace's encoded columns, plus the
+/// delta-decoder snapshot needed to decode that chunk independently of
+/// everything before it.
+///
+/// Produced by [`Trace::chunk_bounds`]; consumed by [`Trace::slice`] (the
+/// sharded-replay work unit) and by `trace_io`'s chunked on-disk format
+/// (each chunk header persists one of these so a memory-mapped reader can
+/// decode any chunk without replaying the whole stream). The geometry is
+/// a pure function of the trace contents and the requested chunk size —
+/// never of worker count — which is what makes sharded replay
+/// deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkBounds {
+    /// Absolute [`OpId`] of the chunk's first op.
+    pub first_op: OpId,
+    /// Number of ops (= tag bytes) in the chunk.
+    pub ops: usize,
+    /// Byte offset of the chunk's payload within the payload column.
+    pub payload_off: usize,
+    /// Byte length of the chunk's payload.
+    pub payload_len: usize,
+    /// Delta base for virtual addresses at the chunk start.
+    pub prev_va: u64,
+    /// Delta base for ObjectIDs at the chunk start.
+    pub prev_oid: u64,
+}
+
+/// A borrowed, independently decodable view of one chunk of a [`Trace`]
+/// — the work unit of sharded replay.
+///
+/// [`TraceSlice::ops`] streams the chunk's ops with dependency edges
+/// **rebased** to the slice: an edge pointing before the slice start is
+/// reported as `None` (the producer completed in an earlier shard, so
+/// the consumer treats the address as ready at cycle zero), and an edge
+/// within the slice is renumbered relative to the slice's first op.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSlice<'a> {
+    tags: &'a [u8],
+    data: &'a [u8],
+    first_op: OpId,
+    prev_va: u64,
+    prev_oid: u64,
+}
+
+impl<'a> TraceSlice<'a> {
+    /// Absolute [`OpId`] of the slice's first op.
+    pub fn first_op(&self) -> OpId {
+        self.first_op
+    }
+
+    /// Number of ops in the slice.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the slice contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Streams the slice's ops with slice-relative dependency edges.
+    pub fn ops(&self) -> SliceOps<'a> {
+        SliceOps {
+            inner: Ops {
+                tags: self.tags,
+                data: self.data,
+                pos: 0,
+                off: 0,
+                state: DeltaState {
+                    prev_va: self.prev_va,
+                    prev_oid: self.prev_oid,
+                },
+            },
+            first_op: self.first_op,
+        }
+    }
+}
+
+/// Streaming decoder over a [`TraceSlice`] (see [`TraceSlice::ops`]).
+#[derive(Clone, Debug)]
+pub struct SliceOps<'a> {
+    inner: Ops<'a>,
+    first_op: OpId,
+}
+
+impl Iterator for SliceOps<'_> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        // Decode against the *absolute* op id (backrefs are encoded
+        // against it), then rebase the edge into slice-local numbering.
+        let &tag = self.inner.tags.get(self.inner.pos)?;
+        let id = self.first_op + self.inner.pos as u64;
+        let op = self
+            .inner
+            .state
+            .decode(tag, self.inner.data, &mut self.inner.off, id)
+            // invariant: slices are cut from columns validated at
+            // construction, so every op decodes.
+            .expect("invariant: trace columns are validated at construction");
+        self.inner.pos += 1;
+        let rebase = |dep: Option<OpId>| dep.and_then(|d| d.checked_sub(self.first_op));
+        Some(match op {
+            TraceOp::Load { va, dep } => TraceOp::Load {
+                va,
+                dep: rebase(dep),
+            },
+            TraceOp::Store { va, dep } => TraceOp::Store {
+                va,
+                dep: rebase(dep),
+            },
+            TraceOp::NvLoad { oid, va, dep } => TraceOp::NvLoad {
+                oid,
+                va,
+                dep: rebase(dep),
+            },
+            TraceOp::NvStore { oid, va, dep } => TraceOp::NvStore {
+                oid,
+                va,
+                dep: rebase(dep),
+            },
+            other => other,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SliceOps<'_> {}
+
+impl Trace {
+    /// Splits the trace into chunk-aligned bounds of at most
+    /// `ops_per_chunk` ops each (the last chunk may be shorter), in one
+    /// streaming pass over the encoding.
+    ///
+    /// The result depends only on the trace contents and
+    /// `ops_per_chunk`, so shard geometry is stable across worker-pool
+    /// widths. An empty trace yields no chunks; `ops_per_chunk` is
+    /// clamped to at least 1.
+    pub fn chunk_bounds(&self, ops_per_chunk: usize) -> Vec<ChunkBounds> {
+        let per = ops_per_chunk.max(1);
+        let mut bounds = Vec::with_capacity(self.tags.len().div_ceil(per));
+        let mut state = DeltaState::default();
+        let mut off = 0usize;
+        let mut chunk_start = 0usize;
+        let mut chunk_payload_off = 0usize;
+        let mut chunk_state = state;
+        for (id, &tag) in self.tags.iter().enumerate() {
+            if id - chunk_start == per {
+                bounds.push(ChunkBounds {
+                    first_op: chunk_start as OpId,
+                    ops: per,
+                    payload_off: chunk_payload_off,
+                    payload_len: off - chunk_payload_off,
+                    prev_va: chunk_state.prev_va,
+                    prev_oid: chunk_state.prev_oid,
+                });
+                chunk_start = id;
+                chunk_payload_off = off;
+                chunk_state = state;
+            }
+            let _ = state
+                .decode(tag, &self.data, &mut off, id as u64)
+                // invariant: the columns were produced by `push` or
+                // validated by `from_encoded`, so every op decodes.
+                .expect("invariant: trace columns are validated at construction");
+        }
+        if chunk_start < self.tags.len() {
+            bounds.push(ChunkBounds {
+                first_op: chunk_start as OpId,
+                ops: self.tags.len() - chunk_start,
+                payload_off: chunk_payload_off,
+                payload_len: off - chunk_payload_off,
+                prev_va: chunk_state.prev_va,
+                prev_oid: chunk_state.prev_oid,
+            });
+        }
+        bounds
+    }
+
+    /// Borrows the slice of this trace described by `bounds`.
+    ///
+    /// `bounds` must come from [`Trace::chunk_bounds`] on this same
+    /// trace; mismatched bounds panic rather than decode garbage.
+    pub fn slice(&self, bounds: &ChunkBounds) -> TraceSlice<'_> {
+        let op_end = bounds.first_op as usize + bounds.ops;
+        let payload_end = bounds.payload_off + bounds.payload_len;
+        assert!(
+            op_end <= self.tags.len() && payload_end <= self.data.len(),
+            "chunk bounds do not belong to this trace"
+        );
+        TraceSlice {
+            tags: &self.tags[bounds.first_op as usize..op_end],
+            data: &self.data[bounds.payload_off..payload_end],
+            first_op: bounds.first_op,
+            prev_va: bounds.prev_va,
+            prev_oid: bounds.prev_oid,
+        }
+    }
+}
+
+/// Streaming *checked* decoder over raw encoded columns: every varint,
+/// flag combination, and dependency backreference is validated as it is
+/// decoded, and trailing payload bytes surface as one final error item.
+///
+/// This is the lazy counterpart of [`Trace::from_encoded`]: where
+/// `from_encoded` validates the whole stream up front (and later
+/// iteration cannot fail), `CheckedOps` fuses validation into first
+/// touch, which is what lets the memory-mapped reader in `trace_io`
+/// decode a chunk without ever materializing a second copy of its
+/// columns. The iterator is fused: after yielding an `Err` it yields
+/// `None` forever.
+#[derive(Clone, Debug)]
+pub struct CheckedOps<'a> {
+    tags: &'a [u8],
+    data: &'a [u8],
+    pos: usize,
+    off: usize,
+    base_id: OpId,
+    state: DeltaState,
+    failed: bool,
+    trailing_checked: bool,
+}
+
+impl<'a> CheckedOps<'a> {
+    /// Checked decode of complete columns from the stream start.
+    pub fn new(tags: &'a [u8], data: &'a [u8]) -> Self {
+        Self::resume(tags, data, 0, 0, 0)
+    }
+
+    /// Checked decode of a chunk cut mid-stream: `base_id` is the
+    /// absolute [`OpId`] of the first op and `prev_va`/`prev_oid` are
+    /// the delta bases at the chunk start (see [`ChunkBounds`]).
+    pub fn resume(
+        tags: &'a [u8],
+        data: &'a [u8],
+        base_id: OpId,
+        prev_va: u64,
+        prev_oid: u64,
+    ) -> Self {
+        CheckedOps {
+            tags,
+            data,
+            pos: 0,
+            off: 0,
+            base_id,
+            state: DeltaState { prev_va, prev_oid },
+            failed: false,
+            trailing_checked: false,
+        }
+    }
+
+    /// Delta bases after the last decoded op — the snapshot to seed the
+    /// next chunk's decoder with.
+    pub fn delta_bases(&self) -> (u64, u64) {
+        (self.state.prev_va, self.state.prev_oid)
+    }
+}
+
+impl Iterator for CheckedOps<'_> {
+    type Item = Result<TraceOp, TraceCorruption>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let Some(&tag) = self.tags.get(self.pos) else {
+            // Spine exhausted: any payload bytes left over are garbage.
+            if !self.trailing_checked {
+                self.trailing_checked = true;
+                if self.off != self.data.len() {
+                    self.failed = true;
+                    return Some(Err(TraceCorruption::TrailingData));
+                }
+            }
+            return None;
+        };
+        let id = self.base_id + self.pos as u64;
+        match self.state.decode(tag, self.data, &mut self.off, id) {
+            Ok(op) => {
+                self.pos += 1;
+                Some(Ok(op))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -996,6 +1289,173 @@ mod tests {
             Some(TraceOp::Exec { n: 7 }),
             "merged across from_encoded"
         );
+    }
+
+    /// A mixed-kind stream with deltas and deps crossing any chunk cut.
+    fn mixed_trace(n: u64) -> Trace {
+        let mut t = Trace::new();
+        let mut prev = None;
+        for i in 0..n {
+            t.push(TraceOp::Exec { n: 2 });
+            prev = Some(t.push(TraceOp::Load {
+                va: va(0x2000_0000_0000 + (i % 17) * 4096 + i * 8),
+                dep: prev,
+            }));
+            if i % 5 == 0 {
+                t.push(TraceOp::NvStore {
+                    oid: ObjectId::from_raw(0x3_0000_0000 + i * 64),
+                    va: va(0x7F00_0000_0000 + i * 256),
+                    dep: prev,
+                });
+                t.push(TraceOp::Clwb {
+                    va: va(0x7F00_0000_0000 + i * 256),
+                });
+                t.push(TraceOp::Fence);
+            }
+            if i % 7 == 0 {
+                t.push(TraceOp::Branch {
+                    mispredicted: i % 14 == 0,
+                });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn chunk_bounds_cover_the_trace_exactly() {
+        let t = mixed_trace(200);
+        for per in [1, 7, 64, 1000] {
+            let bounds = t.chunk_bounds(per);
+            assert_eq!(bounds.iter().map(|b| b.ops).sum::<usize>(), t.len());
+            assert_eq!(
+                bounds.iter().map(|b| b.payload_len).sum::<usize>(),
+                t.encoded_bytes() - t.len()
+            );
+            let mut expect_op = 0u64;
+            let mut expect_off = 0usize;
+            for b in &bounds {
+                assert_eq!(b.first_op, expect_op);
+                assert_eq!(b.payload_off, expect_off);
+                assert!(b.ops <= per.max(1));
+                expect_op += b.ops as u64;
+                expect_off += b.payload_len;
+            }
+        }
+        assert!(Trace::new().chunk_bounds(8).is_empty());
+    }
+
+    #[test]
+    fn slices_concatenate_to_the_full_stream_with_rebased_deps() {
+        let t = mixed_trace(150);
+        let whole: Vec<TraceOp> = t.ops().collect();
+        let bounds = t.chunk_bounds(37);
+        let mut at = 0usize;
+        for b in &bounds {
+            let slice = t.slice(b);
+            assert_eq!(slice.first_op(), b.first_op);
+            assert_eq!(slice.len(), b.ops);
+            for (i, got) in slice.ops().enumerate() {
+                let expect = whole[at + i];
+                // Kinds and operands match; deps are rebased.
+                match (got, expect) {
+                    (TraceOp::Load { va: gv, dep: gd }, TraceOp::Load { va: ev, dep: ed })
+                    | (TraceOp::Store { va: gv, dep: gd }, TraceOp::Store { va: ev, dep: ed }) => {
+                        assert_eq!(gv, ev);
+                        assert_eq!(gd, ed.and_then(|d| d.checked_sub(b.first_op)));
+                    }
+                    (
+                        TraceOp::NvLoad {
+                            oid: go,
+                            va: gv,
+                            dep: gd,
+                        },
+                        TraceOp::NvLoad {
+                            oid: eo,
+                            va: ev,
+                            dep: ed,
+                        },
+                    )
+                    | (
+                        TraceOp::NvStore {
+                            oid: go,
+                            va: gv,
+                            dep: gd,
+                        },
+                        TraceOp::NvStore {
+                            oid: eo,
+                            va: ev,
+                            dep: ed,
+                        },
+                    ) => {
+                        assert_eq!((go, gv), (eo, ev));
+                        assert_eq!(gd, ed.and_then(|d| d.checked_sub(b.first_op)));
+                    }
+                    (g, e) => assert_eq!(g, e),
+                }
+            }
+            at += b.ops;
+        }
+        assert_eq!(at, whole.len());
+    }
+
+    #[test]
+    fn checked_ops_matches_unchecked_decode() {
+        let t = mixed_trace(80);
+        let (tags, data) = t.encoded_columns();
+        let checked: Result<Vec<TraceOp>, TraceCorruption> = CheckedOps::new(tags, data).collect();
+        assert_eq!(checked.unwrap(), t.ops().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn checked_ops_resumes_from_chunk_snapshots() {
+        let t = mixed_trace(90);
+        let whole: Vec<TraceOp> = t.ops().collect();
+        let (tags, data) = t.encoded_columns();
+        let mut decoded = Vec::new();
+        for b in t.chunk_bounds(29) {
+            let chunk_tags = &tags[b.first_op as usize..b.first_op as usize + b.ops];
+            let chunk_data = &data[b.payload_off..b.payload_off + b.payload_len];
+            let co = CheckedOps::resume(chunk_tags, chunk_data, b.first_op, b.prev_va, b.prev_oid);
+            for r in co {
+                decoded.push(r.unwrap());
+            }
+        }
+        assert_eq!(decoded, whole);
+    }
+
+    #[test]
+    fn checked_ops_surfaces_errors_and_fuses() {
+        // Trailing payload garbage.
+        let t = mixed_trace(10);
+        let (tags, data) = t.encoded_columns();
+        let mut fat = data.to_vec();
+        fat.push(0x00);
+        let results: Vec<_> = CheckedOps::new(tags, &fat).collect();
+        assert_eq!(
+            results.last(),
+            Some(&Err(TraceCorruption::TrailingData)),
+            "trailing garbage is the final item"
+        );
+        assert_eq!(results.len(), t.len() + 1);
+
+        // Truncated payload: fused after the first error.
+        let cut = &data[..data.len() - 1];
+        let mut it = CheckedOps::new(tags, cut);
+        let mut saw_err = false;
+        for r in it.by_ref() {
+            if r.is_err() {
+                assert_eq!(r, Err(TraceCorruption::Truncated));
+                saw_err = true;
+            } else {
+                assert!(!saw_err, "no items after the first error");
+            }
+        }
+        assert!(saw_err);
+        assert_eq!(it.next(), None, "fused");
+
+        // Undefined flag bits.
+        let bad: Vec<_> = CheckedOps::new(&[K_FENCE | F_BIT0], &[]).collect();
+        assert_eq!(bad, vec![Err(TraceCorruption::BadTag(K_FENCE | F_BIT0))]);
     }
 
     #[test]

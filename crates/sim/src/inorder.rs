@@ -23,47 +23,61 @@
 //!   frames); a miss stalls for the combined POT + page-table walk.
 
 use poat_core::VirtAddr;
-use poat_nvm::PageTable;
 use poat_pmem::{MachineState, Trace, TraceOp};
 use poat_telemetry::events::{self, EventKind, TraceDesign};
 use poat_telemetry::profile;
 
 use crate::cache::MemoryHierarchy;
 use crate::config::SimConfig;
+use crate::pagemap::PageMap;
 use crate::result::{SimError, SimResult};
 use crate::tlb::Tlb;
 use crate::xlate::{TranslateOutcome, TranslationUnit};
 
-/// Addresses with no page-table mapping (the runtime's volatile globals and
-/// translation table) are treated as identity-mapped DRAM, offset into a
-/// distinct physical region so they never alias pool frames.
-pub(crate) fn phys_of(pt: &PageTable, va: VirtAddr) -> u64 {
-    match pt.translate(va) {
-        Some(pa) => pa.raw(),
-        None => va.raw() | (1 << 47),
+/// Replays a coalesced run of `n` same-line plain `Load`/`Store` ops
+/// (all `dep: None`): the leading op takes the exact per-op path, and
+/// the remaining `n - 1` are guaranteed TLB + L1 hits — the page and
+/// line are resident because the leading access allocates on miss (see
+/// the `batching` gate in [`simulate_inorder_ops`]) — applied as one
+/// run-length batched model update each instead of `n - 1` scans.
+#[allow(clippy::too_many_arguments)]
+fn flush_plain_run(
+    va: VirtAddr,
+    is_store: bool,
+    n: u64,
+    cycles: &mut u64,
+    complete: &mut Vec<u64>,
+    tlb: &mut Tlb,
+    hier: &mut MemoryHierarchy,
+    pmap: &PageMap,
+    tlb_miss_penalty: u64,
+    l1: u64,
+) {
+    let _mem_prof = profile::hot_scope("cache_tlb");
+    *cycles += 1;
+    if !tlb.access(va.raw()) {
+        *cycles += tlb_miss_penalty;
     }
-}
-
-/// Wraps a replayed op stream so each pull — where the compact trace's
-/// LEB128 columns are actually parsed — is attributed to the
-/// `replay_decode` profile phase. Costs two relaxed atomic loads per op
-/// when profiling is off.
-pub(crate) struct DecodeProfiled<I> {
-    pub(crate) inner: I,
-}
-
-impl<I: Iterator<Item = TraceOp>> Iterator for DecodeProfiled<I> {
-    type Item = TraceOp;
-
-    #[inline]
-    fn next(&mut self) -> Option<TraceOp> {
-        let _op = profile::begin_op();
-        let _decode_prof = profile::hot_scope("replay_decode");
-        self.inner.next()
+    let pa = pmap.phys_of(va);
+    let lat = hier.access(pa);
+    if is_store {
+        // Stores retire through the store buffer: the pipe does not
+        // wait for the cache.
+        complete.push(*cycles);
+    } else {
+        *cycles += lat - l1.min(lat);
+        complete.push(*cycles + l1);
     }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
+    let m = n - 1;
+    if m > 0 {
+        let _tlb_hit = tlb.access_batched(va.raw(), m);
+        let _total = hier.access_batched(pa, m);
+        debug_assert!(_tlb_hit, "page resident after the leading access");
+        debug_assert_eq!(_total, m * l1, "line L1-resident after the leading access");
+        for _ in 0..m {
+            *cycles += 1;
+            complete.push(if is_store { *cycles } else { *cycles + l1 });
+        }
     }
 }
 
@@ -98,12 +112,48 @@ pub fn simulate_inorder_ops(
     state: &MachineState,
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
+    simulate_inorder_ops_impl(ops, 0, state, cfg, true)
+}
+
+/// [`simulate_inorder_ops`] with functional warmup: the first
+/// `warmup_ops` ops replay through the full model but are excluded from
+/// the returned counters (every counter is snapshotted at the boundary
+/// and the measured window reported as the advance since it —
+/// [`SimResult::delta_since`]).
+///
+/// This is how sharded replay keeps its microarchitectural state warm:
+/// a shard's stream is prefixed with the ops preceding it in the trace,
+/// so the measured window starts with caches/TLB/POLB in (approximately)
+/// the state whole-trace replay would have reached, instead of cold.
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` mirrors [`crate::ooo::simulate_ooo`].
+pub fn simulate_inorder_ops_warm(
+    ops: impl IntoIterator<Item = TraceOp>,
+    warmup_ops: usize,
+    state: &MachineState,
+    cfg: &SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_inorder_ops_impl(ops, warmup_ops, state, cfg, true)
+}
+
+/// The actual model; `enable_batching` exists so the equivalence test can
+/// replay the same trace with and without run-length batching and require
+/// bit-identical results — production callers always pass `true`.
+fn simulate_inorder_ops_impl(
+    ops: impl IntoIterator<Item = TraceOp>,
+    warmup_ops: usize,
+    state: &MachineState,
+    cfg: &SimConfig,
+    enable_batching: bool,
+) -> Result<SimResult, SimError> {
     let _replay_span = poat_telemetry::global().span(poat_telemetry::PHASE_TRACE_REPLAY);
     let _replay_prof = profile::scope(poat_telemetry::PHASE_TRACE_REPLAY);
     let mut hier = MemoryHierarchy::new(&cfg.mem);
     let mut tlb = Tlb::new(cfg.mem.dtlb_entries);
     let mut xlate = TranslationUnit::new(cfg.translation, state);
-    let pt = &state.page_table;
+    let pmap = PageMap::new(&state.page_table);
     let l1 = cfg.mem.l1d.latency;
     let hit_extra = cfg.translation.hit_latency_cycles();
     let parallel_design = matches!(cfg.translation.design, poat_core::PolbDesign::Parallel);
@@ -113,9 +163,7 @@ pub fn simulate_inorder_ops(
         TraceDesign::Pipelined
     };
 
-    let ops = DecodeProfiled {
-        inner: ops.into_iter(),
-    };
+    let mut ops = ops.into_iter();
     // Completion (value-ready) time of each op, for load-to-use stalls.
     // Grown as the stream is consumed; a dep outside the recorded range
     // (or on a non-memory op) reads as ready-at-zero.
@@ -124,8 +172,100 @@ pub fn simulate_inorder_ops(
     let mut cycles: u64 = 0;
     let mut instructions: u64 = 0;
 
-    for op in ops {
+    // Run-length batching of plain same-line `Load`/`Store` ops with no
+    // dependence: after the run's leading access, the line is L1-resident
+    // and its page is TLB-resident (both allocate on miss), so the rest of
+    // the run is provably `n - 1` hits — one batched model update instead
+    // of `n - 1` scans (`flush_plain_run`). Two degenerate geometries
+    // break that residency guarantee and disable batching: a zero-entry
+    // TLB (nothing is ever resident), and a single-set L1 with next-line
+    // prefetch on (the prefetch triggered by the leading miss can evict
+    // the run's own line).
+    let batching = enable_batching
+        && cfg.mem.dtlb_entries > 0
+        && !(cfg.mem.next_line_prefetch && cfg.mem.l1d.sets() <= 1);
+    let mut run: Option<(VirtAddr, bool, u64)> = None;
+    let mut batch_runs: u64 = 0;
+    let mut batch_ops: u64 = 0;
+    macro_rules! flush_run {
+        () => {
+            if let Some((rva, rstore, n)) = run.take() {
+                if n > 1 {
+                    batch_runs += 1;
+                    batch_ops += n - 1;
+                }
+                flush_plain_run(
+                    rva,
+                    rstore,
+                    n,
+                    &mut cycles,
+                    &mut complete,
+                    &mut tlb,
+                    &mut hier,
+                    &pmap,
+                    cfg.mem.tlb_miss_penalty,
+                    l1,
+                );
+            }
+        };
+    }
+
+    // Warmup/measure boundary: after `warmup_ops` ops the counters are
+    // snapshotted (with any pending batch run flushed first, so the
+    // boundary falls between fully retired ops) and the measured window
+    // is reported as the advance past the snapshot.
+    let mut consumed: usize = 0;
+    let mut warm_snapshot: Option<SimResult> = None;
+    macro_rules! snapshot {
+        () => {
+            SimResult {
+                cycles,
+                instructions,
+                translation: xlate.stats(),
+                cache: hier.stats(),
+                tlb: tlb.stats(),
+                store_forwards: 0,
+            }
+        };
+    }
+
+    loop {
+        if warmup_ops > 0 && consumed == warmup_ops && warm_snapshot.is_none() {
+            flush_run!();
+            warm_snapshot = Some(snapshot!());
+        }
+        // One sampling decision per replayed op, shared by the decode pull
+        // below and every hot scope in the body.
         let _op_prof = profile::begin_op();
+        let Some(op) = ({
+            let _decode_prof = profile::hot_scope("replay_decode");
+            ops.next()
+        }) else {
+            break;
+        };
+        consumed += 1;
+        if batching {
+            if let TraceOp::Load { va, dep: None } | TraceOp::Store { va, dep: None } = op {
+                let is_store = matches!(op, TraceOp::Store { .. });
+                instructions += 1;
+                match &mut run {
+                    Some((rva, rstore, n))
+                        if *rstore == is_store && rva.raw() / 64 == va.raw() / 64 =>
+                    {
+                        *n += 1;
+                    }
+                    _ => {
+                        flush_run!();
+                        run = Some((va, is_store, 1));
+                    }
+                }
+                continue;
+            }
+            // Anything else (a dep-carrying access, an nvld/nvst, exec,
+            // branch, clwb, fence) ends the run before it is replayed, so
+            // program order — and every `complete` index — is preserved.
+            flush_run!();
+        }
         instructions += op.instructions();
         let dep = match op {
             TraceOp::Load { dep, .. }
@@ -178,7 +318,7 @@ pub fn simulate_inorder_ops(
                 if !(is_nv && parallel_design) && !tlb.access(va.raw()) {
                     cycles += cfg.mem.tlb_miss_penalty;
                 }
-                let lat = hier.access(phys_of(pt, va));
+                let lat = hier.access(pmap.phys_of(va));
                 // Beyond-L1 latency stalls a scalar in-order pipe.
                 cycles += lat - l1.min(lat);
                 done = cycles + value_latency;
@@ -212,29 +352,35 @@ pub fn simulate_inorder_ops(
                 }
                 // Stores retire through the store buffer: the cache is
                 // updated but the pipe does not wait for it.
-                hier.access(phys_of(pt, va));
+                hier.access(pmap.phys_of(va));
                 done = cycles;
             }
             TraceOp::Clwb { va } => {
                 cycles += cfg.mem.clwb_latency;
                 let _mem_prof = profile::hot_scope("cache_tlb");
-                hier.access(phys_of(pt, va));
+                hier.access(pmap.phys_of(va));
             }
             TraceOp::Fence => cycles += 1,
         }
         complete.push(done);
     }
+    flush_run!();
 
-    Ok(SimResult {
-        cycles,
-        instructions,
-        translation: xlate.stats(),
-        cache: hier.stats(),
-        tlb: tlb.stats(),
-        // The scalar in-order pipe executes in program order; stores
-        // complete before any later load issues, so forwarding never
-        // shortens a latency here.
-        store_forwards: 0,
+    if batch_runs > 0 {
+        let registry = poat_telemetry::global();
+        registry.counter("sim.batch.runs").add(batch_runs);
+        registry.counter("sim.batch.batched_ops").add(batch_ops);
+    }
+
+    // The scalar in-order pipe executes in program order; stores
+    // complete before any later load issues, so forwarding never
+    // shortens a latency here (`store_forwards` stays 0 in `snapshot!`).
+    let total = snapshot!();
+    Ok(match warm_snapshot {
+        Some(at_boundary) => total.delta_since(&at_boundary),
+        // A warmup longer than the stream leaves nothing measured.
+        None if warmup_ops > 0 => total.delta_since(&total),
+        None => total,
     })
 }
 
@@ -403,6 +549,89 @@ mod tests {
         t.push(TraceOp::Fence);
         let r = simulate_inorder(&t, &state, &SimConfig::default()).unwrap();
         assert_eq!(r.cycles, 100 + 1);
+    }
+
+    #[test]
+    fn run_length_batching_is_cycle_exact() {
+        // Replaying with run-length batching on must be bit-identical to
+        // replaying with it off, across synthetic run-heavy traces and a
+        // real software-translation workload (whose translation-table
+        // lookups are exactly the plain same-line load runs the batcher
+        // targets). Dependencies that reach *into* a batched run check
+        // the per-op completion times the flush reconstructs.
+        let (sw_trace, sw_state) = tiny_workload(TranslationMode::Software);
+
+        let base = 0x4000_0000_0000u64;
+        let mut synth = Trace::new();
+        let mut last = None;
+        for i in 0..200u64 {
+            let line = base + (i / 7) * 64;
+            let va = VirtAddr::new(line + (i % 8) * 8);
+            last = Some(match i % 11 {
+                0..=4 => synth.push(TraceOp::Load { va, dep: None }),
+                5 | 6 => synth.push(TraceOp::Store { va, dep: None }),
+                7 => synth.push(TraceOp::Load { va, dep: last }),
+                8 => synth.push(TraceOp::Exec { n: 3 }),
+                9 => synth.push(TraceOp::Branch {
+                    mispredicted: i % 22 == 9,
+                }),
+                _ => synth.push(TraceOp::Fence),
+            });
+        }
+        // A long pure run, then a dependent load reaching into it.
+        let mut runs = Trace::new();
+        let va = VirtAddr::new(base);
+        let mut mid = 0;
+        for i in 0..50 {
+            let id = runs.push(TraceOp::Load { va, dep: None });
+            if i == 25 {
+                mid = id;
+            }
+        }
+        runs.push(TraceOp::Load {
+            va: VirtAddr::new(base + 8192),
+            dep: Some(mid),
+        });
+        for _ in 0..50 {
+            runs.push(TraceOp::Store { va, dep: None });
+        }
+
+        let cfg = SimConfig::default();
+        let mut prefetch_cfg = SimConfig::default();
+        prefetch_cfg.mem.next_line_prefetch = true;
+        for (trace, state) in [
+            (&sw_trace, &sw_state),
+            (&synth, &sw_state),
+            (&runs, &sw_state),
+        ] {
+            for cfg in [&cfg, &prefetch_cfg] {
+                let batched = simulate_inorder_ops_impl(trace.ops(), 0, state, cfg, true).unwrap();
+                let plain = simulate_inorder_ops_impl(trace.ops(), 0, state, cfg, false).unwrap();
+                assert_eq!(batched, plain, "batching changed the model");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_replay_equals_whole_minus_prefix() {
+        // The in-order core is a pure fold over ops, so replaying the
+        // whole trace with a warmup snapshot at op k must equal the
+        // whole-trace counters minus a standalone replay of ops[..k] —
+        // the identity `delta_since` relies on.
+        let (trace, state) = tiny_workload(TranslationMode::Hardware);
+        let ops: Vec<TraceOp> = trace.ops().collect();
+        let cfg = SimConfig::default();
+        let k = ops.len() / 3;
+        let whole = simulate_inorder_ops(ops.iter().copied(), &state, &cfg).unwrap();
+        let prefix = simulate_inorder_ops(ops[..k].iter().copied(), &state, &cfg).unwrap();
+        let warm = simulate_inorder_ops_warm(ops.iter().copied(), k, &state, &cfg).unwrap();
+        assert_eq!(warm, whole.delta_since(&prefix));
+        // Zero warmup is the plain replay; all-warmup measures nothing.
+        let unwarmed = simulate_inorder_ops_warm(ops.iter().copied(), 0, &state, &cfg).unwrap();
+        assert_eq!(unwarmed, whole);
+        let empty =
+            simulate_inorder_ops_warm(ops.iter().copied(), ops.len(), &state, &cfg).unwrap();
+        assert_eq!(empty, SimResult::default());
     }
 
     #[test]

@@ -43,11 +43,12 @@ pub mod cache;
 pub mod config;
 pub mod inorder;
 pub mod ooo;
+pub mod pagemap;
 pub mod result;
 pub mod tlb;
 pub mod xlate;
 
 pub use config::{CoreConfig, MemoryConfig, SimConfig};
-pub use inorder::{simulate_inorder, simulate_inorder_ops};
-pub use ooo::{simulate_ooo, simulate_ooo_ops};
+pub use inorder::{simulate_inorder, simulate_inorder_ops, simulate_inorder_ops_warm};
+pub use ooo::{simulate_ooo, simulate_ooo_ops, simulate_ooo_ops_warm};
 pub use result::{SimError, SimResult};

@@ -93,4 +93,17 @@ fi
 cargo run --release -p poat-bench --bin bench-compare --locked --offline -- \
   --ledger "$ledger" "$trace_dir/bench_smoke.json"
 
+if [[ -n "${POAT_BENCH_FULL_BUDGET:-}" && "${POAT_BENCH_FULL_BUDGET}" != 0 ]]; then
+  echo "==> full-scale matrix budget (opt-in via POAT_BENCH_FULL_BUDGET)"
+  # Full-scale Fig. 9 matrix under its wall-clock budget
+  # (budget/fig9_full_matrix, docs/BENCHMARKS.md). Minutes of runtime,
+  # so it only runs when a caller exports POAT_BENCH_FULL_BUDGET=1 —
+  # default CI stays fast. --filter skips the sampled microbenchmarks;
+  # the budget check alone exercises the sharded full-scale replay path.
+  POAT_BENCH_FULL_BUDGET="$POAT_BENCH_FULL_BUDGET" \
+    cargo run --release -p poat-bench --bin bench-run --locked --offline -- \
+    --mode smoke --filter fig9_full_matrix --out "$trace_dir/bench_full.json"
+  grep -q '"budget/fig9_full_matrix"' "$trace_dir/bench_full.json"
+fi
+
 echo "==> ci.sh: all green"
