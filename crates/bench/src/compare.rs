@@ -154,16 +154,19 @@ pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comp
             old.build.host_parallelism, new.build.host_parallelism
         ));
     }
-    // Pre-schema reports carry no worker width; only a real mismatch
-    // between two recorded widths is worth a warning.
-    if let (Some(old_w), Some(new_w)) = (old.build.worker_parallelism, new.build.worker_parallelism)
+    // A pre-schema report with no recorded worker width cannot be shown
+    // to match, so it warns just like a real mismatch would — budget
+    // wall-clocks are only comparable when both widths are known equal.
+    let width = |w: Option<u32>| w.map_or("unrecorded".to_string(), |n| n.to_string());
+    if old.build.worker_parallelism != new.build.worker_parallelism
+        || old.build.worker_parallelism.is_none()
     {
-        if old_w != new_w {
-            warnings.push(format!(
-                "worker-pool width differs (old {old_w}, new {new_w}); \
-                 budget wall-clocks are not comparable across widths"
-            ));
-        }
+        warnings.push(format!(
+            "worker-pool width differs (old {}, new {}); \
+             budget wall-clocks are not comparable across widths",
+            width(old.build.worker_parallelism),
+            width(new.build.worker_parallelism)
+        ));
     }
 
     let mut deltas = Vec::new();

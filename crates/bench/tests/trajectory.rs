@@ -158,7 +158,7 @@ fn comparator_warns_on_debug_profile_and_host_mismatch() {
 }
 
 #[test]
-fn comparator_warns_on_worker_width_mismatch_only_when_both_recorded() {
+fn comparator_warns_on_worker_width_mismatch_or_unrecorded_width() {
     let old = report(vec![record("a/b", 10.0)]);
     let mut new = old.clone();
     new.build.worker_parallelism = Some(24);
@@ -169,11 +169,22 @@ fn comparator_warns_on_worker_width_mismatch_only_when_both_recorded() {
     );
     assert_eq!(cmp.warnings.len(), 1, "old 8 vs new 24 workers warns");
 
-    // A pre-schema baseline (no recorded width) produces no warning:
-    // there is nothing to compare against.
+    // A pre-schema baseline (no recorded width) cannot be shown to
+    // match, so it warns too — silently treating it as comparable hid
+    // real cross-width comparisons.
     let mut legacy = old.clone();
     legacy.build.worker_parallelism = None;
     let cmp = compare(&legacy, &new, DEFAULT_THRESHOLD_PCT);
+    assert_eq!(cmp.warnings.len(), 1, "got: {:?}", cmp.warnings);
+    assert!(
+        cmp.warnings[0].contains("unrecorded"),
+        "got: {:?}",
+        cmp.warnings
+    );
+    assert!(!cmp.failed());
+
+    // Matching recorded widths stay silent.
+    let cmp = compare(&old, &old, DEFAULT_THRESHOLD_PCT);
     assert!(cmp.warnings.is_empty(), "got: {:?}", cmp.warnings);
 }
 

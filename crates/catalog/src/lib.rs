@@ -1,0 +1,45 @@
+// SPDX-License-Identifier: MIT OR Apache-2.0
+//! # poat-catalog
+//!
+//! The durable run catalog behind `repro serve`: an append-only store
+//! of job-lifecycle events (`POATCAT1`) that survives the process, so
+//! submitted runs and their results accumulate across restarts instead
+//! of dying with each batch invocation.
+//!
+//! The catalog is the run ledger's sibling (SNIPPETS.md §1, the Revaer
+//! runtime-persistence pattern: a dedicated store crate, hydrate on
+//! boot, persist every event):
+//!
+//! * **Format** — the same framed byte stream as `POATLGR1` with the
+//!   magic swapped for `POATCAT1`; frames, checksums, sequence
+//!   discipline, recovery, and both media come verbatim from
+//!   [`poat_ledger::Log`], so there is exactly one scanner to prove
+//!   correct and one crash-sweep harness to run against both stores
+//!   (`tests/crash_sweep.rs` here mirrors the ledger's).
+//! * **Payload** — one [`CatalogRecord`] event per append: `Submitted`
+//!   when the server takes a job, then a terminal `Completed` (carrying
+//!   the run's `sim.result.*` metrics) or `Failed` (carrying the error
+//!   text). See [`record`].
+//! * **Facade** — [`Catalog`] hydrates the event stream into a job
+//!   table on open and folds each appended event into it, exposing
+//!   submission, lookup, and the `repro catalog query` filters. See
+//!   [`store`].
+//!
+//! Single-writer: the serve process opens the catalog read-write;
+//! observers (`repro jobs`, `repro catalog query`) open it with
+//! [`poat_ledger::OpenMode::ReadOnly`] via
+//! [`store::open_file_read_only`], which never repairs a torn tail —
+//! that tail may be the writer's in-flight append, not damage.
+//!
+//! Telemetry: `catalog.records.*` / `catalog.torn.tails` from the
+//! shared log, `catalog.jobs.*` from the facade (docs/METRICS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod store;
+
+pub use poat_ledger::{LedgerError, OpenMode};
+pub use record::{CatalogRecord, JobSpec, JobStatus, CATALOG_SCHEMA_VERSION};
+pub use store::{open_file, open_file_read_only, Catalog, JobRow, QueryFilter, ReadOnlyMedium};

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod medium;
 pub mod record;
 
@@ -52,7 +53,8 @@ pub use record::{HistStat, RecordData};
 
 use std::fmt;
 
-/// Magic bytes opening every ledger byte stream.
+/// Magic bytes opening every *run-ledger* byte stream (the catalog uses
+/// the sibling `POATCAT1`; see [`LogPayload::MAGIC`]).
 pub const MAGIC: &[u8; 8] = b"POATLGR1";
 
 /// Frame header bytes: payload length (u32) + seq (u64) + checksum (u64).
@@ -119,22 +121,58 @@ impl From<poat_pmem::PmemError> for LedgerError {
     }
 }
 
+/// The payload type a [`Log`] stores: its stream magic, its metric
+/// namespace, and its byte-level codec.
+///
+/// Implementations exist for the run-ledger [`RecordData`] (`POATLGR1`)
+/// and the run catalog's record type in `crates/catalog` (`POATCAT1`).
+/// Everything else about the two formats — frame headers, checksums,
+/// sequence discipline, recovery, and crash-safe media — is shared
+/// through [`Log`], so there is exactly one scanner to prove correct.
+pub trait LogPayload: Sized {
+    /// 8-byte magic opening the byte stream of this payload's streams.
+    const MAGIC: &'static [u8; 8];
+    /// Counter bumped per durably appended record (docs/METRICS.md).
+    const METRIC_RECORDS_APPENDED: &'static str;
+    /// Counter of framed bytes those appends committed.
+    const METRIC_BYTES_APPENDED: &'static str;
+    /// Counter of fully-persisted records recovered by opening scans.
+    const METRIC_RECORDS_RECOVERED: &'static str;
+    /// Counter of torn tails found (and, in repair mode, truncated) by
+    /// opening scans.
+    const METRIC_TORN_TAILS: &'static str;
+
+    /// Serializes the payload (the bytes the frame checksum covers).
+    fn encode(&self) -> Vec<u8>;
+
+    /// Decodes a payload produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::BadVersion`] / [`LedgerError::Corrupt`] per the
+    /// payload's own schema rules.
+    fn decode(bytes: &[u8]) -> Result<Self, LedgerError>;
+}
+
 /// One recovered record: its sequence number plus the decoded payload.
 #[derive(Clone, Debug, PartialEq)]
-pub struct LedgerRecord {
+pub struct Frame<P> {
     /// 1-based, strictly consecutive sequence number.
     pub seq: u64,
     /// The decoded record payload.
-    pub data: RecordData,
+    pub data: P,
 }
 
-impl LedgerRecord {
+impl<P> Frame<P> {
     /// Stable run identifier derived from the sequence number
     /// (`run000007`); artifact files are suffixed with it.
     pub fn run_id(&self) -> String {
         run_id(self.seq)
     }
 }
+
+/// One recovered run-ledger record (`POATLGR1` payload).
+pub type LedgerRecord = Frame<RecordData>;
 
 /// Formats a sequence number as the canonical run id (`run000007`).
 pub fn run_id(seq: u64) -> String {
@@ -152,36 +190,71 @@ pub struct ScanReport {
     pub torn_reason: Option<String>,
 }
 
-/// An open ledger over some [`Medium`]: the recovered records plus the
-/// append position.
-pub struct Ledger<M: Medium> {
+/// How [`Log::open_with`] treats the medium.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Read-write: an empty medium is formatted with the magic, a torn
+    /// tail is truncated away, and appends are allowed. This is the
+    /// single-writer mode.
+    Repair,
+    /// Read-only: the medium is never written — an empty medium reads as
+    /// an empty log, a torn tail is reported but left in place, and
+    /// appends fail. Safe for observers (`repro jobs`,
+    /// `repro catalog query`) polling a store another process is
+    /// actively appending to: a reader that raced an in-flight append
+    /// must not truncate the writer's half-written frame.
+    ReadOnly,
+}
+
+/// An open append-only record log over some [`Medium`]: the recovered
+/// records plus the append position. [`Ledger`] and the run catalog are
+/// both instances of this type with different payloads.
+pub struct Log<M: Medium, P: LogPayload> {
     medium: M,
-    records: Vec<LedgerRecord>,
+    records: Vec<Frame<P>>,
     scan: ScanReport,
     /// Logical length of the valid region (next append offset).
     valid_len: u64,
+    read_only: bool,
 }
 
-impl<M: Medium> Ledger<M> {
-    /// Opens (and if empty, formats) the ledger on `medium`, scanning and
+/// The run ledger: a [`Log`] of [`RecordData`] payloads (`POATLGR1`).
+pub type Ledger<M> = Log<M, RecordData>;
+
+impl<M: Medium, P: LogPayload> Log<M, P> {
+    /// Opens (and if empty, formats) the log on `medium`, scanning and
     /// validating every record per the crate-level recovery contract. A
     /// torn tail is truncated away so subsequent appends are readable.
     ///
     /// # Errors
     ///
     /// [`LedgerError::BadMagic`] when the stream is non-empty but does
-    /// not start with [`MAGIC`]; medium errors pass through. Torn or
-    /// corrupt *tails* are not errors — they are reported in
+    /// not start with [`LogPayload::MAGIC`]; medium errors pass through.
+    /// Torn or corrupt *tails* are not errors — they are reported in
     /// [`scan_report`](Self::scan_report) and skipped.
-    pub fn open(mut medium: M) -> Result<Self, LedgerError> {
+    pub fn open(medium: M) -> Result<Self, LedgerError> {
+        Self::open_with(medium, OpenMode::Repair)
+    }
+
+    /// [`open`](Self::open) in the given [`OpenMode`]; read-only opens
+    /// never write to the medium (no formatting, no tail truncation).
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(mut medium: M, mode: OpenMode) -> Result<Self, LedgerError> {
+        let read_only = mode == OpenMode::ReadOnly;
         let len = medium.len()?;
         if len == 0 {
-            medium.append(MAGIC)?;
-            return Ok(Ledger {
+            if !read_only {
+                medium.append(P::MAGIC)?;
+            }
+            return Ok(Log {
                 medium,
                 records: Vec::new(),
                 scan: ScanReport::default(),
-                valid_len: 8,
+                valid_len: if read_only { 0 } else { 8 },
+                read_only,
             });
         }
         if len < 8 {
@@ -189,7 +262,7 @@ impl<M: Medium> Ledger<M> {
         }
         let mut magic = [0u8; 8];
         medium.read_at(0, &mut magic)?;
-        if &magic != MAGIC {
+        if &magic != P::MAGIC {
             return Err(LedgerError::BadMagic);
         }
         let mut records = Vec::new();
@@ -224,10 +297,7 @@ impl<M: Medium> Ledger<M> {
                 torn("payload truncated".to_string(), pos, &mut scan);
                 break;
             }
-            let expected_seq = records
-                .last()
-                .map(|r: &LedgerRecord| r.seq + 1)
-                .unwrap_or(1);
+            let expected_seq = records.last().map(|r: &Frame<P>| r.seq + 1).unwrap_or(1);
             if seq != expected_seq {
                 torn(
                     format!("sequence break (got {seq}, expected {expected_seq})"),
@@ -242,8 +312,8 @@ impl<M: Medium> Ledger<M> {
                 torn("checksum mismatch".to_string(), pos, &mut scan);
                 break;
             }
-            match RecordData::decode(&payload) {
-                Ok(data) => records.push(LedgerRecord { seq, data }),
+            match P::decode(&payload) {
+                Ok(data) => records.push(Frame { seq, data }),
                 Err(e) => {
                     torn(format!("payload undecodable: {e}"), pos, &mut scan);
                     break;
@@ -252,18 +322,19 @@ impl<M: Medium> Ledger<M> {
             pos += FRAME_HEADER_BYTES + payload_len as u64;
         }
         scan.recovered = records.len();
-        if scan.torn_tail_bytes > 0 {
+        if scan.torn_tail_bytes > 0 && !read_only {
             medium.truncate(pos)?;
-            global().counter("ledger.torn.tails").inc();
+            global().counter(P::METRIC_TORN_TAILS).inc();
         }
         global()
-            .counter("ledger.records.recovered")
+            .counter(P::METRIC_RECORDS_RECOVERED)
             .add(records.len() as u64);
-        Ok(Ledger {
+        Ok(Log {
             medium,
             records,
             scan,
             valid_len: pos,
+            read_only,
         })
     }
 
@@ -273,8 +344,12 @@ impl<M: Medium> Ledger<M> {
     /// # Errors
     ///
     /// Medium write/persist failures — including the injected crashes the
-    /// fault-sweep arms, which surface as [`LedgerError::Pmem`].
-    pub fn append(&mut self, data: RecordData) -> Result<u64, LedgerError> {
+    /// fault-sweep arms, which surface as [`LedgerError::Pmem`] — and
+    /// [`LedgerError::Corrupt`] on a log opened read-only.
+    pub fn append(&mut self, data: P) -> Result<u64, LedgerError> {
+        if self.read_only {
+            return Err(LedgerError::Corrupt("log opened read-only"));
+        }
         let seq = self.records.last().map(|r| r.seq + 1).unwrap_or(1);
         let payload = data.encode();
         debug_assert!(payload.len() as u64 <= MAX_PAYLOAD_BYTES as u64);
@@ -285,26 +360,26 @@ impl<M: Medium> Ledger<M> {
         frame.extend_from_slice(&payload);
         self.medium.append(&frame)?;
         self.valid_len += frame.len() as u64;
-        global().counter("ledger.records.appended").inc();
+        global().counter(P::METRIC_RECORDS_APPENDED).inc();
         global()
-            .counter("ledger.bytes.appended")
+            .counter(P::METRIC_BYTES_APPENDED)
             .add(frame.len() as u64);
-        self.records.push(LedgerRecord { seq, data });
+        self.records.push(Frame { seq, data });
         Ok(seq)
     }
 
     /// All recovered + appended records, ascending by sequence number.
-    pub fn records(&self) -> &[LedgerRecord] {
+    pub fn records(&self) -> &[Frame<P>] {
         &self.records
     }
 
     /// The newest record, if any.
-    pub fn last(&self) -> Option<&LedgerRecord> {
+    pub fn last(&self) -> Option<&Frame<P>> {
         self.records.last()
     }
 
     /// The record with sequence number `seq`.
-    pub fn get(&self, seq: u64) -> Option<&LedgerRecord> {
+    pub fn get(&self, seq: u64) -> Option<&Frame<P>> {
         self.records.iter().find(|r| r.seq == seq)
     }
 
@@ -318,7 +393,12 @@ impl<M: Medium> Ledger<M> {
         self.valid_len
     }
 
-    /// Consumes the ledger, returning the medium (tests re-open it).
+    /// Whether this log was opened [`OpenMode::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Consumes the log, returning the medium (tests re-open it).
     pub fn into_medium(self) -> M {
         self.medium
     }
@@ -331,7 +411,7 @@ impl<M: Medium> Ledger<M> {
 ///
 /// File I/O failures and the scan errors of [`Ledger::open`].
 pub fn open_file(path: &std::path::Path) -> Result<Ledger<FileMedium>, LedgerError> {
-    Ok(Ledger::open(FileMedium::open(path)?)?)
+    Ledger::open(FileMedium::open(path)?)
 }
 
 #[cfg(test)]
@@ -433,6 +513,50 @@ mod tests {
         // And the ledger keeps working after truncation.
         let mut l = open_file(&path).unwrap();
         assert_eq!(l.append(sample_record(2)).unwrap(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_cut_inside_a_record_is_ignored_on_recovery() {
+        // A crash mid-append leaves a *prefix* of a real frame, not
+        // appended garbage: the header may be fully intact while the
+        // payload is cut short. Recovery must keep every whole record
+        // before the cut and drop the partial frame.
+        let dir = std::env::temp_dir().join(format!("poat_ledger_midcut_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("midcut.poatlgr");
+        let _ = std::fs::remove_file(&path);
+        let two_len;
+        {
+            let mut l = open_file(&path).unwrap();
+            l.append(sample_record(0)).unwrap();
+            l.append(sample_record(1)).unwrap();
+            two_len = std::fs::metadata(&path).unwrap().len();
+            l.append(sample_record(2)).unwrap();
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        // Cut inside the third frame's payload (header intact, payload
+        // short) — the hardest case: length and checksum fields parse
+        // but the payload bytes run out.
+        let cut = two_len + (full_len - two_len) / 2;
+        assert!(cut > two_len && cut < full_len);
+        {
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+        }
+        let l = open_file(&path).unwrap();
+        assert_eq!(l.scan_report().recovered, 2, "whole records survive");
+        assert_eq!(l.scan_report().torn_tail_bytes, cut - two_len);
+        assert_eq!(l.records()[1].data, sample_record(1), "prefix byte-exact");
+        drop(l);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            two_len,
+            "repair truncates back to the last whole record"
+        );
+        // The sequence continues from the surviving prefix.
+        let mut l = open_file(&path).unwrap();
+        assert_eq!(l.append(sample_record(3)).unwrap(), 3);
         std::fs::remove_file(&path).unwrap();
     }
 

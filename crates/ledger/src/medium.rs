@@ -102,6 +102,23 @@ impl FileMedium {
         })
     }
 
+    /// Opens the file at `path` for reading only — no create, no parent
+    /// directory creation, and any later [`Medium::append`] /
+    /// [`Medium::truncate`] fails at the OS layer. Pair with
+    /// [`crate::OpenMode::ReadOnly`] so the scanner never attempts those
+    /// writes in the first place.
+    ///
+    /// # Errors
+    ///
+    /// File open failures (including the file not existing).
+    pub fn open_read_only(path: &Path) -> Result<Self, LedgerError> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        Ok(FileMedium {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
     /// The path this medium was opened at.
     pub fn path(&self) -> &Path {
         &self.path

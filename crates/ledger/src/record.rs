@@ -20,7 +20,8 @@ use std::collections::BTreeMap;
 
 use poat_telemetry::MetricsSnapshot;
 
-use crate::LedgerError;
+use crate::codec::{put_front_coded, put_str, put_varint, Cursor};
+use crate::{LedgerError, LogPayload};
 
 /// Version of the record payload layout; bump on breaking change.
 pub const RECORD_SCHEMA_VERSION: u64 = 1;
@@ -266,93 +267,19 @@ impl RecordData {
     }
 }
 
-// ---------------------------------------------------------------------------
-// LEB128 + front-coding primitives
-// ---------------------------------------------------------------------------
+impl LogPayload for RecordData {
+    const MAGIC: &'static [u8; 8] = b"POATLGR1";
+    const METRIC_RECORDS_APPENDED: &'static str = "ledger.records.appended";
+    const METRIC_BYTES_APPENDED: &'static str = "ledger.bytes.appended";
+    const METRIC_RECORDS_RECOVERED: &'static str = "ledger.records.recovered";
+    const METRIC_TORN_TAILS: &'static str = "ledger.torn.tails";
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_varint(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
-}
-
-/// Writes `name` as (shared-prefix byte length with `prev`, suffix).
-fn put_front_coded(out: &mut Vec<u8>, prev: &str, name: &str) {
-    let shared = prev
-        .as_bytes()
-        .iter()
-        .zip(name.as_bytes())
-        .take_while(|(a, b)| a == b)
-        .count();
-    // Clamp to a char boundary of `name` so the suffix stays valid UTF-8.
-    let mut shared = shared.min(name.len());
-    while !name.is_char_boundary(shared) {
-        shared -= 1;
-    }
-    put_varint(out, shared as u64);
-    put_str(out, &name[shared..]);
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], LedgerError> {
-        if self.pos + n > self.bytes.len() {
-            return Err(LedgerError::Corrupt("field extends past payload"));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+    fn encode(&self) -> Vec<u8> {
+        RecordData::encode(self)
     }
 
-    fn varint(&mut self) -> Result<u64, LedgerError> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let [byte] = *self.take(1)? else {
-                return Err(LedgerError::Corrupt("varint truncated"));
-            };
-            if shift >= 64 || (shift == 63 && byte > 1) {
-                return Err(LedgerError::Corrupt("varint overflows u64"));
-            }
-            v |= ((byte & 0x7f) as u64) << shift;
-            if byte & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-        }
-    }
-
-    fn string(&mut self) -> Result<String, LedgerError> {
-        let len = self.varint()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| LedgerError::Corrupt("string not UTF-8"))
-    }
-
-    fn front_coded(&mut self, prev: &str) -> Result<String, LedgerError> {
-        let shared = self.varint()? as usize;
-        if shared > prev.len() || !prev.is_char_boundary(shared) {
-            return Err(LedgerError::Corrupt("front-coding prefix out of range"));
-        }
-        let suffix = self.string()?;
-        let mut name = String::with_capacity(shared + suffix.len());
-        name.push_str(&prev[..shared]);
-        name.push_str(&suffix);
-        Ok(name)
+    fn decode(bytes: &[u8]) -> Result<Self, LedgerError> {
+        RecordData::decode(bytes)
     }
 }
 
